@@ -1,0 +1,178 @@
+//! The raw annotation record.
+
+use std::fmt;
+
+/// Identifier of a raw annotation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AnnotId(pub u64);
+
+/// Thematic category of an annotation.
+///
+/// This is the *ground truth* label carried by the synthetic corpus. The
+/// engine itself never reads it at query time — classifier summary instances
+/// assign labels with a trained Naive Bayes model — but the generator uses it
+/// to produce themed text and the test suite uses it to measure classifier
+/// accuracy, mirroring how the paper's AKN annotations have human-judged
+/// topics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Category {
+    /// Observed diseases.
+    Disease,
+    /// Body shape, weight, plumage.
+    Anatomy,
+    /// Behavior, sound, eating habits.
+    Behavior,
+    /// Data lineage notes.
+    Provenance,
+    /// Free-form remarks.
+    Comment,
+    /// Questions raised by curators.
+    Question,
+    /// Anything else (geography, misc).
+    Other,
+}
+
+impl Category {
+    /// All categories, in a fixed order.
+    pub const ALL: [Category; 7] = [
+        Category::Disease,
+        Category::Anatomy,
+        Category::Behavior,
+        Category::Provenance,
+        Category::Comment,
+        Category::Question,
+        Category::Other,
+    ];
+
+    /// Canonical label string (matches the paper's classifier labels).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Category::Disease => "Disease",
+            Category::Anatomy => "Anatomy",
+            Category::Behavior => "Behavior",
+            Category::Provenance => "Provenance",
+            Category::Comment => "Comment",
+            Category::Question => "Question",
+            Category::Other => "Other",
+        }
+    }
+
+    /// Parse from a label string.
+    pub fn parse(s: &str) -> Option<Category> {
+        Category::ALL.into_iter().find(|c| c.label() == s)
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A raw annotation: free text plus provenance metadata.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Annotation {
+    /// Unique identifier.
+    pub id: AnnotId,
+    /// The annotation body.
+    pub text: String,
+    /// Ground-truth category (generator/evaluation only; see [`Category`]).
+    pub category: Category,
+    /// Author handle.
+    pub author: String,
+    /// Monotone revision counter at creation time (used by the two-version
+    /// join experiments, Fig. 16 Q2).
+    pub revision: u64,
+}
+
+impl Annotation {
+    /// Byte size of the stored record (id + text + metadata), used by the
+    /// storage-overhead experiments.
+    pub fn stored_size(&self) -> usize {
+        8 + self.text.len() + self.author.len() + 1 + 8
+    }
+
+    /// Serialize for heap storage.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.stored_size() + 16);
+        out.extend_from_slice(&self.id.0.to_le_bytes());
+        out.push(
+            Category::ALL
+                .iter()
+                .position(|c| c == &self.category)
+                .unwrap() as u8,
+        );
+        out.extend_from_slice(&self.revision.to_le_bytes());
+        out.extend_from_slice(&(self.author.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.author.as_bytes());
+        out.extend_from_slice(&(self.text.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.text.as_bytes());
+        out
+    }
+
+    /// Deserialize from heap storage.
+    pub fn decode(bytes: &[u8]) -> Option<Annotation> {
+        let mut pos = 0usize;
+        let id = AnnotId(u64::from_le_bytes(
+            bytes.get(pos..pos + 8)?.try_into().ok()?,
+        ));
+        pos += 8;
+        let cat = Category::ALL.get(*bytes.get(pos)? as usize).copied()?;
+        pos += 1;
+        let revision = u64::from_le_bytes(bytes.get(pos..pos + 8)?.try_into().ok()?);
+        pos += 8;
+        let alen = u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        pos += 4;
+        let author = String::from_utf8(bytes.get(pos..pos + alen)?.to_vec()).ok()?;
+        pos += alen;
+        let tlen = u32::from_le_bytes(bytes.get(pos..pos + 4)?.try_into().ok()?) as usize;
+        pos += 4;
+        let text = String::from_utf8(bytes.get(pos..pos + tlen)?.to_vec()).ok()?;
+        Some(Annotation {
+            id,
+            text,
+            category: cat,
+            author,
+            revision,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let a = Annotation {
+            id: AnnotId(42),
+            text: "found eating stonewort and algae".into(),
+            category: Category::Behavior,
+            author: "curator-7".into(),
+            revision: 3,
+        };
+        assert_eq!(Annotation::decode(&a.encode()), Some(a));
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let a = Annotation {
+            id: AnnotId(1),
+            text: "t".into(),
+            category: Category::Other,
+            author: "a".into(),
+            revision: 0,
+        };
+        let bytes = a.encode();
+        assert!(Annotation::decode(&bytes[..bytes.len() - 1]).is_none());
+        assert!(Annotation::decode(&[]).is_none());
+    }
+
+    #[test]
+    fn category_label_roundtrip() {
+        for c in Category::ALL {
+            assert_eq!(Category::parse(c.label()), Some(c));
+        }
+        assert_eq!(Category::parse("Nope"), None);
+    }
+}

@@ -1,0 +1,406 @@
+//! Synthetic birds corpus generator.
+//!
+//! Stands in for the paper's evaluation dataset: the AKN-derived Birds table
+//! (45 000 tuples × 12 attributes, ≈450 MB) with 9×10⁶ raw annotations
+//! (≈5 GB), plus the Synonyms table (≈225 000 tuples, many-to-one to Birds).
+//! Every experiment knob of §6 is a field of [`CorpusConfig`]:
+//! the number of tuples, the average annotations per tuple (the paper sweeps
+//! 10 → 200), annotation text length (150–8 000 chars in the paper), and the
+//! category mix that drives classifier-label selectivities.
+
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use instn_storage::io::IoStats;
+use instn_storage::{ColumnType, Oid, Schema, Table, Value};
+
+use crate::annotation::Category;
+use crate::store::AnnotationStore;
+use crate::target::Attachment;
+use crate::text;
+
+/// Knobs of the synthetic corpus.
+#[derive(Debug, Clone)]
+pub struct CorpusConfig {
+    /// Number of Birds tuples (paper: 45 000).
+    pub n_tuples: usize,
+    /// Synonyms per bird (paper: 225 000 / 45 000 = 5).
+    pub synonyms_per_bird: usize,
+    /// Average annotations per bird tuple (paper sweeps 10 → 200).
+    pub avg_annots_per_tuple: usize,
+    /// Annotation text length range in characters (paper: 150–8 000).
+    pub annot_len: (usize, usize),
+    /// Fraction of annotations longer than the snippet threshold (1 000
+    /// chars), which the TextSummary1 instance summarizes.
+    pub long_annot_fraction: f64,
+    /// Fraction of annotations attached to *two* tuples (exercises the
+    /// common-annotation de-duplication of the summary merge).
+    pub shared_annot_fraction: f64,
+    /// Relative sampling weights per [`Category::ALL`] order.
+    pub category_weights: [u32; 7],
+    /// RNG seed: the whole corpus is a pure function of the config.
+    pub seed: u64,
+}
+
+impl Default for CorpusConfig {
+    fn default() -> Self {
+        Self {
+            n_tuples: 500,
+            synonyms_per_bird: 5,
+            avg_annots_per_tuple: 20,
+            annot_len: (80, 400),
+            long_annot_fraction: 0.05,
+            shared_annot_fraction: 0.02,
+            // Mix chosen so Disease counts spread widely enough for the
+            // selectivity sweeps (0.1%–5%) of Figures 10–11.
+            category_weights: [10, 18, 25, 8, 22, 7, 10],
+            seed: 42,
+        }
+    }
+}
+
+impl CorpusConfig {
+    /// A tiny corpus for unit tests.
+    pub fn tiny() -> Self {
+        Self {
+            n_tuples: 30,
+            avg_annots_per_tuple: 8,
+            annot_len: (40, 120),
+            ..Self::default()
+        }
+    }
+
+    /// A corpus scaled like the paper's smallest point (450 K annotations at
+    /// 10 per tuple) divided by `scale_down`.
+    pub fn paper_scaled(scale_down: usize, annots_per_tuple: usize) -> Self {
+        Self {
+            n_tuples: 45_000 / scale_down.max(1),
+            avg_annots_per_tuple: annots_per_tuple,
+            annot_len: (80, 600),
+            ..Self::default()
+        }
+    }
+}
+
+/// The generated corpus: tables + annotation stores + handy OID lists.
+#[derive(Debug)]
+pub struct Corpus {
+    /// Shared I/O counters for everything in the corpus.
+    pub stats: Arc<IoStats>,
+    /// The Birds table (12 attributes).
+    pub birds: Table,
+    /// The Synonyms table (many-to-one to Birds via `bird_id`).
+    pub synonyms: Table,
+    /// Raw annotations on Birds.
+    pub annotations: AnnotationStore,
+    /// Raw annotations on Synonyms (sparser; used by the join experiments).
+    pub syn_annotations: AnnotationStore,
+    /// OIDs of the Birds tuples, in insertion order.
+    pub bird_oids: Vec<Oid>,
+    /// OIDs of the Synonyms tuples, in insertion order.
+    pub synonym_oids: Vec<Oid>,
+}
+
+/// The 12-attribute Birds schema from the paper's evaluation.
+pub fn birds_schema() -> Schema {
+    Schema::of(&[
+        ("id", ColumnType::Int),
+        ("sci_name", ColumnType::Text),
+        ("common_name", ColumnType::Text),
+        ("genus", ColumnType::Text),
+        ("family", ColumnType::Text),
+        ("habitat", ColumnType::Text),
+        ("description", ColumnType::Text),
+        ("region", ColumnType::Text),
+        ("wingspan_cm", ColumnType::Float),
+        ("weight_g", ColumnType::Float),
+        ("conservation", ColumnType::Text),
+        ("ebird_id", ColumnType::Text),
+    ])
+}
+
+/// The Synonyms schema.
+pub fn synonyms_schema() -> Schema {
+    Schema::of(&[
+        ("id", ColumnType::Int),
+        ("bird_id", ColumnType::Int),
+        ("synonym", ColumnType::Text),
+    ])
+}
+
+const GENERA: &[&str] = &[
+    "Anser", "Cygnus", "Branta", "Anas", "Larus", "Corvus", "Turdus", "Parus",
+];
+const FAMILIES: &[&str] = &["Anatidae", "Laridae", "Corvidae", "Turdidae", "Paridae"];
+const HABITATS: &[&str] = &[
+    "wetland",
+    "coastal",
+    "forest",
+    "grassland",
+    "urban",
+    "alpine",
+];
+const REGIONS: &[&str] = &[
+    "nearctic",
+    "palearctic",
+    "neotropic",
+    "afrotropic",
+    "australasia",
+];
+const STATUS: &[&str] = &["LC", "NT", "VU", "EN", "CR"];
+
+impl Corpus {
+    /// Build the corpus deterministically from `config`.
+    pub fn build(config: &CorpusConfig) -> Corpus {
+        let stats = IoStats::new();
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        let mut birds = Table::new("Birds", birds_schema(), Arc::clone(&stats));
+        let mut bird_oids = Vec::with_capacity(config.n_tuples);
+        for i in 0..config.n_tuples {
+            let genus = GENERA[rng.random_range(0..GENERA.len())];
+            let tuple = vec![
+                Value::Int(i as i64),
+                Value::Text(format!("{genus} species{i}")),
+                Value::Text(format!("{} bird {i}", HABITATS[i % HABITATS.len()])),
+                Value::Text(genus.to_string()),
+                Value::Text(FAMILIES[rng.random_range(0..FAMILIES.len())].to_string()),
+                Value::Text(HABITATS[rng.random_range(0..HABITATS.len())].to_string()),
+                Value::Text(text::generate(&mut rng, Category::Other, 60)),
+                Value::Text(REGIONS[rng.random_range(0..REGIONS.len())].to_string()),
+                Value::Float(rng.random_range(20.0..250.0)),
+                Value::Float(rng.random_range(10.0..12_000.0)),
+                Value::Text(STATUS[rng.random_range(0..STATUS.len())].to_string()),
+                Value::Text(format!("EB{i:06}")),
+            ];
+            bird_oids.push(birds.insert(tuple).expect("schema is static"));
+        }
+
+        let mut synonyms = Table::new("Synonyms", synonyms_schema(), Arc::clone(&stats));
+        let mut synonym_oids = Vec::with_capacity(config.n_tuples * config.synonyms_per_bird);
+        let mut syn_id = 0i64;
+        for (i, _) in bird_oids.iter().enumerate() {
+            for s in 0..config.synonyms_per_bird {
+                let tuple = vec![
+                    Value::Int(syn_id),
+                    Value::Int(i as i64),
+                    Value::Text(format!("syn-{i}-{s}")),
+                ];
+                synonym_oids.push(synonyms.insert(tuple).expect("schema is static"));
+                syn_id += 1;
+            }
+        }
+
+        let mut annotations = AnnotationStore::new(Arc::clone(&stats));
+        let weight_total: u32 = config.category_weights.iter().sum();
+        for (t, &oid) in bird_oids.iter().enumerate() {
+            let n = annot_count(&mut rng, config.avg_annots_per_tuple);
+            for _ in 0..n {
+                let cat = sample_category(&mut rng, &config.category_weights, weight_total);
+                let len = if rng.random_bool(config.long_annot_fraction) {
+                    rng.random_range(1_000..(config.annot_len.1.max(1_100) + 1_000))
+                } else {
+                    rng.random_range(config.annot_len.0..=config.annot_len.1)
+                };
+                let body = text::generate(&mut rng, cat, len);
+                let mut atts = vec![attachment(&mut rng, oid, birds_schema().arity())];
+                if rng.random_bool(config.shared_annot_fraction) && config.n_tuples > 1 {
+                    // Attach to one more (distinct) tuple.
+                    let other = bird_oids
+                        [(t + 1 + rng.random_range(0..config.n_tuples - 1)) % config.n_tuples];
+                    atts.push(Attachment::row(other));
+                }
+                annotations
+                    .add(body, cat, format!("u{}", rng.random_range(0..500)), 1, atts)
+                    .expect("annotation fits a page");
+            }
+        }
+
+        // Sparse annotations on Synonyms: ~1 per 5 synonym tuples, comments
+        // and provenance only (the paper links just TextSummary1 there).
+        let mut syn_annotations = AnnotationStore::new(Arc::clone(&stats));
+        for &oid in &synonym_oids {
+            if rng.random_bool(0.2) {
+                let cat = if rng.random_bool(0.5) {
+                    Category::Comment
+                } else {
+                    Category::Provenance
+                };
+                let len = rng.random_range(60..240);
+                let body = text::generate(&mut rng, cat, len);
+                syn_annotations
+                    .add(body, cat, "syncur".into(), 1, vec![Attachment::row(oid)])
+                    .expect("annotation fits a page");
+            }
+        }
+
+        Corpus {
+            stats,
+            birds,
+            synonyms,
+            annotations,
+            syn_annotations,
+            bird_oids,
+            synonym_oids,
+        }
+    }
+
+    /// Total raw annotations on Birds.
+    pub fn annotation_count(&self) -> usize {
+        self.annotations.len()
+    }
+}
+
+/// Annotation count per tuple: uniform in `[avg/2, 3*avg/2]`, so label-count
+/// selectivities vary smoothly across tuples.
+fn annot_count<R: Rng + ?Sized>(rng: &mut R, avg: usize) -> usize {
+    if avg == 0 {
+        return 0;
+    }
+    let lo = (avg / 2).max(1);
+    let hi = avg + avg / 2;
+    rng.random_range(lo..=hi)
+}
+
+fn sample_category<R: Rng + ?Sized>(rng: &mut R, weights: &[u32; 7], total: u32) -> Category {
+    let mut pick = rng.random_range(0..total);
+    for (i, w) in weights.iter().enumerate() {
+        if pick < *w {
+            return Category::ALL[i];
+        }
+        pick -= w;
+    }
+    Category::Other
+}
+
+/// Mostly row-level attachments, some single-cell, some multi-cell.
+fn attachment<R: Rng + ?Sized>(rng: &mut R, oid: Oid, arity: usize) -> Attachment {
+    match rng.random_range(0..10) {
+        0..=6 => Attachment::row(oid),
+        7..=8 => Attachment::cells(oid, &[rng.random_range(0..arity)]),
+        _ => {
+            let a = rng.random_range(0..arity);
+            let b = rng.random_range(0..arity);
+            Attachment::cells(oid, &[a, b])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_is_deterministic() {
+        let cfg = CorpusConfig::tiny();
+        let a = Corpus::build(&cfg);
+        let b = Corpus::build(&cfg);
+        assert_eq!(a.annotation_count(), b.annotation_count());
+        assert_eq!(a.bird_oids, b.bird_oids);
+        let ids_a = a.annotations.ids();
+        let ids_b = b.annotations.ids();
+        assert_eq!(ids_a, ids_b);
+        // Spot-check identical text.
+        let id = ids_a[ids_a.len() / 2];
+        assert_eq!(
+            a.annotations.get(id).unwrap().text,
+            b.annotations.get(id).unwrap().text
+        );
+    }
+
+    #[test]
+    fn tuple_and_synonym_counts_match_config() {
+        let cfg = CorpusConfig::tiny();
+        let c = Corpus::build(&cfg);
+        assert_eq!(c.birds.len(), cfg.n_tuples);
+        assert_eq!(c.synonyms.len(), cfg.n_tuples * cfg.synonyms_per_bird);
+    }
+
+    #[test]
+    fn annotation_volume_tracks_average() {
+        let cfg = CorpusConfig {
+            n_tuples: 100,
+            avg_annots_per_tuple: 12,
+            ..CorpusConfig::tiny()
+        };
+        let c = Corpus::build(&cfg);
+        let n = c.annotation_count() as f64;
+        let expected = (100 * 12) as f64;
+        assert!(
+            (n - expected).abs() < expected * 0.25,
+            "got {n}, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn every_bird_is_annotated() {
+        let c = Corpus::build(&CorpusConfig::tiny());
+        for &oid in &c.bird_oids {
+            assert!(
+                !c.annotations.for_tuple(oid).is_empty(),
+                "bird {oid:?} has no annotations"
+            );
+        }
+    }
+
+    #[test]
+    fn shared_annotations_exist() {
+        let cfg = CorpusConfig {
+            n_tuples: 50,
+            avg_annots_per_tuple: 20,
+            shared_annot_fraction: 0.2,
+            ..CorpusConfig::tiny()
+        };
+        let c = Corpus::build(&cfg);
+        let shared = c
+            .annotations
+            .ids()
+            .into_iter()
+            .filter(|id| c.annotations.tuples_of(*id).len() > 1)
+            .count();
+        assert!(shared > 0, "expected some multi-tuple annotations");
+    }
+
+    #[test]
+    fn long_annotations_present_for_snippets() {
+        let cfg = CorpusConfig {
+            n_tuples: 50,
+            avg_annots_per_tuple: 20,
+            long_annot_fraction: 0.2,
+            ..CorpusConfig::tiny()
+        };
+        let c = Corpus::build(&cfg);
+        let long = c
+            .annotations
+            .ids()
+            .into_iter()
+            .filter(|id| c.annotations.get(*id).unwrap().text.len() > 1000)
+            .count();
+        assert!(long > 0, "expected some >1000-char annotations");
+    }
+
+    #[test]
+    fn category_mix_roughly_matches_weights() {
+        let cfg = CorpusConfig {
+            n_tuples: 200,
+            avg_annots_per_tuple: 20,
+            ..CorpusConfig::default()
+        };
+        let c = Corpus::build(&cfg);
+        let total = c.annotation_count() as f64;
+        let behaviors = c
+            .annotations
+            .ids()
+            .into_iter()
+            .filter(|id| c.annotations.get(*id).unwrap().category == Category::Behavior)
+            .count() as f64;
+        let expected = 25.0 / 100.0;
+        assert!(
+            (behaviors / total - expected).abs() < 0.05,
+            "behavior fraction {} vs {expected}",
+            behaviors / total
+        );
+    }
+}

@@ -1,0 +1,448 @@
+//! The summary-aware propagation algebra (§2.2, Fig. 3).
+//!
+//! Two operations define how summary objects move through query plans:
+//!
+//! * [`project_eliminate`] — when a projection drops columns, the effect of
+//!   every annotation attached *only* to dropped columns is removed from the
+//!   tuple's summary objects: classifier counts decrement, snippets of
+//!   dropped annotations disappear, cluster groups shrink and re-elect their
+//!   representative if it was dropped. Per the paper's Theorems 1–2 this
+//!   must happen *before* any merge for plan-equivalence to hold.
+//! * [`merge_summary_sets`] — when a join combines two tuples, summary
+//!   objects of the *same instance* merge; objects with no counterpart
+//!   propagate unchanged. Annotations attached to both input tuples are
+//!   counted once (the `Comment: 22 not 27` example of Fig. 3).
+
+use std::collections::HashSet;
+
+use instn_annot::AnnotId;
+use instn_mining::tokenize::hash_tf_vector;
+use instn_storage::{Oid, Tuple};
+
+use crate::instance::{elect_representative, TextResolver};
+use crate::summary::{ClusterGroup, Rep, SummaryObject};
+
+/// A data tuple travelling through a query plan together with its summary
+/// objects — the paper's `r = <a1..an, {s1..sk}>` conceptual schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnotatedTuple {
+    /// Source `(table, oid)` while the tuple is single-sourced (scan /
+    /// select / project); `None` after a join fuses provenance.
+    pub source: Option<(instn_storage::TableId, Oid)>,
+    /// The data values.
+    pub values: Tuple,
+    /// The attached summary objects (the `$` variable of §3.1).
+    pub summaries: Vec<SummaryObject>,
+}
+
+impl AnnotatedTuple {
+    /// A tuple with no summaries.
+    pub fn bare(table: instn_storage::TableId, oid: Oid, values: Tuple) -> Self {
+        Self {
+            source: Some((table, oid)),
+            values,
+            summaries: Vec::new(),
+        }
+    }
+
+    /// The source OID, if single-sourced.
+    pub fn oid(&self) -> Option<Oid> {
+        self.source.map(|(_, o)| o)
+    }
+
+    /// `$.getSize()`: number of attached summary objects.
+    pub fn summary_count(&self) -> usize {
+        self.summaries.len()
+    }
+
+    /// `$.getSummaryObject(name)`: the object of the named instance.
+    pub fn summary_by_name(&self, name: &str) -> Option<&SummaryObject> {
+        self.summaries.iter().find(|s| s.instance_name == name)
+    }
+
+    /// `$.getSummaryObject(i)`: the object at position `i`.
+    pub fn summary_by_index(&self, i: usize) -> Option<&SummaryObject> {
+        self.summaries.get(i)
+    }
+}
+
+/// Remove one annotation's effect from one summary object.
+///
+/// Returns the classifier `(label, old, new)` count change if any — the
+/// signal Summary-BTree maintenance consumes.
+pub fn remove_annotation_effect(
+    obj: &mut SummaryObject,
+    annot_id: AnnotId,
+    resolver: TextResolver<'_>,
+) -> Option<(String, u64, u64)> {
+    match &mut obj.rep {
+        Rep::Classifier(c) => {
+            for li in 0..c.labels.len() {
+                if let Some(pos) = c.elements[li].iter().position(|a| *a == annot_id) {
+                    c.elements[li].remove(pos);
+                    let old = c.counts[li];
+                    c.counts[li] = old.saturating_sub(1);
+                    return Some((c.labels[li].clone(), old, c.counts[li]));
+                }
+            }
+            None
+        }
+        Rep::Snippet(s) => {
+            s.entries.retain(|e| e.source != annot_id);
+            None
+        }
+        Rep::Cluster(c) => {
+            if let Some(gi) = c.groups.iter().position(|g| g.members.contains(&annot_id)) {
+                {
+                    let g = &mut c.groups[gi];
+                    g.members.retain(|m| *m != annot_id);
+                    g.size = g.members.len() as u64;
+                    if let Some(text) = resolver(annot_id) {
+                        let v = hash_tf_vector(&text);
+                        for (l, x) in g.ls.iter_mut().zip(v.iter()) {
+                            *l -= *x as f32;
+                        }
+                    }
+                }
+                if c.groups[gi].members.is_empty() {
+                    c.groups.remove(gi);
+                } else if c.groups[gi].rep_annot == annot_id {
+                    elect_representative(&mut c.groups[gi], resolver);
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Projection-time elimination: strip the effect of every annotation in
+/// `removed` from all summary objects of a tuple (Fig. 3 step 1).
+pub fn project_eliminate(
+    summaries: &mut [SummaryObject],
+    removed: &[AnnotId],
+    resolver: TextResolver<'_>,
+) {
+    for obj in summaries.iter_mut() {
+        for &id in removed {
+            remove_annotation_effect(obj, id, resolver);
+        }
+    }
+}
+
+/// Merge two summary objects of the *same instance* attached to two joined
+/// tuples. `common` holds the annotations attached to both input tuples,
+/// whose effect must not be double counted.
+pub fn merge_objects(
+    a: &SummaryObject,
+    b: &SummaryObject,
+    common: &HashSet<AnnotId>,
+    resolver: TextResolver<'_>,
+) -> SummaryObject {
+    debug_assert_eq!(
+        a.instance_name, b.instance_name,
+        "merge requires counterpart objects of the same summary instance"
+    );
+    let mut out = a.clone();
+    match (&mut out.rep, &b.rep) {
+        (Rep::Classifier(ca), Rep::Classifier(cb)) => {
+            // Union the element lists per label; annotations present on both
+            // sides appear once (the paper's "sum 22 instead of 27").
+            for li in 0..ca.labels.len() {
+                let mut seen: HashSet<AnnotId> = ca.elements[li].iter().copied().collect();
+                if let Some(bi) = cb.labels.iter().position(|l| l == &ca.labels[li]) {
+                    for &id in &cb.elements[bi] {
+                        if seen.insert(id) {
+                            ca.elements[li].push(id);
+                        }
+                    }
+                }
+                ca.counts[li] = ca.elements[li].len() as u64;
+            }
+        }
+        (Rep::Snippet(sa), Rep::Snippet(sb)) => {
+            let seen: HashSet<AnnotId> = sa.entries.iter().map(|e| e.source).collect();
+            for e in &sb.entries {
+                if !seen.contains(&e.source) {
+                    sa.entries.push(e.clone());
+                }
+            }
+        }
+        (Rep::Cluster(ca), Rep::Cluster(cb)) => {
+            for bg in &cb.groups {
+                // A group from `b` overlaps a group of `a` iff they share a
+                // member annotation (necessarily one of the common ones).
+                let overlap = ca
+                    .groups
+                    .iter_mut()
+                    .find(|ag| bg.members.iter().any(|m| ag.members.contains(m)));
+                match overlap {
+                    Some(ag) => merge_groups(ag, bg, common, resolver),
+                    None => ca.groups.push(bg.clone()),
+                }
+            }
+        }
+        _ => unreachable!("same instance implies same rep type"),
+    }
+    out
+}
+
+/// Combine an overlapping pair of cluster groups (Fig. 3: groups of A1 and
+/// B5 combine; A5 and B7 propagate separately).
+fn merge_groups(
+    ag: &mut ClusterGroup,
+    bg: &ClusterGroup,
+    _common: &HashSet<AnnotId>,
+    resolver: TextResolver<'_>,
+) {
+    let before: HashSet<AnnotId> = ag.members.iter().copied().collect();
+    for &m in &bg.members {
+        if !before.contains(&m) {
+            ag.members.push(m);
+            if let Some(text) = resolver(m) {
+                let v = hash_tf_vector(&text);
+                for (l, x) in ag.ls.iter_mut().zip(v.iter()) {
+                    *l += *x as f32;
+                }
+            }
+        }
+    }
+    ag.size = ag.members.len() as u64;
+    // Keep `a`'s representative: it remains a member of the merged group.
+}
+
+/// Merge two summary *sets* for a join: objects of the same instance merge;
+/// the rest propagate unchanged (Fig. 3 step 3: `ClassBird1` and
+/// `TextSummary1` pass through, `ClassBird2` and `SimCluster` combine).
+pub fn merge_summary_sets(
+    a: &[SummaryObject],
+    b: &[SummaryObject],
+    common: &HashSet<AnnotId>,
+    resolver: TextResolver<'_>,
+) -> Vec<SummaryObject> {
+    let mut out: Vec<SummaryObject> = Vec::with_capacity(a.len() + b.len());
+    let mut b_used = vec![false; b.len()];
+    for oa in a {
+        // Counterparts are identified by instance NAME: "the same summary
+        // instance" may be linked to several relations (the two-revision
+        // join of Fig. 16 Q2, the ClassBird2-on-both-sides merge of Fig. 3).
+        match b.iter().position(|ob| ob.instance_name == oa.instance_name) {
+            Some(bi) => {
+                b_used[bi] = true;
+                out.push(merge_objects(oa, &b[bi], common, resolver));
+            }
+            None => out.push(oa.clone()),
+        }
+    }
+    for (bi, ob) in b.iter().enumerate() {
+        if !b_used[bi] {
+            out.push(ob.clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::{ClassifierRep, ClusterRep, InstanceId, ObjId, SnippetEntry, SnippetRep};
+
+    fn no_text(_: AnnotId) -> Option<String> {
+        None
+    }
+
+    fn classifier(instance: u32, labels: &[(&str, &[u64])]) -> SummaryObject {
+        SummaryObject {
+            obj_id: ObjId(instance as u64),
+            instance_id: InstanceId(instance),
+            instance_name: format!("C{instance}"),
+            tuple_id: Oid(1),
+            rep: Rep::Classifier(ClassifierRep {
+                labels: labels.iter().map(|(l, _)| (*l).to_string()).collect(),
+                counts: labels.iter().map(|(_, ids)| ids.len() as u64).collect(),
+                elements: labels
+                    .iter()
+                    .map(|(_, ids)| ids.iter().map(|&i| AnnotId(i)).collect())
+                    .collect(),
+            }),
+        }
+    }
+
+    #[test]
+    fn classifier_merge_deduplicates_common() {
+        // r: Comment {1,2,3}; s: Comment {3,4}. Common {3} counted once.
+        let a = classifier(7, &[("Comment", &[1, 2, 3])]);
+        let b = classifier(7, &[("Comment", &[3, 4])]);
+        let common: HashSet<AnnotId> = [AnnotId(3)].into();
+        let m = merge_objects(&a, &b, &common, &no_text);
+        let Rep::Classifier(c) = &m.rep else { panic!() };
+        assert_eq!(c.counts[0], 4, "3 must not be double counted");
+        assert_eq!(c.elements[0].len(), 4);
+    }
+
+    #[test]
+    fn classifier_merge_matches_paper_example() {
+        // Fig 3: Provenance 2+5=7, Comment 7+10 with 5 common ... simplified:
+        // a has Comment with 7 ids, b with 10 ids, 5 shared.
+        let a_ids: Vec<u64> = (1..=7).collect();
+        let b_ids: Vec<u64> = (3..=12).collect(); // shares 3..=7 (5 ids)
+        let a = classifier(1, &[("Comment", &a_ids)]);
+        let b = classifier(1, &[("Comment", &b_ids)]);
+        let common: HashSet<AnnotId> = (3..=7).map(AnnotId).collect();
+        let m = merge_objects(&a, &b, &common, &no_text);
+        let Rep::Classifier(c) = &m.rep else { panic!() };
+        assert_eq!(c.counts[0], 12, "7 + 10 - 5 common");
+    }
+
+    #[test]
+    fn snippet_merge_unions_by_source() {
+        let mk = |sources: &[u64]| SummaryObject {
+            obj_id: ObjId(1),
+            instance_id: InstanceId(2),
+            instance_name: "T".into(),
+            tuple_id: Oid(1),
+            rep: Rep::Snippet(SnippetRep {
+                entries: sources
+                    .iter()
+                    .map(|&s| SnippetEntry {
+                        snippet: format!("s{s}"),
+                        source: AnnotId(s),
+                    })
+                    .collect(),
+            }),
+        };
+        let m = merge_objects(&mk(&[1, 2]), &mk(&[2, 3]), &HashSet::new(), &no_text);
+        let Rep::Snippet(s) = &m.rep else { panic!() };
+        let mut src: Vec<u64> = s.entries.iter().map(|e| e.source.0).collect();
+        src.sort_unstable();
+        assert_eq!(src, vec![1, 2, 3]);
+    }
+
+    fn cluster(groups: &[(&str, u64, &[u64])]) -> SummaryObject {
+        SummaryObject {
+            obj_id: ObjId(1),
+            instance_id: InstanceId(3),
+            instance_name: "SimCluster".into(),
+            tuple_id: Oid(1),
+            rep: Rep::Cluster(ClusterRep {
+                groups: groups
+                    .iter()
+                    .map(|(t, rep, ids)| ClusterGroup {
+                        rep_annot: AnnotId(*rep),
+                        rep_text: (*t).to_string(),
+                        size: ids.len() as u64,
+                        members: ids.iter().map(|&i| AnnotId(i)).collect(),
+                        ls: vec![0.0; 4],
+                    })
+                    .collect(),
+            }),
+        }
+    }
+
+    #[test]
+    fn cluster_merge_combines_overlapping_groups_only() {
+        // a: {A1: 1,2,5}, {A5: 5is not here...}; per Fig 3:
+        let a = cluster(&[("A1", 1, &[1, 2]), ("A5", 5, &[5, 6])]);
+        let b = cluster(&[("B5", 7, &[2, 7]), ("B7", 8, &[8, 9])]);
+        let common: HashSet<AnnotId> = [AnnotId(2)].into();
+        let m = merge_objects(&a, &b, &common, &no_text);
+        let Rep::Cluster(c) = &m.rep else { panic!() };
+        // A1 and B5 share member 2 -> combined; A5, B7 propagate separately.
+        assert_eq!(c.groups.len(), 3);
+        let combined = c
+            .groups
+            .iter()
+            .find(|g| g.members.contains(&AnnotId(7)))
+            .unwrap();
+        assert_eq!(combined.size, 3, "union of {{1,2}} and {{2,7}}");
+        assert_eq!(combined.rep_annot, AnnotId(1), "a's representative kept");
+        assert!(c.groups.iter().any(|g| g.rep_text == "A5"));
+        assert!(c.groups.iter().any(|g| g.rep_text == "B7"));
+    }
+
+    #[test]
+    fn merge_sets_propagates_unmatched_objects() {
+        // r has instances 1 and 2; s has instance 1 and 9.
+        let a = vec![classifier(1, &[("X", &[1])]), classifier(2, &[("Y", &[2])])];
+        let b = vec![classifier(1, &[("X", &[3])]), classifier(9, &[("Z", &[4])])];
+        let m = merge_summary_sets(&a, &b, &HashSet::new(), &no_text);
+        assert_eq!(m.len(), 3);
+        let merged = m.iter().find(|o| o.instance_id == InstanceId(1)).unwrap();
+        let Rep::Classifier(c) = &merged.rep else {
+            panic!()
+        };
+        assert_eq!(c.counts[0], 2);
+        assert!(m.iter().any(|o| o.instance_id == InstanceId(2)));
+        assert!(m.iter().any(|o| o.instance_id == InstanceId(9)));
+    }
+
+    #[test]
+    fn project_eliminate_decrements_classifier() {
+        let mut set = vec![classifier(1, &[("Disease", &[1, 2]), ("Other", &[3])])];
+        project_eliminate(&mut set, &[AnnotId(2), AnnotId(3)], &no_text);
+        let Rep::Classifier(c) = &set[0].rep else {
+            panic!()
+        };
+        assert_eq!(c.counts, vec![1, 0]);
+        assert_eq!(c.elements[0], vec![AnnotId(1)]);
+        assert!(c.elements[1].is_empty());
+    }
+
+    #[test]
+    fn project_eliminate_reelects_cluster_representative() {
+        let mut set = vec![cluster(&[("A2", 2, &[2, 5])])];
+        let texts = |id: AnnotId| Some(format!("text of {}", id.0));
+        project_eliminate(&mut set, &[AnnotId(2)], &texts);
+        let Rep::Cluster(c) = &set[0].rep else {
+            panic!()
+        };
+        assert_eq!(c.groups[0].size, 1);
+        assert_eq!(c.groups[0].rep_annot, AnnotId(5), "A5 replaces dropped A2");
+        assert_eq!(c.groups[0].rep_text, "text of 5");
+    }
+
+    #[test]
+    fn project_eliminate_drops_empty_groups() {
+        let mut set = vec![cluster(&[("A1", 1, &[1])])];
+        project_eliminate(&mut set, &[AnnotId(1)], &no_text);
+        let Rep::Cluster(c) = &set[0].rep else {
+            panic!()
+        };
+        assert!(c.groups.is_empty());
+    }
+
+    #[test]
+    fn eliminate_then_merge_equals_merge_of_eliminated() {
+        // The property behind the paper's Theorems 1-2 (project before
+        // merge): eliminating X from both sides then merging equals merging
+        // then eliminating X, for classifier objects (set semantics).
+        let a = classifier(1, &[("L", &[1, 2, 3])]);
+        let b = classifier(1, &[("L", &[3, 4])]);
+        let common: HashSet<AnnotId> = [AnnotId(3)].into();
+        let removed = [AnnotId(2), AnnotId(3)];
+
+        let mut ea = vec![a.clone()];
+        let mut eb = vec![b.clone()];
+        project_eliminate(&mut ea, &removed, &no_text);
+        project_eliminate(&mut eb, &removed, &no_text);
+        let m1 = merge_objects(&ea[0], &eb[0], &common, &no_text);
+
+        let mut m2 = vec![merge_objects(&a, &b, &common, &no_text)];
+        project_eliminate(&mut m2, &removed, &no_text);
+
+        assert_eq!(m1.rep, m2[0].rep);
+    }
+
+    #[test]
+    fn annotated_tuple_accessors() {
+        let t = AnnotatedTuple {
+            source: Some((instn_storage::TableId(0), Oid(1))),
+            values: vec![],
+            summaries: vec![classifier(1, &[("L", &[1])])],
+        };
+        assert_eq!(t.summary_count(), 1);
+        assert!(t.summary_by_name("C1").is_some());
+        assert!(t.summary_by_name("missing").is_none());
+        assert!(t.summary_by_index(0).is_some());
+        assert!(t.summary_by_index(1).is_none());
+    }
+}

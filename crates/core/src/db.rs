@@ -1,0 +1,1011 @@
+//! The [`Database`] facade: tables, raw annotations, summary instances, and
+//! de-normalized summary storage under one roof.
+//!
+//! This is the engine object every higher layer (indexes, query executor,
+//! optimizer, SQL front end) operates on. It owns:
+//!
+//! * an [`instn_storage::Catalog`] of user relations,
+//! * one [`AnnotationStore`] per relation (ids globally unique),
+//! * the [`SummaryInstance`]s linked to each relation (the extended
+//!   `Alter Table … Add [Indexable] <InstanceName>` DDL of §4), and
+//! * one de-normalized [`SummaryStorage`] per relation.
+//!
+//! Every mutation returns [`SummaryDelta`]s so index layers can maintain
+//! their structures without this crate depending on them.
+
+use std::collections::HashMap;
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
+use instn_annot::{AnnotId, Annotation, AnnotationStore, Attachment, Category};
+use instn_storage::io::IoStats;
+use instn_storage::{Catalog, Oid, Schema, Table, TableId, Tuple};
+
+use crate::instance::{InstanceKind, SummaryInstance};
+use crate::maintain::{LabelChange, SummaryDelta};
+use crate::storage::SummaryStorage;
+use crate::summary::{InstanceId, ObjId, SummaryObject};
+use crate::{AnnotatedTuple, CoreError, Result};
+
+/// The InsightNotes database engine.
+#[derive(Debug)]
+pub struct Database {
+    pub(crate) stats: Arc<IoStats>,
+    pub(crate) catalog: Catalog,
+    pub(crate) annotations: HashMap<TableId, AnnotationStore>,
+    /// Which table's store holds each annotation's body.
+    pub(crate) annot_home: HashMap<AnnotId, TableId>,
+    /// All tables holding postings for each annotation.
+    pub(crate) annot_tables: HashMap<AnnotId, Vec<TableId>>,
+    pub(crate) instances: HashMap<TableId, Vec<SummaryInstance>>,
+    pub(crate) summaries: HashMap<TableId, SummaryStorage>,
+    pub(crate) annot_counter: Arc<AtomicU64>,
+    pub(crate) next_instance: u32,
+    pub(crate) next_obj: u64,
+    pub(crate) revision: u64,
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        let stats = IoStats::new();
+        Self {
+            catalog: Catalog::new(Arc::clone(&stats)),
+            stats,
+            annotations: HashMap::new(),
+            annot_home: HashMap::new(),
+            annot_tables: HashMap::new(),
+            instances: HashMap::new(),
+            summaries: HashMap::new(),
+            annot_counter: Arc::new(AtomicU64::new(1)),
+            next_instance: 1,
+            next_obj: 1,
+            revision: 1,
+        }
+    }
+
+    /// The shared I/O counters.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Current revision counter (monotone; bump with [`Database::bump_revision`]).
+    pub fn revision(&self) -> u64 {
+        self.revision
+    }
+
+    /// Advance the revision counter (used by versioned workloads).
+    pub fn bump_revision(&mut self) -> u64 {
+        self.revision += 1;
+        self.revision
+    }
+
+    // ------------------------------------------------------------------
+    // Tables
+    // ------------------------------------------------------------------
+
+    /// Create a user relation.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<TableId> {
+        let id = self.catalog.create_table(name, schema)?;
+        self.annotations.insert(
+            id,
+            AnnotationStore::with_counter(Arc::clone(&self.stats), Arc::clone(&self.annot_counter)),
+        );
+        self.instances.insert(id, Vec::new());
+        self.summaries
+            .insert(id, SummaryStorage::new(Arc::clone(&self.stats)));
+        Ok(id)
+    }
+
+    /// Resolve a table name.
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        Ok(self.catalog.table_id(name)?)
+    }
+
+    /// Borrow a table.
+    pub fn table(&self, id: TableId) -> Result<&Table> {
+        Ok(self.catalog.table(id)?)
+    }
+
+    /// Mutably borrow a table (schema changes go through the catalog).
+    pub fn table_mut(&mut self, id: TableId) -> Result<&mut Table> {
+        Ok(self.catalog.table_mut(id)?)
+    }
+
+    /// Insert a data tuple.
+    pub fn insert_tuple(&mut self, table: TableId, tuple: Tuple) -> Result<Oid> {
+        Ok(self.catalog.table_mut(table)?.insert(tuple)?)
+    }
+
+    /// Update a data tuple's values in place. Returns `true` when the tuple
+    /// physically relocated (grew past its page) — callers maintaining
+    /// backward-pointer indexes must refresh that tuple's pointers then
+    /// (see `SummaryBTree::refresh_tuple` in `instn-index`).
+    pub fn update_tuple(&mut self, table: TableId, oid: Oid, tuple: Tuple) -> Result<bool> {
+        let t = self.catalog.table_mut(table)?;
+        let before = t.disk_tuple_loc(oid)?;
+        t.update(oid, tuple)?;
+        let after = t.disk_tuple_loc(oid)?;
+        Ok(before != after)
+    }
+
+    /// Delete a data tuple, its summary row, and its annotation postings.
+    /// Returns the delta the indexes need to drop all of the tuple's keys.
+    pub fn delete_tuple(&mut self, table: TableId, oid: Oid) -> Result<SummaryDelta> {
+        // Capture final label counts for index cleanup.
+        let objects = self.summaries_of(table, oid)?;
+        let mut changes = Vec::new();
+        for obj in &objects {
+            if let crate::summary::Rep::Classifier(c) = &obj.rep {
+                for (label, &count) in c.labels.iter().zip(c.counts.iter()) {
+                    changes.push(LabelChange {
+                        instance: obj.instance_id,
+                        instance_name: obj.instance_name.clone(),
+                        label: label.clone(),
+                        old: Some(count),
+                        new: None,
+                    });
+                }
+            }
+        }
+        // Remove annotation postings (bodies survive if attached elsewhere).
+        let store = self.annotations.get_mut(&table).expect("store exists");
+        for id in store.detach_tuple(oid) {
+            self.annot_home.remove(&id);
+            if let Some(tables) = self.annot_tables.get_mut(&id) {
+                tables.retain(|t| *t != table);
+                if tables.is_empty() {
+                    self.annot_tables.remove(&id);
+                }
+            }
+        }
+        if self
+            .summaries
+            .get(&table)
+            .expect("storage exists")
+            .contains(oid)
+        {
+            self.summaries.get_mut(&table).unwrap().delete(oid)?;
+        }
+        self.catalog.table_mut(table)?.delete(oid)?;
+        Ok(SummaryDelta {
+            table,
+            oid,
+            created_row: false,
+            deleted_row: true,
+            changes,
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Summary instances
+    // ------------------------------------------------------------------
+
+    /// `Alter Table <table> Add [Indexable] <InstanceName>`: link a summary
+    /// instance and (re)summarize all existing annotations under it.
+    /// Returns the instance id plus the deltas for index creation.
+    pub fn link_instance(
+        &mut self,
+        table: TableId,
+        name: &str,
+        kind: InstanceKind,
+        indexable: bool,
+    ) -> Result<(InstanceId, Vec<SummaryDelta>)> {
+        self.link_instance_scoped(table, name, kind, indexable, None)
+    }
+
+    /// [`Database::link_instance`] with an explicit annotation scope: the
+    /// instance summarizes only in-scope annotations, which is how two
+    /// classifiers on one table can cover different annotation subsets
+    /// (Fig. 1's ClassBird1 vs ClassBird2).
+    pub fn link_instance_scoped(
+        &mut self,
+        table: TableId,
+        name: &str,
+        kind: InstanceKind,
+        indexable: bool,
+        scope: Option<crate::instance::InstanceScope>,
+    ) -> Result<(InstanceId, Vec<SummaryDelta>)> {
+        let id = InstanceId(self.next_instance);
+        self.next_instance += 1;
+        let inst = SummaryInstance {
+            id,
+            name: name.to_string(),
+            kind,
+            indexable,
+            scope: scope.unwrap_or_default(),
+        };
+        self.instances
+            .get_mut(&table)
+            .expect("table exists")
+            .push(inst);
+        let inst = self.instances.get(&table).unwrap().last().unwrap().clone();
+
+        // Summarize existing annotations tuple by tuple.
+        let store = self.annotations.get(&table).expect("store exists");
+        let annotated: Vec<Oid> = {
+            let mut oids: Vec<Oid> = self
+                .catalog
+                .table(table)?
+                .oids()
+                .into_iter()
+                .filter(|o| !store.for_tuple(*o).is_empty())
+                .collect();
+            oids.sort_unstable();
+            oids
+        };
+        let mut deltas = Vec::with_capacity(annotated.len());
+        for oid in annotated {
+            let annot_ids = self.annotations.get(&table).unwrap().for_tuple(oid);
+            let mut obj = inst.new_object(ObjId(self.next_obj), oid);
+            self.next_obj += 1;
+            for aid in annot_ids {
+                let annot = self.get_annotation(aid)?;
+                if inst.scope.includes(&annot.text) {
+                    inst.add_annotation(&mut obj, &annot);
+                }
+            }
+            // Record full label counts for bulk index creation.
+            let mut changes = Vec::new();
+            if let crate::summary::Rep::Classifier(c) = &obj.rep {
+                for (label, &count) in c.labels.iter().zip(c.counts.iter()) {
+                    changes.push(LabelChange {
+                        instance: obj.instance_id,
+                        instance_name: obj.instance_name.clone(),
+                        label: label.clone(),
+                        old: None,
+                        new: Some(count),
+                    });
+                }
+            }
+            let storage = self.summaries.get_mut(&table).unwrap();
+            let mut set = storage.read(oid)?;
+            set.push(obj);
+            let created = storage.write(oid, &set)?;
+            deltas.push(SummaryDelta {
+                table,
+                oid,
+                created_row: created,
+                deleted_row: false,
+                changes,
+            });
+        }
+        Ok((id, deltas))
+    }
+
+    /// `Alter Table <table> Drop <InstanceName>`: unlink an instance and
+    /// remove its objects from every summary row.
+    pub fn drop_instance(&mut self, table: TableId, name: &str) -> Result<()> {
+        let list = self.instances.get_mut(&table).expect("table exists");
+        let Some(pos) = list.iter().position(|i| i.name == name) else {
+            return Err(CoreError::InstanceNotFound(name.to_string()));
+        };
+        let id = list[pos].id;
+        list.remove(pos);
+        let storage = self.summaries.get_mut(&table).unwrap();
+        for oid in storage.oids() {
+            let mut set = storage.read(oid)?;
+            let before = set.len();
+            set.retain(|o| o.instance_id != id);
+            if set.len() != before {
+                storage.write(oid, &set)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The instances linked to `table`.
+    pub fn instances(&self, table: TableId) -> &[SummaryInstance] {
+        self.instances
+            .get(&table)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Look up an instance by name on `table`.
+    pub fn instance_by_name(&self, table: TableId, name: &str) -> Result<&SummaryInstance> {
+        self.instances(table)
+            .iter()
+            .find(|i| i.name == name)
+            .ok_or_else(|| CoreError::InstanceNotFound(name.to_string()))
+    }
+
+    // ------------------------------------------------------------------
+    // Annotations
+    // ------------------------------------------------------------------
+
+    /// Add a raw annotation attached to tuples of `table`, incrementally
+    /// updating every linked summary instance.
+    pub fn add_annotation(
+        &mut self,
+        table: TableId,
+        text: &str,
+        category: Category,
+        author: &str,
+        attachments: Vec<Attachment>,
+    ) -> Result<(AnnotId, Vec<SummaryDelta>)> {
+        let revision = self.revision;
+        let mut oids: Vec<Oid> = attachments.iter().map(|a| a.oid).collect();
+        oids.sort_unstable();
+        oids.dedup();
+        let store = self.annotations.get_mut(&table).expect("store exists");
+        let id = store.add(
+            text.to_string(),
+            category,
+            author.to_string(),
+            revision,
+            attachments,
+        )?;
+        self.annot_home.insert(id, table);
+        self.annot_tables.insert(id, vec![table]);
+        let annot = self.get_annotation(id)?;
+        let deltas = self.apply_annotation_to_summaries(table, &annot, &oids)?;
+        Ok((id, deltas))
+    }
+
+    /// Attach an existing annotation (stored under another table) to tuples
+    /// of `table` — the cross-relation sharing the merge procedure must
+    /// de-duplicate.
+    pub fn attach_annotation(
+        &mut self,
+        table: TableId,
+        id: AnnotId,
+        attachments: Vec<Attachment>,
+    ) -> Result<Vec<SummaryDelta>> {
+        let annot = self.get_annotation(id)?;
+        let mut oids: Vec<Oid> = attachments.iter().map(|a| a.oid).collect();
+        oids.sort_unstable();
+        oids.dedup();
+        self.annotations
+            .get_mut(&table)
+            .expect("store exists")
+            .attach_external(id, attachments);
+        let tables = self.annot_tables.entry(id).or_default();
+        if !tables.contains(&table) {
+            tables.push(table);
+        }
+        self.apply_annotation_to_summaries(table, &annot, &oids)
+    }
+
+    fn apply_annotation_to_summaries(
+        &mut self,
+        table: TableId,
+        annot: &Annotation,
+        oids: &[Oid],
+    ) -> Result<Vec<SummaryDelta>> {
+        let insts = self.instances.get(&table).expect("table exists").clone();
+        let mut deltas = Vec::with_capacity(oids.len());
+        for &oid in oids {
+            let storage = self.summaries.get_mut(&table).unwrap();
+            let mut set = storage.read(oid)?;
+            // Materialize missing objects for linked instances.
+            for inst in &insts {
+                if !set.iter().any(|o| o.instance_id == inst.id) {
+                    set.push(inst.new_object(ObjId(self.next_obj), oid));
+                    self.next_obj += 1;
+                }
+            }
+            let mut changes = Vec::new();
+            for inst in &insts {
+                if !inst.scope.includes(&annot.text) {
+                    continue;
+                }
+                let obj = set
+                    .iter_mut()
+                    .find(|o| o.instance_id == inst.id)
+                    .expect("materialized above");
+                if let Some((label, old, new)) = inst.add_annotation(obj, annot) {
+                    changes.push(LabelChange {
+                        instance: inst.id,
+                        instance_name: inst.name.clone(),
+                        label,
+                        old: Some(old),
+                        new: Some(new),
+                    });
+                }
+            }
+            let created = if set.is_empty() {
+                false
+            } else {
+                self.summaries.get_mut(&table).unwrap().write(oid, &set)?
+            };
+            if created {
+                // First annotation on this tuple: indexes insert all k label
+                // keys (the §4.1.2 "Adding Annotation−Insertion" case), so
+                // report the full label snapshot instead of one increment.
+                changes.clear();
+                for obj in &set {
+                    if let crate::summary::Rep::Classifier(c) = &obj.rep {
+                        for (label, &count) in c.labels.iter().zip(c.counts.iter()) {
+                            changes.push(LabelChange {
+                                instance: obj.instance_id,
+                                instance_name: obj.instance_name.clone(),
+                                label: label.clone(),
+                                old: None,
+                                new: Some(count),
+                            });
+                        }
+                    }
+                }
+            }
+            deltas.push(SummaryDelta {
+                table,
+                oid,
+                created_row: created,
+                deleted_row: false,
+                changes,
+            });
+        }
+        Ok(deltas)
+    }
+
+    /// Restore an annotation under its original id (persistence replay):
+    /// the body lands in `home`'s store, postings in every attached table,
+    /// and the linked instances re-summarize it.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn restore_annotation(
+        &mut self,
+        id: AnnotId,
+        home: TableId,
+        category: Category,
+        revision: u64,
+        author: &str,
+        text: &str,
+        per_table: Vec<(TableId, Vec<Attachment>)>,
+    ) -> Result<()> {
+        let mut tables = Vec::with_capacity(per_table.len());
+        for (t, atts) in &per_table {
+            let mut oids: Vec<Oid> = atts.iter().map(|a| a.oid).collect();
+            oids.sort_unstable();
+            oids.dedup();
+            let store = self
+                .annotations
+                .get_mut(t)
+                .ok_or_else(|| CoreError::Corrupt(format!("unknown table {t:?} in dump")))?;
+            if *t == home {
+                store.add_with_id(
+                    id,
+                    text.to_string(),
+                    category,
+                    author.to_string(),
+                    revision,
+                    atts.clone(),
+                )?;
+            } else {
+                store.attach_external(id, atts.clone());
+            }
+            tables.push(*t);
+        }
+        self.annot_home.insert(id, home);
+        self.annot_tables.insert(id, tables);
+        let annot = self.get_annotation(id)?;
+        for (t, atts) in per_table {
+            let mut oids: Vec<Oid> = atts.iter().map(|a| a.oid).collect();
+            oids.sort_unstable();
+            oids.dedup();
+            self.apply_annotation_to_summaries(t, &annot, &oids)?;
+        }
+        Ok(())
+    }
+
+    /// Delete a raw annotation everywhere, reversing its summary effects.
+    pub fn delete_annotation(&mut self, id: AnnotId) -> Result<Vec<SummaryDelta>> {
+        let tables = self
+            .annot_tables
+            .remove(&id)
+            .ok_or(CoreError::AnnotationNotFound(id.0))?;
+        let mut deltas = Vec::new();
+        for table in &tables {
+            let oids = self
+                .annotations
+                .get(table)
+                .expect("store exists")
+                .tuples_of(id);
+            let insts = self.instances.get(table).expect("table exists").clone();
+            for oid in oids {
+                let annotations = &self.annotations;
+                let annot_home = &self.annot_home;
+                let resolver = move |aid: AnnotId| -> Option<String> {
+                    let home = annot_home.get(&aid)?;
+                    annotations.get(home)?.get(aid).ok().map(|a| a.text)
+                };
+                let storage = self.summaries.get_mut(table).unwrap();
+                let mut set = storage.read(oid)?;
+                let mut changes = Vec::new();
+                for inst in &insts {
+                    if let Some(obj) = set.iter_mut().find(|o| o.instance_id == inst.id) {
+                        if let Some((label, old, new)) = inst.remove_annotation(obj, id, &resolver)
+                        {
+                            changes.push(LabelChange {
+                                instance: inst.id,
+                                instance_name: inst.name.clone(),
+                                label,
+                                old: Some(old),
+                                new: Some(new),
+                            });
+                        }
+                    }
+                }
+                storage.write(oid, &set)?;
+                deltas.push(SummaryDelta {
+                    table: *table,
+                    oid,
+                    created_row: false,
+                    deleted_row: false,
+                    changes,
+                });
+            }
+        }
+        for table in &tables {
+            self.annotations
+                .get_mut(table)
+                .expect("store exists")
+                .delete(id)?;
+        }
+        self.annot_home.remove(&id);
+        Ok(deltas)
+    }
+
+    /// Fetch an annotation body from its home store.
+    pub fn get_annotation(&self, id: AnnotId) -> Result<Annotation> {
+        let home = self
+            .annot_home
+            .get(&id)
+            .ok_or(CoreError::AnnotationNotFound(id.0))?;
+        Ok(self.annotations.get(home).expect("store exists").get(id)?)
+    }
+
+    /// The annotation store of `table`.
+    pub fn annotation_store(&self, table: TableId) -> &AnnotationStore {
+        self.annotations.get(&table).expect("table exists")
+    }
+
+    /// A text resolver reading annotation bodies across all stores.
+    pub fn text_resolver(&self) -> impl Fn(AnnotId) -> Option<String> + '_ {
+        move |id: AnnotId| {
+            let home = self.annot_home.get(&id)?;
+            self.annotations.get(home)?.get(id).ok().map(|a| a.text)
+        }
+    }
+
+    /// Annotations attached to both tuples (possibly across tables) — the
+    /// common set the merge procedure de-duplicates.
+    pub fn common_annotations(
+        &self,
+        table_a: TableId,
+        oid_a: Oid,
+        table_b: TableId,
+        oid_b: Oid,
+    ) -> Vec<AnnotId> {
+        let a = self
+            .annotations
+            .get(&table_a)
+            .map(|s| s.for_tuple(oid_a))
+            .unwrap_or_default();
+        let b: std::collections::HashSet<AnnotId> = self
+            .annotations
+            .get(&table_b)
+            .map(|s| s.for_tuple(oid_b))
+            .unwrap_or_default()
+            .into_iter()
+            .collect();
+        a.into_iter().filter(|id| b.contains(id)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Summaries
+    // ------------------------------------------------------------------
+
+    /// Read the summary set of a tuple from de-normalized storage.
+    pub fn summaries_of(&self, table: TableId, oid: Oid) -> Result<Vec<SummaryObject>> {
+        self.summaries.get(&table).expect("table exists").read(oid)
+    }
+
+    /// The de-normalized summary storage of `table` (index layers read it
+    /// during bulk creation and for the Fig. 12/13 experiments).
+    pub fn summary_storage(&self, table: TableId) -> &SummaryStorage {
+        self.summaries.get(&table).expect("table exists")
+    }
+
+    /// The data tuple + its summary objects (the conceptual schema of §2.1).
+    pub fn annotated_tuple(&self, table: TableId, oid: Oid) -> Result<AnnotatedTuple> {
+        let values = self.catalog.table(table)?.get(oid)?;
+        let summaries = self.summaries_of(table, oid)?;
+        Ok(AnnotatedTuple {
+            source: Some((table, oid)),
+            values,
+            summaries,
+        })
+    }
+
+    /// Scan all tuples of a table with their summaries.
+    pub fn scan_annotated(&self, table: TableId) -> Result<Vec<AnnotatedTuple>> {
+        let t = self.catalog.table(table)?;
+        let storage = self.summaries.get(&table).expect("table exists");
+        let mut out = Vec::with_capacity(t.len());
+        for (oid, values) in t.scan() {
+            out.push(AnnotatedTuple {
+                source: Some((table, oid)),
+                values,
+                summaries: storage.read(oid)?,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::summary::Rep;
+    use instn_mining::nb::NaiveBayes;
+    use instn_storage::{ColumnType, Value};
+
+    fn classifier_kind() -> InstanceKind {
+        let mut model = NaiveBayes::new(vec!["Disease".into(), "Behavior".into(), "Other".into()]);
+        model.train(
+            "disease outbreak infection virus parasite lesion",
+            "Disease",
+        );
+        model.train("symptom mortality pox influenza", "Disease");
+        model.train(
+            "eating foraging migration song nesting stonewort",
+            "Behavior",
+        );
+        model.train("flock roosting courtship preening", "Behavior");
+        model.train("field station weather note misc", "Other");
+        model.train("volunteer project count season", "Other");
+        InstanceKind::Classifier { model }
+    }
+
+    fn setup() -> (Database, TableId, Vec<Oid>) {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "Birds",
+                Schema::of(&[("id", ColumnType::Int), ("name", ColumnType::Text)]),
+            )
+            .unwrap();
+        let mut oids = Vec::new();
+        for i in 0..5 {
+            oids.push(
+                db.insert_tuple(t, vec![Value::Int(i), Value::Text(format!("b{i}"))])
+                    .unwrap(),
+            );
+        }
+        db.link_instance(t, "ClassBird1", classifier_kind(), true)
+            .unwrap();
+        (db, t, oids)
+    }
+
+    #[test]
+    fn add_annotation_updates_summaries_and_reports_delta() {
+        let (mut db, t, oids) = setup();
+        let (_, deltas) = db
+            .add_annotation(
+                t,
+                "observed disease outbreak with lesions",
+                Category::Disease,
+                "u1",
+                vec![Attachment::row(oids[0])],
+            )
+            .unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert!(deltas[0].created_row);
+        // Row creation reports the full label snapshot (all k labels).
+        assert_eq!(deltas[0].changes.len(), 3);
+        let disease = deltas[0]
+            .changes
+            .iter()
+            .find(|c| c.label == "Disease")
+            .unwrap();
+        assert_eq!(disease.old, None);
+        assert_eq!(disease.new, Some(1));
+        let set = db.summaries_of(t, oids[0]).unwrap();
+        assert_eq!(set.len(), 1);
+        let Rep::Classifier(c) = &set[0].rep else {
+            panic!()
+        };
+        assert_eq!(c.count("Disease"), Some(1));
+    }
+
+    #[test]
+    fn second_annotation_is_update_not_insert() {
+        let (mut db, t, oids) = setup();
+        db.add_annotation(
+            t,
+            "disease virus",
+            Category::Disease,
+            "u",
+            vec![Attachment::row(oids[0])],
+        )
+        .unwrap();
+        let (_, deltas) = db
+            .add_annotation(
+                t,
+                "eating stonewort migration",
+                Category::Behavior,
+                "u",
+                vec![Attachment::row(oids[0])],
+            )
+            .unwrap();
+        assert!(!deltas[0].created_row);
+        assert_eq!(deltas[0].changes[0].label, "Behavior");
+        assert_eq!(deltas[0].changes[0].old, Some(0));
+    }
+
+    #[test]
+    fn delete_annotation_reverses_counts() {
+        let (mut db, t, oids) = setup();
+        let (id, _) = db
+            .add_annotation(
+                t,
+                "disease virus outbreak",
+                Category::Disease,
+                "u",
+                vec![Attachment::row(oids[1])],
+            )
+            .unwrap();
+        let deltas = db.delete_annotation(id).unwrap();
+        assert_eq!(deltas[0].changes[0].label, "Disease");
+        assert_eq!(deltas[0].changes[0].new, Some(0));
+        let set = db.summaries_of(t, oids[1]).unwrap();
+        let Rep::Classifier(c) = &set[0].rep else {
+            panic!()
+        };
+        assert_eq!(c.count("Disease"), Some(0));
+        assert!(db.get_annotation(id).is_err());
+    }
+
+    #[test]
+    fn link_instance_summarizes_preexisting_annotations() {
+        let mut db = Database::new();
+        let t = db
+            .create_table("T", Schema::of(&[("x", ColumnType::Int)]))
+            .unwrap();
+        let oid = db.insert_tuple(t, vec![Value::Int(1)]).unwrap();
+        db.add_annotation(
+            t,
+            "disease outbreak",
+            Category::Disease,
+            "u",
+            vec![Attachment::row(oid)],
+        )
+        .unwrap();
+        db.add_annotation(
+            t,
+            "eating stonewort",
+            Category::Behavior,
+            "u",
+            vec![Attachment::row(oid)],
+        )
+        .unwrap();
+        let (_, deltas) = db.link_instance(t, "C", classifier_kind(), true).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert!(deltas[0].created_row);
+        let set = db.summaries_of(t, oid).unwrap();
+        let Rep::Classifier(c) = &set[0].rep else {
+            panic!()
+        };
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn drop_instance_removes_objects() {
+        let (mut db, t, oids) = setup();
+        db.add_annotation(
+            t,
+            "disease",
+            Category::Disease,
+            "u",
+            vec![Attachment::row(oids[0])],
+        )
+        .unwrap();
+        db.drop_instance(t, "ClassBird1").unwrap();
+        assert!(db.summaries_of(t, oids[0]).unwrap().is_empty());
+        assert!(db.instance_by_name(t, "ClassBird1").is_err());
+        assert!(db.drop_instance(t, "ClassBird1").is_err());
+    }
+
+    #[test]
+    fn multi_tuple_annotation_updates_both() {
+        let (mut db, t, oids) = setup();
+        let (id, deltas) = db
+            .add_annotation(
+                t,
+                "disease on both",
+                Category::Disease,
+                "u",
+                vec![Attachment::row(oids[0]), Attachment::row(oids[1])],
+            )
+            .unwrap();
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(db.common_annotations(t, oids[0], t, oids[1]), vec![id]);
+    }
+
+    #[test]
+    fn attach_annotation_across_tables() {
+        let (mut db, t, oids) = setup();
+        let t2 = db
+            .create_table("V2", Schema::of(&[("x", ColumnType::Int)]))
+            .unwrap();
+        let o2 = db.insert_tuple(t2, vec![Value::Int(9)]).unwrap();
+        db.link_instance(t2, "C2", classifier_kind(), false)
+            .unwrap();
+        let (id, _) = db
+            .add_annotation(
+                t,
+                "disease shared",
+                Category::Disease,
+                "u",
+                vec![Attachment::row(oids[0])],
+            )
+            .unwrap();
+        db.attach_annotation(t2, id, vec![Attachment::row(o2)])
+            .unwrap();
+        assert_eq!(db.common_annotations(t, oids[0], t2, o2), vec![id]);
+        let set = db.summaries_of(t2, o2).unwrap();
+        let Rep::Classifier(c) = &set[0].rep else {
+            panic!()
+        };
+        assert_eq!(c.total(), 1);
+        // Deleting cleans up both tables.
+        db.delete_annotation(id).unwrap();
+        assert!(db.common_annotations(t, oids[0], t2, o2).is_empty());
+    }
+
+    #[test]
+    fn delete_tuple_emits_full_cleanup_delta() {
+        let (mut db, t, oids) = setup();
+        db.add_annotation(
+            t,
+            "disease virus",
+            Category::Disease,
+            "u",
+            vec![Attachment::row(oids[2])],
+        )
+        .unwrap();
+        let delta = db.delete_tuple(t, oids[2]).unwrap();
+        assert!(delta.deleted_row);
+        assert!(delta
+            .changes
+            .iter()
+            .any(|c| c.label == "Disease" && c.old == Some(1)));
+        assert!(db.annotated_tuple(t, oids[2]).is_err());
+    }
+
+    #[test]
+    fn annotated_tuple_combines_data_and_summaries() {
+        let (mut db, t, oids) = setup();
+        db.add_annotation(
+            t,
+            "disease",
+            Category::Disease,
+            "u",
+            vec![Attachment::row(oids[0])],
+        )
+        .unwrap();
+        let at = db.annotated_tuple(t, oids[0]).unwrap();
+        assert_eq!(at.oid(), Some(oids[0]));
+        assert_eq!(at.values[0], Value::Int(0));
+        assert_eq!(at.summary_count(), 1);
+        assert!(at.summary_by_name("ClassBird1").is_some());
+    }
+
+    #[test]
+    fn scan_annotated_covers_all_tuples() {
+        let (mut db, t, oids) = setup();
+        db.add_annotation(
+            t,
+            "disease",
+            Category::Disease,
+            "u",
+            vec![Attachment::row(oids[3])],
+        )
+        .unwrap();
+        let all = db.scan_annotated(t).unwrap();
+        assert_eq!(all.len(), 5);
+        let annotated = all.iter().filter(|a| !a.summaries.is_empty()).count();
+        assert_eq!(annotated, 1);
+    }
+
+    #[test]
+    fn scoped_instances_summarize_disjoint_subsets() {
+        use crate::instance::InstanceScope;
+        let mut db = Database::new();
+        let t = db
+            .create_table("T", Schema::of(&[("x", ColumnType::Int)]))
+            .unwrap();
+        let oid = db.insert_tuple(t, vec![Value::Int(1)]).unwrap();
+        db.link_instance_scoped(
+            t,
+            "A",
+            classifier_kind(),
+            false,
+            Some(InstanceScope::ContainsAny(vec!["alpha".into()])),
+        )
+        .unwrap();
+        db.link_instance_scoped(
+            t,
+            "B",
+            classifier_kind(),
+            false,
+            Some(InstanceScope::ContainsAny(vec!["beta".into()])),
+        )
+        .unwrap();
+        db.add_annotation(
+            t,
+            "alpha disease outbreak",
+            Category::Disease,
+            "u",
+            vec![Attachment::row(oid)],
+        )
+        .unwrap();
+        db.add_annotation(
+            t,
+            "beta disease outbreak",
+            Category::Disease,
+            "u",
+            vec![Attachment::row(oid)],
+        )
+        .unwrap();
+        db.add_annotation(
+            t,
+            "ALPHA beta disease case",
+            Category::Disease,
+            "u",
+            vec![Attachment::row(oid)],
+        )
+        .unwrap();
+        let set = db.summaries_of(t, oid).unwrap();
+        let total = |name: &str| -> u64 {
+            let obj = set.iter().find(|o| o.instance_name == name).unwrap();
+            let crate::summary::Rep::Classifier(c) = &obj.rep else {
+                panic!()
+            };
+            c.total()
+        };
+        // Scope matching is case-insensitive; the third annotation is in
+        // both scopes.
+        assert_eq!(total("A"), 2);
+        assert_eq!(total("B"), 2);
+        // Linking a scoped instance AFTER the fact also respects the scope.
+        db.link_instance_scoped(
+            t,
+            "C",
+            classifier_kind(),
+            false,
+            Some(InstanceScope::ContainsAny(vec!["beta".into()])),
+        )
+        .unwrap();
+        let set = db.summaries_of(t, oid).unwrap();
+        let obj = set.iter().find(|o| o.instance_name == "C").unwrap();
+        let crate::summary::Rep::Classifier(c) = &obj.rep else {
+            panic!()
+        };
+        assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn text_resolver_reads_bodies() {
+        let (mut db, t, oids) = setup();
+        let (id, _) = db
+            .add_annotation(
+                t,
+                "some body text",
+                Category::Other,
+                "u",
+                vec![Attachment::row(oids[0])],
+            )
+            .unwrap();
+        let resolver = db.text_resolver();
+        assert_eq!(resolver(id), Some("some body text".to_string()));
+        assert_eq!(resolver(AnnotId(999)), None);
+    }
+}

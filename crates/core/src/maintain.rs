@@ -1,0 +1,83 @@
+//! Incremental-maintenance change records.
+//!
+//! Every mutation that touches summary objects (annotation add / delete,
+//! tuple delete, instance linking) produces [`SummaryDelta`]s describing the
+//! classifier-label count changes. Index layers (the Summary-BTree and the
+//! baseline scheme in `instn-index`) consume these deltas to maintain their
+//! entries, exactly mirroring §4.1.2:
+//!
+//! * a delta with [`SummaryDelta::created_row`] is the "Adding
+//!   Annotation−Insertion" case — the index inserts all `k` label keys,
+//! * a delta on an existing row is the "Adding Annotation−Update" case — the
+//!   index deletes and re-inserts only the modified label key,
+//! * a delta with [`SummaryDelta::deleted_row`] is the tuple-deletion case —
+//!   the index deletes every key of the tuple.
+
+use instn_storage::{Oid, TableId};
+
+use crate::summary::InstanceId;
+
+/// One classifier label count transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LabelChange {
+    /// The classifier instance.
+    pub instance: InstanceId,
+    /// The instance name (for index routing by name).
+    pub instance_name: String,
+    /// The class label whose count changed.
+    pub label: String,
+    /// Count before (`None` when the label key did not exist).
+    pub old: Option<u64>,
+    /// Count after (`None` when the key must disappear).
+    pub new: Option<u64>,
+}
+
+/// The summary-side effect of one mutation on one tuple.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SummaryDelta {
+    /// Table of the affected tuple.
+    pub table: TableId,
+    /// The affected tuple.
+    pub oid: Oid,
+    /// A SummaryStorage row was created (first annotation on the tuple).
+    pub created_row: bool,
+    /// The SummaryStorage row was deleted (tuple deletion).
+    pub deleted_row: bool,
+    /// Label count transitions for indexable classifier instances.
+    pub changes: Vec<LabelChange>,
+}
+
+impl SummaryDelta {
+    /// A delta carrying no index-relevant changes.
+    pub fn is_trivial(&self) -> bool {
+        !self.created_row && !self.deleted_row && self.changes.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_detection() {
+        let d = SummaryDelta {
+            table: TableId(0),
+            oid: Oid(1),
+            created_row: false,
+            deleted_row: false,
+            changes: vec![],
+        };
+        assert!(d.is_trivial());
+        let d2 = SummaryDelta {
+            changes: vec![LabelChange {
+                instance: InstanceId(1),
+                instance_name: "C".into(),
+                label: "Disease".into(),
+                old: Some(1),
+                new: Some(2),
+            }],
+            ..d
+        };
+        assert!(!d2.is_trivial());
+    }
+}

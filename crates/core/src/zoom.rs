@@ -1,0 +1,139 @@
+//! Zoom-in query processing: recover the raw annotations behind a summary.
+//!
+//! InsightNotes reports only summaries at query time; when a user wants the
+//! underlying annotations of a specific summary (e.g. "the disease-related
+//! annotations of these birds" — Q1 of the Fig. 2 case study), they issue a
+//! follow-up *zoom-in* command. The `Elements[][]` arrays of the summary
+//! objects are exactly the hooks this module follows.
+
+use instn_annot::Annotation;
+use instn_storage::{Oid, TableId};
+
+use crate::db::Database;
+use crate::summary::Rep;
+use crate::{CoreError, Result};
+
+/// What to zoom into within one summary object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ZoomTarget {
+    /// Every raw annotation the object summarizes.
+    All,
+    /// The annotations behind the representative at this `Rep[]` position
+    /// (a classifier label slot, a cluster group, or one snippet).
+    Representative(usize),
+    /// The annotations classified under this label (Classifier objects).
+    ClassLabel(String),
+}
+
+/// Zoom into the raw annotations behind one summary object of one tuple.
+pub fn zoom_in(
+    db: &Database,
+    table: TableId,
+    oid: Oid,
+    instance_name: &str,
+    target: &ZoomTarget,
+) -> Result<Vec<Annotation>> {
+    let summaries = db.summaries_of(table, oid)?;
+    let obj = summaries
+        .iter()
+        .find(|o| o.instance_name == instance_name)
+        .ok_or_else(|| CoreError::InstanceNotFound(instance_name.to_string()))?;
+    let ids = match target {
+        ZoomTarget::All => obj.all_annotations(),
+        ZoomTarget::Representative(i) => obj.elements().get(*i).cloned().unwrap_or_default(),
+        ZoomTarget::ClassLabel(label) => match &obj.rep {
+            Rep::Classifier(c) => c
+                .label_index(label)
+                .map(|i| c.elements[i].clone())
+                .unwrap_or_default(),
+            _ => Vec::new(),
+        },
+    };
+    ids.into_iter().map(|id| db.get_annotation(id)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instance::InstanceKind;
+    use instn_annot::{Attachment, Category};
+    use instn_mining::nb::NaiveBayes;
+    use instn_storage::{ColumnType, Schema, Value};
+
+    fn setup() -> (Database, TableId, Oid) {
+        let mut db = Database::new();
+        let t = db
+            .create_table("T", Schema::of(&[("x", ColumnType::Int)]))
+            .unwrap();
+        let oid = db.insert_tuple(t, vec![Value::Int(1)]).unwrap();
+        let mut model = NaiveBayes::new(vec!["Disease".into(), "Behavior".into()]);
+        model.train("disease outbreak infection virus", "Disease");
+        model.train("eating foraging migration song", "Behavior");
+        db.link_instance(t, "C", InstanceKind::Classifier { model }, false)
+            .unwrap();
+        db.add_annotation(
+            t,
+            "virus infection spotted",
+            Category::Disease,
+            "u",
+            vec![Attachment::row(oid)],
+        )
+        .unwrap();
+        db.add_annotation(
+            t,
+            "disease outbreak nearby",
+            Category::Disease,
+            "u",
+            vec![Attachment::row(oid)],
+        )
+        .unwrap();
+        db.add_annotation(
+            t,
+            "seen eating and foraging",
+            Category::Behavior,
+            "u",
+            vec![Attachment::row(oid)],
+        )
+        .unwrap();
+        (db, t, oid)
+    }
+
+    #[test]
+    fn zoom_all_returns_every_annotation() {
+        let (db, t, oid) = setup();
+        let all = zoom_in(&db, t, oid, "C", &ZoomTarget::All).unwrap();
+        assert_eq!(all.len(), 3);
+    }
+
+    #[test]
+    fn zoom_by_class_label_filters() {
+        let (db, t, oid) = setup();
+        let disease = zoom_in(&db, t, oid, "C", &ZoomTarget::ClassLabel("Disease".into())).unwrap();
+        assert_eq!(disease.len(), 2);
+        assert!(disease.iter().all(|a| a.text.contains("disease")
+            || a.text.contains("virus")
+            || a.text.contains("infection")));
+        let behavior =
+            zoom_in(&db, t, oid, "C", &ZoomTarget::ClassLabel("Behavior".into())).unwrap();
+        assert_eq!(behavior.len(), 1);
+    }
+
+    #[test]
+    fn zoom_by_representative_position() {
+        let (db, t, oid) = setup();
+        // Position 0 is the "Disease" label slot (instance label order).
+        let slot0 = zoom_in(&db, t, oid, "C", &ZoomTarget::Representative(0)).unwrap();
+        assert_eq!(slot0.len(), 2);
+        // Out-of-range position yields empty, not an error.
+        let far = zoom_in(&db, t, oid, "C", &ZoomTarget::Representative(9)).unwrap();
+        assert!(far.is_empty());
+    }
+
+    #[test]
+    fn zoom_unknown_label_or_instance() {
+        let (db, t, oid) = setup();
+        let none = zoom_in(&db, t, oid, "C", &ZoomTarget::ClassLabel("Nope".into())).unwrap();
+        assert!(none.is_empty());
+        assert!(zoom_in(&db, t, oid, "Missing", &ZoomTarget::All).is_err());
+    }
+}

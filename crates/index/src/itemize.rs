@@ -1,0 +1,125 @@
+//! Itemization: classifier `Rep[]` pairs → order-preserving text keys.
+//!
+//! §4.1.1: the `(String classLabel, Integer annotationCnt)` array elements
+//! become text values `"classLabel:ExtendedAnnotationCnt"`, where the count
+//! is rendered at a fixed character width ("an initial 3-character format")
+//! so lexicographic key order equals numeric count order. If a count ever
+//! exceeds the width's capacity (999 for width 3), the width grows and the
+//! index is rebuilt — footnote 1 calls this "a very rare operation".
+
+/// The current key width of an index, with growth detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItemizeWidth(pub usize);
+
+impl Default for ItemizeWidth {
+    fn default() -> Self {
+        // The paper's initial 3-character format.
+        ItemizeWidth(3)
+    }
+}
+
+impl ItemizeWidth {
+    /// Largest count representable at this width.
+    pub fn max_count(&self) -> u64 {
+        10u64.pow(self.0 as u32) - 1
+    }
+
+    /// Whether `count` fits at this width.
+    pub fn fits(&self, count: u64) -> bool {
+        count <= self.max_count()
+    }
+
+    /// The width needed to fit `count` (≥ the current width).
+    pub fn grown_for(&self, count: u64) -> ItemizeWidth {
+        let mut w = *self;
+        while !w.fits(count) {
+            w = ItemizeWidth(w.0 + 1);
+        }
+        w
+    }
+}
+
+/// The itemized key `"label:00…count"`.
+pub fn itemize_key(label: &str, count: u64, width: ItemizeWidth) -> Vec<u8> {
+    debug_assert!(
+        width.fits(count),
+        "count {count} overflows width {}",
+        width.0
+    );
+    let mut key = Vec::with_capacity(label.len() + 1 + width.0);
+    key.extend_from_slice(label.as_bytes());
+    key.push(b':');
+    let digits = format!("{count:0width$}", width = width.0);
+    key.extend_from_slice(digits.as_bytes());
+    key
+}
+
+/// Range-probe start key for an open lower bound: `"label:000"`.
+pub fn min_key(label: &str, width: ItemizeWidth) -> Vec<u8> {
+    itemize_key(label, 0, width)
+}
+
+/// Range-probe stop key for an open upper bound: `"label:999"`.
+pub fn max_key(label: &str, width: ItemizeWidth) -> Vec<u8> {
+    itemize_key(label, width.max_count(), width)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_match_paper_format() {
+        let w = ItemizeWidth::default();
+        assert_eq!(itemize_key("Disease", 8, w), b"Disease:008".to_vec());
+        assert_eq!(itemize_key("Behavior", 33, w), b"Behavior:033".to_vec());
+        assert_eq!(itemize_key("Anatomy", 25, w), b"Anatomy:025".to_vec());
+    }
+
+    #[test]
+    fn lexicographic_order_equals_numeric_order() {
+        let w = ItemizeWidth::default();
+        let mut counts: Vec<u64> = vec![0, 1, 9, 10, 42, 99, 100, 999];
+        let keys: Vec<Vec<u8>> = counts.iter().map(|&c| itemize_key("L", c, w)).collect();
+        let mut sorted_keys = keys.clone();
+        sorted_keys.sort();
+        counts.sort_unstable();
+        let expected: Vec<Vec<u8>> = counts.iter().map(|&c| itemize_key("L", c, w)).collect();
+        assert_eq!(sorted_keys, expected);
+    }
+
+    #[test]
+    fn sentinels_bracket_all_counts() {
+        let w = ItemizeWidth::default();
+        for c in [0u64, 5, 500, 999] {
+            let k = itemize_key("X", c, w);
+            assert!(min_key("X", w) <= k);
+            assert!(k <= max_key("X", w));
+        }
+    }
+
+    #[test]
+    fn width_growth() {
+        let w = ItemizeWidth::default();
+        assert!(w.fits(999));
+        assert!(!w.fits(1000));
+        let g = w.grown_for(12_345);
+        assert_eq!(g.0, 5);
+        assert!(g.fits(12_345));
+        assert_eq!(w.grown_for(5), w);
+    }
+
+    #[test]
+    fn wider_keys_still_order() {
+        let w = ItemizeWidth(5);
+        assert!(itemize_key("L", 999, w) < itemize_key("L", 1000, w));
+        assert!(itemize_key("L", 1000, w) < itemize_key("L", 99_999, w));
+    }
+
+    #[test]
+    fn labels_partition_the_keyspace() {
+        let w = ItemizeWidth::default();
+        // All keys of label "A" sort before all keys of label "B".
+        assert!(max_key("A", w) < min_key("B", w));
+    }
+}

@@ -1,0 +1,374 @@
+//! CluStream-style incremental micro-clustering.
+//!
+//! Backs the Cluster summary instances (`SimCluster`): similar annotations
+//! are grouped, each group reports one representative annotation plus its
+//! size (the paper's `[(Text annotation, Number groupSize)]` Rep structure).
+//!
+//! Following Aggarwal et al.'s CluStream \[2\], each cluster keeps a *cluster
+//! feature* (CF) vector — point count `n`, linear sum `LS`, square sum `SS`
+//! over hashed-TF embeddings — which supports O(1) insertion, O(1) removal
+//! (the additivity/subtractivity property), and O(1) merging of two
+//! clusters. Those three operations are exactly what the summary-aware
+//! operators need: incremental maintenance, projection-time elimination, and
+//! join-time merging.
+
+use crate::tokenize::{euclidean, hash_tf_vector, HASH_DIM};
+
+/// Parameters of the micro-clusterer.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterParams {
+    /// Maximum number of micro-clusters; exceeding it merges the two
+    /// closest clusters.
+    pub max_clusters: usize,
+    /// Boundary factor: a point joins its nearest cluster if within
+    /// `boundary_factor × RMS deviation` of the centroid (or an absolute
+    /// floor for singleton clusters).
+    pub boundary_factor: f64,
+}
+
+impl Default for ClusterParams {
+    fn default() -> Self {
+        Self {
+            max_clusters: 8,
+            boundary_factor: 2.0,
+        }
+    }
+}
+
+/// One micro-cluster: CF vector + members.
+#[derive(Debug, Clone)]
+pub struct MicroCluster<Id> {
+    /// Number of points.
+    pub n: u64,
+    /// Linear sum of embeddings.
+    pub ls: [f64; HASH_DIM],
+    /// Sum of squared norms (for the RMS radius).
+    pub ss: f64,
+    /// Member ids with their embeddings (the `Elements[]` of the group;
+    /// embeddings retained so removal can maintain the CF exactly and a
+    /// new representative can be elected).
+    pub members: Vec<(Id, [f64; HASH_DIM])>,
+}
+
+impl<Id: Clone + PartialEq> MicroCluster<Id> {
+    fn singleton(id: Id, v: [f64; HASH_DIM]) -> Self {
+        let ss = dot(&v, &v);
+        Self {
+            n: 1,
+            ls: v,
+            ss,
+            members: vec![(id, v)],
+        }
+    }
+
+    /// Cluster centroid.
+    pub fn centroid(&self) -> [f64; HASH_DIM] {
+        let mut c = self.ls;
+        if self.n > 0 {
+            for x in &mut c {
+                *x /= self.n as f64;
+            }
+        }
+        c
+    }
+
+    /// RMS deviation of members from the centroid.
+    pub fn rms_radius(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let c = self.centroid();
+        let mean_sq = self.ss / self.n as f64;
+        (mean_sq - dot(&c, &c)).max(0.0).sqrt()
+    }
+
+    fn add(&mut self, id: Id, v: [f64; HASH_DIM]) {
+        self.n += 1;
+        for (l, x) in self.ls.iter_mut().zip(v.iter()) {
+            *l += x;
+        }
+        self.ss += dot(&v, &v);
+        self.members.push((id, v));
+    }
+
+    /// Remove a member by id (CF subtractivity). Returns whether found.
+    pub fn remove(&mut self, id: &Id) -> bool {
+        let Some(pos) = self.members.iter().position(|(m, _)| m == id) else {
+            return false;
+        };
+        let (_, v) = self.members.swap_remove(pos);
+        self.n -= 1;
+        for (l, x) in self.ls.iter_mut().zip(v.iter()) {
+            *l -= x;
+        }
+        self.ss -= dot(&v, &v);
+        true
+    }
+
+    /// Absorb another cluster (CF additivity).
+    pub fn merge(&mut self, other: MicroCluster<Id>) {
+        self.n += other.n;
+        for (l, x) in self.ls.iter_mut().zip(other.ls.iter()) {
+            *l += x;
+        }
+        self.ss += other.ss;
+        self.members.extend(other.members);
+    }
+
+    /// The member closest to the centroid — the group's elected
+    /// representative. When the previous representative is dropped by a
+    /// projection, the paper re-elects exactly this way (Fig. 3: "another
+    /// representative is elected").
+    pub fn representative(&self) -> Option<&Id> {
+        let c = self.centroid();
+        self.members
+            .iter()
+            .min_by(|a, b| {
+                euclidean(&a.1, &c)
+                    .partial_cmp(&euclidean(&b.1, &c))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(id, _)| id)
+    }
+}
+
+/// Incremental micro-clusterer over documents identified by `Id`.
+#[derive(Debug, Clone)]
+pub struct MicroClusterer<Id> {
+    params: ClusterParams,
+    clusters: Vec<MicroCluster<Id>>,
+}
+
+impl<Id: Clone + PartialEq> MicroClusterer<Id> {
+    /// Empty clusterer.
+    pub fn new(params: ClusterParams) -> Self {
+        Self {
+            params,
+            clusters: Vec::new(),
+        }
+    }
+
+    /// Current clusters.
+    pub fn clusters(&self) -> &[MicroCluster<Id>] {
+        &self.clusters
+    }
+
+    /// Total points across clusters.
+    pub fn len(&self) -> usize {
+        self.clusters.iter().map(|c| c.n as usize).sum()
+    }
+
+    /// Whether no points have been added.
+    pub fn is_empty(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Insert a document. Joins the nearest cluster when within its
+    /// boundary, otherwise opens a new cluster (merging the two closest
+    /// clusters first if at capacity).
+    pub fn insert(&mut self, id: Id, text: &str) {
+        let v = hash_tf_vector(text);
+        // Find nearest cluster.
+        let nearest = self
+            .clusters
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (i, euclidean(&c.centroid(), &v)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+        if let Some((i, dist)) = nearest {
+            let boundary = {
+                let c = &self.clusters[i];
+                let r = c.rms_radius();
+                if c.n <= 1 || r == 0.0 {
+                    // Singleton heuristic: half the distance to the nearest
+                    // other centroid, with an absolute floor suited to
+                    // L2-normalized embeddings.
+                    0.8
+                } else {
+                    self.params.boundary_factor * r
+                }
+            };
+            if dist <= boundary {
+                self.clusters[i].add(id, v);
+                return;
+            }
+        }
+        // Open a new cluster, merging first if at capacity.
+        if self.clusters.len() >= self.params.max_clusters {
+            self.merge_closest_pair();
+        }
+        self.clusters.push(MicroCluster::singleton(id, v));
+    }
+
+    /// Remove a document by id (wherever it is). Empty clusters vanish.
+    pub fn remove(&mut self, id: &Id) -> bool {
+        for i in 0..self.clusters.len() {
+            if self.clusters[i].remove(id) {
+                if self.clusters[i].n == 0 {
+                    self.clusters.swap_remove(i);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    fn merge_closest_pair(&mut self) {
+        if self.clusters.len() < 2 {
+            return;
+        }
+        let mut best = (0usize, 1usize, f64::INFINITY);
+        for i in 0..self.clusters.len() {
+            for j in (i + 1)..self.clusters.len() {
+                let d = euclidean(&self.clusters[i].centroid(), &self.clusters[j].centroid());
+                if d < best.2 {
+                    best = (i, j, d);
+                }
+            }
+        }
+        let absorbed = self.clusters.swap_remove(best.1);
+        self.clusters[best.0].merge(absorbed);
+    }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disease(i: u64) -> (u64, String) {
+        (i, format!("disease outbreak infection parasite virus {i}"))
+    }
+
+    fn behavior(i: u64) -> (u64, String) {
+        (i, format!("migration song nesting foraging eating {i}"))
+    }
+
+    fn build() -> MicroClusterer<u64> {
+        let mut c = MicroClusterer::new(ClusterParams::default());
+        for i in 0..10 {
+            let (id, t) = disease(i);
+            c.insert(id, &t);
+        }
+        for i in 10..20 {
+            let (id, t) = behavior(i);
+            c.insert(id, &t);
+        }
+        c
+    }
+
+    #[test]
+    fn similar_documents_cluster_together() {
+        let c = build();
+        assert!(c.clusters().len() >= 2, "expected ≥2 clusters");
+        assert!(
+            c.clusters().len() <= 4,
+            "expected tight grouping, got {}",
+            c.clusters().len()
+        );
+        assert_eq!(c.len(), 20);
+        // Find the cluster containing id 0; most disease ids should be there.
+        let cl = c
+            .clusters()
+            .iter()
+            .find(|cl| cl.members.iter().any(|(id, _)| *id == 0))
+            .unwrap();
+        let disease_members = cl.members.iter().filter(|(id, _)| *id < 10).count();
+        assert!(
+            disease_members >= 8,
+            "only {disease_members} disease docs co-clustered"
+        );
+    }
+
+    #[test]
+    fn capacity_forces_merges() {
+        let mut c = MicroClusterer::new(ClusterParams {
+            max_clusters: 3,
+            boundary_factor: 0.01, // force new clusters
+        });
+        for i in 0..10u64 {
+            c.insert(i, &format!("totally unique topic number {i} xyz{i}"));
+        }
+        assert!(c.clusters().len() <= 3);
+        assert_eq!(c.len(), 10);
+    }
+
+    #[test]
+    fn remove_maintains_cf_exactly() {
+        let mut c = build();
+        let before = c.len();
+        assert!(c.remove(&5));
+        assert_eq!(c.len(), before - 1);
+        assert!(!c.remove(&5), "double remove must fail");
+        // CF invariant: n equals member count in every cluster.
+        for cl in c.clusters() {
+            assert_eq!(cl.n as usize, cl.members.len());
+            // ls equals sum of member embeddings.
+            let mut sum = [0.0; HASH_DIM];
+            for (_, v) in &cl.members {
+                for (s, x) in sum.iter_mut().zip(v) {
+                    *s += x;
+                }
+            }
+            for (a, b) in sum.iter().zip(cl.ls.iter()) {
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn removing_all_members_drops_cluster() {
+        let mut c = MicroClusterer::new(ClusterParams::default());
+        c.insert(1u64, "alpha beta gamma");
+        assert_eq!(c.clusters().len(), 1);
+        assert!(c.remove(&1));
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn representative_is_a_member_near_centroid() {
+        let c = build();
+        for cl in c.clusters() {
+            let rep = cl.representative().unwrap();
+            assert!(cl.members.iter().any(|(id, _)| id == rep));
+        }
+    }
+
+    #[test]
+    fn representative_reelection_after_removal() {
+        let mut c = MicroClusterer::new(ClusterParams::default());
+        for i in 0..5u64 {
+            c.insert(i, &format!("disease outbreak infection {i}"));
+        }
+        let cl0 = &c.clusters()[0];
+        let rep = *cl0.representative().unwrap();
+        c.remove(&rep);
+        let cl0 = &c.clusters()[0];
+        let new_rep = *cl0.representative().unwrap();
+        assert_ne!(rep, new_rep);
+        assert!(cl0.members.iter().any(|(id, _)| *id == new_rep));
+    }
+
+    #[test]
+    fn merge_is_cf_additive() {
+        let mut a = MicroCluster::singleton(1u64, hash_tf_vector("disease outbreak"));
+        let b = MicroCluster::singleton(2u64, hash_tf_vector("virus infection"));
+        let total_ss = a.ss + b.ss;
+        a.merge(b);
+        assert_eq!(a.n, 2);
+        assert!((a.ss - total_ss).abs() < 1e-12);
+        assert_eq!(a.members.len(), 2);
+    }
+
+    #[test]
+    fn rms_radius_zero_for_identical_points() {
+        let mut c = MicroClusterer::new(ClusterParams::default());
+        c.insert(1u64, "same text here");
+        c.insert(2u64, "same text here");
+        let cl = &c.clusters()[0];
+        assert!(cl.rms_radius() < 1e-9);
+    }
+}

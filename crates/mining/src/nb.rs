@@ -1,0 +1,333 @@
+//! Multinomial Naive Bayes text classifier with Laplace smoothing.
+//!
+//! Backs the Classifier summary instances (`ClassBird1`, `ClassBird2`): each
+//! incoming raw annotation is assigned one of the admin-defined labels, and
+//! the classifier object's per-label counters are incremented. The paper
+//! cites Manning et al.'s standard formulation \[10\]; this is that algorithm.
+
+use std::collections::HashMap;
+
+use crate::tokenize::tokenize;
+
+/// A trained multinomial Naive Bayes model over string labels.
+#[derive(Debug, Clone)]
+pub struct NaiveBayes {
+    labels: Vec<String>,
+    /// Per-label document counts (for priors).
+    doc_counts: Vec<u64>,
+    total_docs: u64,
+    /// Per-label token counts: `token -> count` for each label.
+    token_counts: Vec<HashMap<String, u64>>,
+    /// Per-label total tokens.
+    token_totals: Vec<u64>,
+    /// Global vocabulary size (for Laplace smoothing).
+    vocabulary: HashMap<String, ()>,
+}
+
+impl NaiveBayes {
+    /// An untrained model over the given labels. The label order is
+    /// preserved: it defines the classifier object's `Rep[]` order
+    /// ("pre-defined based on the order specified when creating the
+    /// classifier summary instance", §3.1).
+    pub fn new(labels: Vec<String>) -> Self {
+        let n = labels.len();
+        assert!(n >= 2, "a classifier needs at least two labels");
+        Self {
+            labels,
+            doc_counts: vec![0; n],
+            total_docs: 0,
+            token_counts: vec![HashMap::new(); n],
+            token_totals: vec![0; n],
+            vocabulary: HashMap::new(),
+        }
+    }
+
+    /// The label list, in instance order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    /// Index of `label`, if known.
+    pub fn label_index(&self, label: &str) -> Option<usize> {
+        self.labels.iter().position(|l| l == label)
+    }
+
+    /// Add one training document.
+    pub fn train(&mut self, text: &str, label: &str) {
+        let li = self
+            .label_index(label)
+            .unwrap_or_else(|| panic!("unknown label {label}"));
+        self.doc_counts[li] += 1;
+        self.total_docs += 1;
+        for tok in tokenize(text) {
+            *self.token_counts[li].entry(tok.clone()).or_insert(0) += 1;
+            self.token_totals[li] += 1;
+            self.vocabulary.insert(tok, ());
+        }
+    }
+
+    /// Train from a batch of `(text, label)` pairs.
+    pub fn train_batch<'a, I: IntoIterator<Item = (&'a str, &'a str)>>(&mut self, items: I) {
+        for (text, label) in items {
+            self.train(text, label);
+        }
+    }
+
+    /// Log-probability scores per label for `text` (label order).
+    pub fn scores(&self, text: &str) -> Vec<f64> {
+        let vocab = self.vocabulary.len().max(1) as f64;
+        let tokens = tokenize(text);
+        (0..self.labels.len())
+            .map(|li| {
+                // Smoothed prior (classes with no training data get a floor).
+                let prior = ((self.doc_counts[li] + 1) as f64
+                    / (self.total_docs + self.labels.len() as u64) as f64)
+                    .ln();
+                let denom = self.token_totals[li] as f64 + vocab;
+                let mut score = prior;
+                for tok in &tokens {
+                    let count = self.token_counts[li].get(tok).copied().unwrap_or(0);
+                    score += ((count + 1) as f64 / denom).ln();
+                }
+                score
+            })
+            .collect()
+    }
+
+    /// Classify `text`, returning the label index with the highest score.
+    pub fn classify(&self, text: &str) -> usize {
+        let scores = self.scores(text);
+        scores
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(i, _)| i)
+            .unwrap_or(0)
+    }
+
+    /// Classify `text`, returning the label string.
+    pub fn classify_label(&self, text: &str) -> &str {
+        &self.labels[self.classify(text)]
+    }
+
+    /// Serialize the trained model (persistence).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(&(self.labels.len() as u32).to_le_bytes());
+        for (li, label) in self.labels.iter().enumerate() {
+            put_str(&mut out, label);
+            out.extend_from_slice(&self.doc_counts[li].to_le_bytes());
+            out.extend_from_slice(&self.token_totals[li].to_le_bytes());
+            let mut toks: Vec<(&String, &u64)> = self.token_counts[li].iter().collect();
+            toks.sort();
+            out.extend_from_slice(&(toks.len() as u32).to_le_bytes());
+            for (tok, count) in toks {
+                put_str(&mut out, tok);
+                out.extend_from_slice(&count.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&self.total_docs.to_le_bytes());
+        let mut vocab: Vec<&String> = self.vocabulary.keys().collect();
+        vocab.sort();
+        out.extend_from_slice(&(vocab.len() as u32).to_le_bytes());
+        for v in vocab {
+            put_str(&mut out, v);
+        }
+        out
+    }
+
+    /// Deserialize a model produced by [`NaiveBayes::to_bytes`], advancing
+    /// `pos` past it.
+    pub fn from_bytes(bytes: &[u8], pos: &mut usize) -> Option<NaiveBayes> {
+        fn get_u32(b: &[u8], p: &mut usize) -> Option<u32> {
+            let v = u32::from_le_bytes(b.get(*p..*p + 4)?.try_into().ok()?);
+            *p += 4;
+            Some(v)
+        }
+        fn get_u64(b: &[u8], p: &mut usize) -> Option<u64> {
+            let v = u64::from_le_bytes(b.get(*p..*p + 8)?.try_into().ok()?);
+            *p += 8;
+            Some(v)
+        }
+        fn get_str(b: &[u8], p: &mut usize) -> Option<String> {
+            let len = get_u32(b, p)? as usize;
+            let s = String::from_utf8(b.get(*p..*p + len)?.to_vec()).ok()?;
+            *p += len;
+            Some(s)
+        }
+        let n = get_u32(bytes, pos)? as usize;
+        let mut labels = Vec::with_capacity(n);
+        let mut doc_counts = Vec::with_capacity(n);
+        let mut token_totals = Vec::with_capacity(n);
+        let mut token_counts = Vec::with_capacity(n);
+        for _ in 0..n {
+            labels.push(get_str(bytes, pos)?);
+            doc_counts.push(get_u64(bytes, pos)?);
+            token_totals.push(get_u64(bytes, pos)?);
+            let m = get_u32(bytes, pos)? as usize;
+            let mut map = HashMap::with_capacity(m);
+            for _ in 0..m {
+                let tok = get_str(bytes, pos)?;
+                let count = get_u64(bytes, pos)?;
+                map.insert(tok, count);
+            }
+            token_counts.push(map);
+        }
+        let total_docs = get_u64(bytes, pos)?;
+        let v = get_u32(bytes, pos)? as usize;
+        let mut vocabulary = HashMap::with_capacity(v);
+        for _ in 0..v {
+            vocabulary.insert(get_str(bytes, pos)?, ());
+        }
+        Some(NaiveBayes {
+            labels,
+            doc_counts,
+            total_docs,
+            token_counts,
+            token_totals,
+            vocabulary,
+        })
+    }
+
+    /// Fraction of `(text, label)` pairs classified correctly.
+    pub fn accuracy<'a, I: IntoIterator<Item = (&'a str, &'a str)>>(&self, items: I) -> f64 {
+        let mut total = 0usize;
+        let mut correct = 0usize;
+        for (text, label) in items {
+            total += 1;
+            if self.classify_label(text) == label {
+                correct += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> NaiveBayes {
+        let mut nb = NaiveBayes::new(vec!["Disease".into(), "Behavior".into(), "Other".into()]);
+        nb.train("avian influenza outbreak with high mortality", "Disease");
+        nb.train("parasite infection lesion observed on wing", "Disease");
+        nb.train("virus symptom pox spreading in flock", "Disease");
+        nb.train("foraging and eating stonewort near lake", "Behavior");
+        nb.train("migration song nesting courtship in spring", "Behavior");
+        nb.train("roosting territorial diving behavior", "Behavior");
+        nb.train("field station volunteer count project", "Other");
+        nb.train("weather season note misc", "Other");
+        nb
+    }
+
+    #[test]
+    fn classifies_held_out_texts() {
+        let nb = model();
+        assert_eq!(
+            nb.classify_label("observed lesion and infection"),
+            "Disease"
+        );
+        assert_eq!(
+            nb.classify_label("eating and foraging near the lake"),
+            "Behavior"
+        );
+        assert_eq!(nb.classify_label("volunteer station weather"), "Other");
+    }
+
+    #[test]
+    fn label_order_is_preserved() {
+        let nb = model();
+        assert_eq!(nb.labels(), &["Disease", "Behavior", "Other"]);
+        assert_eq!(nb.label_index("Behavior"), Some(1));
+        assert_eq!(nb.label_index("Nope"), None);
+    }
+
+    #[test]
+    fn scores_are_finite_and_ordered() {
+        let nb = model();
+        let s = nb.scores("parasite outbreak");
+        assert_eq!(s.len(), 3);
+        assert!(s.iter().all(|x| x.is_finite()));
+        assert!(s[0] > s[1] && s[0] > s[2]);
+    }
+
+    #[test]
+    fn untrained_model_does_not_crash() {
+        let nb = NaiveBayes::new(vec!["A".into(), "B".into()]);
+        let _ = nb.classify("anything at all");
+    }
+
+    #[test]
+    fn unknown_tokens_are_smoothed() {
+        let nb = model();
+        // Entirely novel vocabulary should still produce finite scores.
+        let s = nb.scores("zzz qqq www");
+        assert!(s.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn accuracy_on_training_data_is_high() {
+        let nb = model();
+        let acc = nb.accuracy([
+            ("avian influenza outbreak", "Disease"),
+            ("eating stonewort", "Behavior"),
+            ("volunteer count", "Other"),
+        ]);
+        assert!(acc >= 0.99, "accuracy {acc}");
+    }
+
+    #[test]
+    fn accuracy_with_synthetic_corpus_is_strong() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        // Train/test on the instn-annot style vocabularies, reproduced
+        // inline to avoid a circular dev-dependency.
+        let cats: Vec<(&str, &[&str])> = vec![
+            (
+                "Disease",
+                &["disease", "infection", "virus", "outbreak", "parasite"],
+            ),
+            (
+                "Behavior",
+                &["eating", "foraging", "migration", "song", "nesting"],
+            ),
+        ];
+        let mut nb = NaiveBayes::new(cats.iter().map(|(l, _)| (*l).to_string()).collect());
+        let mut rng = StdRng::seed_from_u64(11);
+        use rand::RngExt;
+        let gen = |rng: &mut StdRng, words: &[&str]| -> String {
+            (0..12)
+                .map(|_| words[rng.random_range(0..words.len())])
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let mut test = Vec::new();
+        for (label, words) in &cats {
+            for i in 0..30 {
+                let doc = gen(&mut rng, words);
+                if i < 20 {
+                    nb.train(&doc, label);
+                } else {
+                    test.push((doc, (*label).to_string()));
+                }
+            }
+        }
+        let acc = nb.accuracy(test.iter().map(|(d, l)| (d.as_str(), l.as_str())));
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown label")]
+    fn training_with_unknown_label_panics() {
+        let mut nb = NaiveBayes::new(vec!["A".into(), "B".into()]);
+        nb.train("text", "C");
+    }
+}

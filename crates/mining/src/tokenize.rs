@@ -1,0 +1,139 @@
+//! Tokenization and term-frequency vectors shared by all mining techniques.
+
+use std::collections::HashMap;
+
+/// Stopwords removed before any mining step.
+const STOPWORDS: &[&str] = &[
+    "the", "a", "an", "and", "or", "of", "to", "in", "on", "at", "is", "was", "be", "its", "it",
+    "this", "that", "with", "as", "by", "for", "are", "were", "very",
+];
+
+/// Lowercase word tokens with punctuation stripped and stopwords removed.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.split(|c: char| !c.is_alphanumeric())
+        .filter(|w| !w.is_empty())
+        .map(str::to_lowercase)
+        .filter(|w| !STOPWORDS.contains(&w.as_str()) && w.len() > 1)
+        .collect()
+}
+
+/// Sparse term counts of one document.
+pub type TermCounts = HashMap<String, u32>;
+
+/// Term-frequency map of `text`.
+pub fn term_counts(text: &str) -> TermCounts {
+    let mut tf = TermCounts::new();
+    for tok in tokenize(text) {
+        *tf.entry(tok).or_insert(0) += 1;
+    }
+    tf
+}
+
+/// Dimensionality of the hashed TF vectors used by the clusterer.
+pub const HASH_DIM: usize = 64;
+
+/// Dense hashed ("feature hashing") TF vector, L2-normalized.
+///
+/// CluStream needs fixed-dimension points to maintain CF vectors
+/// incrementally; hashing the vocabulary into [`HASH_DIM`] buckets gives a
+/// stable, cheap embedding.
+pub fn hash_tf_vector(text: &str) -> [f64; HASH_DIM] {
+    let mut v = [0.0f64; HASH_DIM];
+    for tok in tokenize(&text.to_lowercase()) {
+        let h = fnv1a(tok.as_bytes());
+        v[(h % HASH_DIM as u64) as usize] += 1.0;
+    }
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in &mut v {
+            *x /= norm;
+        }
+    }
+    v
+}
+
+/// FNV-1a hash (stable across runs, unlike `DefaultHasher`).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Split text into sentences on `.`, `!`, `?`.
+pub fn sentences(text: &str) -> Vec<&str> {
+    text.split(['.', '!', '?'])
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect()
+}
+
+/// Euclidean distance between two dense vectors.
+pub fn euclidean(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_strips_punctuation_case_and_stopwords() {
+        let toks = tokenize("The Swan, observed EATING stonewort!");
+        assert_eq!(toks, vec!["swan", "observed", "eating", "stonewort"]);
+    }
+
+    #[test]
+    fn tokenize_drops_single_chars() {
+        assert!(tokenize("a b c xy").contains(&"xy".to_string()));
+        assert_eq!(tokenize("a b c").len(), 0);
+    }
+
+    #[test]
+    fn term_counts_accumulate() {
+        let tf = term_counts("disease disease outbreak");
+        assert_eq!(tf["disease"], 2);
+        assert_eq!(tf["outbreak"], 1);
+    }
+
+    #[test]
+    fn hash_vector_is_normalized_and_stable() {
+        let v1 = hash_tf_vector("avian influenza outbreak");
+        let v2 = hash_tf_vector("avian influenza outbreak");
+        assert_eq!(v1, v2);
+        let norm: f64 = v1.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hash_vector_of_empty_text_is_zero() {
+        let v = hash_tf_vector("");
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn similar_texts_are_close() {
+        let a = hash_tf_vector("disease outbreak infection parasite");
+        let b = hash_tf_vector("disease outbreak infection lesion");
+        let c = hash_tf_vector("migration song nesting courtship");
+        assert!(euclidean(&a, &b) < euclidean(&a, &c));
+    }
+
+    #[test]
+    fn sentence_split() {
+        let s = sentences("First one. Second!  Third? ");
+        assert_eq!(s, vec!["First one", "Second", "Third"]);
+    }
+
+    #[test]
+    fn fnv_is_deterministic() {
+        assert_eq!(fnv1a(b"swan"), fnv1a(b"swan"));
+        assert_ne!(fnv1a(b"swan"), fnv1a(b"goose"));
+    }
+}

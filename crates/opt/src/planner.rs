@@ -1,0 +1,988 @@
+//! The optimizer driver.
+//!
+//! Pipeline: enumerate rule-equivalent logical plans (§5.1) → lower each to
+//! a physical plan choosing access paths, join algorithms, and sort
+//! algorithms — including *sort elimination* when a Summary-BTree scan
+//! already provides the interesting order (Rules 3–6) → cost every
+//! candidate (§5.2) → return the cheapest.
+
+use std::collections::{HashMap, HashSet};
+
+use instn_core::db::Database;
+use instn_query::exec::PhysicalPlan;
+use instn_query::expr::Expr;
+use instn_query::lower::is_base_shape;
+use instn_query::plan::{JoinPredicate, LogicalPlan, SortKey};
+use instn_query::{QueryError, Result};
+use instn_storage::TableId;
+
+use crate::cost::{CostModel, IndexInfo, PlanCost};
+use crate::rules::{enumerate_equivalent, RuleContext};
+use crate::stats::Statistics;
+
+/// What the planner knows about the available indexes and memory.
+#[derive(Debug, Clone)]
+pub struct PlannerConfig {
+    /// Registered Summary-BTrees: name → (table, instance, labels `k`).
+    pub summary_indexes: HashMap<String, (TableId, String, usize)>,
+    /// Registered baseline indexes: name → (table, instance, labels `k`).
+    pub baseline_indexes: HashMap<String, (TableId, String, usize)>,
+    /// Available data-column indexes.
+    pub column_indexes: HashSet<(TableId, usize)>,
+    /// Bound on rule-enumeration alternatives.
+    pub max_alternatives: usize,
+    /// Tuples that fit the in-memory sort budget.
+    pub sort_mem_tuples: usize,
+    /// Whether the final output must carry summaries (InsightNotes
+    /// propagates by default).
+    pub propagate_output: bool,
+}
+
+impl Default for PlannerConfig {
+    fn default() -> Self {
+        Self {
+            summary_indexes: HashMap::new(),
+            baseline_indexes: HashMap::new(),
+            column_indexes: HashSet::new(),
+            max_alternatives: 64,
+            sort_mem_tuples: instn_query::exec::DEFAULT_SORT_MEM,
+            propagate_output: true,
+        }
+    }
+}
+
+impl PlannerConfig {
+    /// Register a Summary-BTree.
+    pub fn with_summary_index(
+        mut self,
+        name: &str,
+        table: TableId,
+        instance: &str,
+        k: usize,
+    ) -> Self {
+        self.summary_indexes
+            .insert(name.to_string(), (table, instance.to_string(), k));
+        self
+    }
+
+    /// Register a data-column index.
+    pub fn with_column_index(mut self, table: TableId, col: usize) -> Self {
+        self.column_indexes.insert((table, col));
+        self
+    }
+
+    /// The cost model's view of the indexes.
+    pub fn index_info(&self) -> IndexInfo {
+        IndexInfo {
+            summary: self.summary_indexes.clone(),
+            baseline: self.baseline_indexes.clone(),
+            columns: self.column_indexes.clone(),
+        }
+    }
+
+    fn summary_index_on(&self, table: TableId, instance: &str) -> Option<&str> {
+        self.summary_indexes
+            .iter()
+            .find(|(_, (t, i, _))| *t == table && i == instance)
+            .map(|(name, _)| name.as_str())
+    }
+}
+
+/// The chosen plan plus costing/explain metadata.
+#[derive(Debug)]
+pub struct OptimizedPlan {
+    /// The physical plan to execute.
+    pub physical: PhysicalPlan,
+    /// Its estimated cost.
+    pub cost: PlanCost,
+    /// The logical alternative it came from (EXPLAIN text).
+    pub explain: String,
+    /// Number of logical alternatives considered.
+    pub considered: usize,
+}
+
+/// The extended, summary-aware optimizer.
+pub struct Optimizer<'a> {
+    db: &'a Database,
+    stats: Statistics,
+    config: PlannerConfig,
+    rule_ctx: RuleContext,
+}
+
+impl<'a> Optimizer<'a> {
+    /// Build an optimizer, collecting statistics via ANALYZE.
+    pub fn new(db: &'a Database, config: PlannerConfig) -> Result<Self> {
+        let stats = Statistics::analyze(db)?;
+        Ok(Self {
+            rule_ctx: RuleContext::from_db(db),
+            db,
+            stats,
+            config,
+        })
+    }
+
+    /// Use pre-collected statistics.
+    pub fn with_stats(db: &'a Database, stats: Statistics, config: PlannerConfig) -> Self {
+        Self {
+            rule_ctx: RuleContext::from_db(db),
+            db,
+            stats,
+            config,
+        }
+    }
+
+    /// The collected statistics.
+    pub fn stats(&self) -> &Statistics {
+        &self.stats
+    }
+
+    /// Optimize a logical plan: enumerate, lower, cost, pick cheapest.
+    pub fn optimize(&self, logical: &LogicalPlan) -> Result<OptimizedPlan> {
+        let alternatives =
+            enumerate_equivalent(logical, &self.rule_ctx, self.config.max_alternatives);
+        let info = self.config.index_info();
+        let model = CostModel::new(&self.stats, &info);
+        let uses_summaries = self.config.propagate_output || plan_uses_summaries(logical);
+        let mut best: Option<(PhysicalPlan, PlanCost, String)> = None;
+        for alt in &alternatives {
+            let physical = self.lower_opt(alt, uses_summaries)?;
+            let cost = model.cost(&physical);
+            let better = match &best {
+                None => true,
+                Some((_, c, _)) => cost.total() < c.total(),
+            };
+            if better {
+                best = Some((physical, cost, format!("{alt}")));
+            }
+        }
+        let (physical, cost, explain) =
+            best.ok_or_else(|| QueryError::BadPlan("no alternative lowered".into()))?;
+        Ok(OptimizedPlan {
+            physical,
+            cost,
+            explain,
+            considered: alternatives.len(),
+        })
+    }
+
+    /// Cost-aware lowering of one logical alternative.
+    fn lower_opt(&self, plan: &LogicalPlan, summaries: bool) -> Result<PhysicalPlan> {
+        Ok(match plan {
+            LogicalPlan::Scan { table } => PhysicalPlan::SeqScan {
+                table: self.db.table_id(table)?,
+                with_summaries: summaries,
+            },
+            LogicalPlan::Select { input, pred } | LogicalPlan::SummarySelect { input, pred } => {
+                let seq = PhysicalPlan::Filter {
+                    input: Box::new(self.lower_opt(input, summaries)?),
+                    pred: pred.clone(),
+                };
+                // Index path: predicate conjunct answerable by a
+                // Summary-BTree directly above a base scan. Both access
+                // paths are costed and the cheaper one wins.
+                if let LogicalPlan::Scan { table } = input.as_ref() {
+                    let tid = self.db.table_id(table)?;
+                    if let Some((scan, residual)) = self.try_index_path(tid, pred, summaries) {
+                        let indexed = match residual {
+                            Some(r) => PhysicalPlan::Filter {
+                                input: Box::new(scan),
+                                pred: r,
+                            },
+                            None => scan,
+                        };
+                        return Ok(self.cheaper(indexed, seq));
+                    }
+                }
+                seq
+            }
+            LogicalPlan::SummaryFilter { input, pred } => PhysicalPlan::SummaryObjectFilter {
+                input: Box::new(self.lower_opt(input, summaries)?),
+                pred: pred.clone(),
+            },
+            LogicalPlan::Project { input, cols } => PhysicalPlan::Project {
+                input: Box::new(self.lower_opt(input, summaries)?),
+                cols: cols.clone(),
+                eliminate: is_base_shape(input),
+            },
+            LogicalPlan::Join { left, right, pred }
+            | LogicalPlan::SummaryJoin { left, right, pred } => {
+                let nl = PhysicalPlan::NestedLoopJoin {
+                    left: Box::new(self.lower_opt(left, summaries)?),
+                    right: Box::new(self.lower_opt(right, summaries)?),
+                    pred: pred.clone(),
+                };
+                // Index join when the inner is a base scan with an index on
+                // the join column; costed against the nested loop.
+                if let (Some((lc, rc)), LogicalPlan::Scan { table }) =
+                    (pred.data_eq(), right.as_ref())
+                {
+                    let rt = self.db.table_id(table)?;
+                    if self.config.column_indexes.contains(&(rt, rc)) {
+                        let residual = strip_data_eq(pred);
+                        let indexed = PhysicalPlan::IndexJoin {
+                            left: Box::new(self.lower_opt(left, summaries)?),
+                            right_table: rt,
+                            left_col: lc,
+                            right_col: rc,
+                            residual,
+                            with_summaries: summaries,
+                        };
+                        return Ok(self.cheaper(indexed, nl));
+                    }
+                }
+                // Index-based summary join (the second J implementation of
+                // §5.2): an equality on the inner side's getLabelValue can
+                // be answered by probing its Summary-BTree per outer tuple.
+                if let (Some((lk, inst, label)), LogicalPlan::Scan { table }) =
+                    (summary_eq_probe(pred), right.as_ref())
+                {
+                    let rt = self.db.table_id(table)?;
+                    if let Some(index) = self.config.summary_index_on(rt, &inst) {
+                        let indexed = PhysicalPlan::SummaryIndexJoin {
+                            left: Box::new(self.lower_opt(left, summaries)?),
+                            left_key: lk,
+                            index: index.to_string(),
+                            label,
+                            residual: strip_summary_eq(pred),
+                            with_summaries: summaries,
+                        };
+                        return Ok(self.cheaper(indexed, nl));
+                    }
+                }
+                nl
+            }
+            LogicalPlan::Sort { input, key, desc } => {
+                let lowered = self.lower_opt(input, summaries)?;
+                // Rules 3–6: sort elimination on an interesting order.
+                if let SortKey::Summary(se) = key {
+                    if let Some((instance, label)) = summary_sort_target(se) {
+                        if let Some(order) =
+                            provided_order(&lowered, self.db, &self.config.summary_indexes)
+                        {
+                            if order.instance == instance && order.label == label {
+                                return Ok(if order.reversed == *desc {
+                                    lowered
+                                } else {
+                                    flip_scan_direction(lowered)
+                                });
+                            }
+                        }
+                    }
+                }
+                let info = self.config.index_info();
+                let model = CostModel::new(&self.stats, &info);
+                let rows = model.cost(&lowered).rows;
+                PhysicalPlan::Sort {
+                    input: Box::new(lowered),
+                    key: key.clone(),
+                    desc: *desc,
+                    disk: rows > self.config.sort_mem_tuples as f64,
+                }
+            }
+            LogicalPlan::GroupBy { input, cols } => PhysicalPlan::GroupBy {
+                input: Box::new(self.lower_opt(input, summaries)?),
+                cols: cols.clone(),
+            },
+            LogicalPlan::Distinct { input } => PhysicalPlan::Distinct {
+                input: Box::new(self.lower_opt(input, summaries)?),
+            },
+            LogicalPlan::Limit { input, n } => PhysicalPlan::Limit {
+                input: Box::new(self.lower_opt(input, summaries)?),
+                n: *n,
+            },
+        })
+    }
+
+    /// Pick the cheaper of two physical alternatives.
+    fn cheaper(&self, a: PhysicalPlan, b: PhysicalPlan) -> PhysicalPlan {
+        let info = self.config.index_info();
+        let model = CostModel::new(&self.stats, &info);
+        if model.cost(&a).total() <= model.cost(&b).total() {
+            a
+        } else {
+            b
+        }
+    }
+
+    /// Try to answer (part of) a predicate with a Summary-BTree scan.
+    fn try_index_path(
+        &self,
+        table: TableId,
+        pred: &Expr,
+        summaries: bool,
+    ) -> Option<(PhysicalPlan, Option<Expr>)> {
+        let conjuncts = flatten_and(pred);
+        for (i, c) in conjuncts.iter().enumerate() {
+            let Some(range) = c.indexable_range() else {
+                continue;
+            };
+            let Some(index) = self.config.summary_index_on(table, &range.instance) else {
+                continue;
+            };
+            let scan = PhysicalPlan::SummaryIndexScan {
+                index: index.to_string(),
+                label: range.label.clone(),
+                lo: range.lo,
+                hi: range.hi,
+                propagate: summaries,
+                reverse: false,
+            };
+            let rest: Vec<Expr> = conjuncts
+                .iter()
+                .enumerate()
+                .filter(|(j, _)| *j != i)
+                .map(|(_, e)| (*e).clone())
+                .collect();
+            let residual = rest.into_iter().reduce(Expr::and);
+            return Some((scan, residual));
+        }
+        None
+    }
+}
+
+/// Flatten an AND chain into conjuncts.
+fn flatten_and(pred: &Expr) -> Vec<&Expr> {
+    match pred {
+        Expr::And(a, b) => {
+            let mut v = flatten_and(a);
+            v.extend(flatten_and(b));
+            v
+        }
+        other => vec![other],
+    }
+}
+
+/// Recognize a `SummaryCmp { left, Eq, getLabelValue(instance, label) }`
+/// conjunct: the probe shape the index-based summary join answers.
+/// Returns `(outer key expression, inner instance, inner label)`.
+fn summary_eq_probe(
+    pred: &JoinPredicate,
+) -> Option<(instn_query::expr::SummaryExpr, String, String)> {
+    match pred {
+        JoinPredicate::SummaryCmp {
+            left,
+            op: instn_query::expr::CmpOp::Eq,
+            right,
+        } => summary_sort_target(right).map(|(inst, label)| (left.clone(), inst, label)),
+        JoinPredicate::And(a, b) => summary_eq_probe(a).or_else(|| summary_eq_probe(b)),
+        _ => None,
+    }
+}
+
+/// Remove the *first* index-answerable summary-equality conjunct (only one
+/// probe is answered by the index; any further ones stay as residual).
+fn strip_summary_eq(pred: &JoinPredicate) -> Option<JoinPredicate> {
+    fn go(pred: &JoinPredicate, stripped: &mut bool) -> Option<JoinPredicate> {
+        match pred {
+            JoinPredicate::SummaryCmp {
+                op: instn_query::expr::CmpOp::Eq,
+                right,
+                ..
+            } if !*stripped && summary_sort_target(right).is_some() => {
+                *stripped = true;
+                None
+            }
+            JoinPredicate::And(a, b) => {
+                let left = go(a, stripped);
+                let right = go(b, stripped);
+                match (left, right) {
+                    (None, None) => None,
+                    (Some(x), None) | (None, Some(x)) => Some(x),
+                    (Some(x), Some(y)) => Some(JoinPredicate::And(Box::new(x), Box::new(y))),
+                }
+            }
+            other => Some(other.clone()),
+        }
+    }
+    go(pred, &mut false)
+}
+
+/// Remove the first data-equality conjunct from a join predicate.
+fn strip_data_eq(pred: &JoinPredicate) -> Option<JoinPredicate> {
+    match pred {
+        JoinPredicate::DataEq { .. } => None,
+        JoinPredicate::And(a, b) => match (strip_data_eq(a), strip_data_eq(b)) {
+            (None, None) => None,
+            (Some(x), None) | (None, Some(x)) => Some(x),
+            (Some(x), Some(y)) => Some(JoinPredicate::And(Box::new(x), Box::new(y))),
+        },
+        other => Some(other.clone()),
+    }
+}
+
+/// Whether the query references summaries anywhere.
+pub fn plan_uses_summaries(plan: &LogicalPlan) -> bool {
+    match plan {
+        LogicalPlan::Scan { .. } => false,
+        LogicalPlan::Select { input, pred } => pred.uses_summaries() || plan_uses_summaries(input),
+        LogicalPlan::SummarySelect { .. } | LogicalPlan::SummaryFilter { .. } => true,
+        LogicalPlan::Project { input, .. }
+        | LogicalPlan::GroupBy { input, .. }
+        | LogicalPlan::Distinct { input }
+        | LogicalPlan::Limit { input, .. } => plan_uses_summaries(input),
+        LogicalPlan::Join { left, right, pred } => {
+            pred.is_summary_based() || plan_uses_summaries(left) || plan_uses_summaries(right)
+        }
+        LogicalPlan::SummaryJoin { .. } => true,
+        LogicalPlan::Sort { input, key, .. } => key.is_summary() || plan_uses_summaries(input),
+    }
+}
+
+/// The `(instance, label)` a summary sort key orders by, if recognizable.
+fn summary_sort_target(se: &instn_query::expr::SummaryExpr) -> Option<(String, String)> {
+    use instn_query::expr::{ObjFunc, ObjRef, SummaryExpr};
+    match se {
+        SummaryExpr::Obj {
+            obj: ObjRef::ByName(instance),
+            func: ObjFunc::GetLabelValue(label),
+        } => Some((instance.clone(), label.clone())),
+        _ => None,
+    }
+}
+
+/// An interesting order provided by a physical subtree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProvidedOrder {
+    /// Instance whose label counts order the stream.
+    pub instance: String,
+    /// The ordered label.
+    pub label: String,
+    /// Whether the stream is descending.
+    pub reversed: bool,
+}
+
+/// Order-propagation analysis (the physical half of Rules 3–6): σ, `S`, `F`,
+/// π, and LIMIT preserve order; joins preserve the *outer* order when the
+/// ordering instance is not linked to the inner relation. `index_instances`
+/// maps registered Summary-BTree names to `(table, instance, k)`.
+pub fn provided_order(
+    plan: &PhysicalPlan,
+    db: &Database,
+    index_instances: &HashMap<String, (TableId, String, usize)>,
+) -> Option<ProvidedOrder> {
+    match plan {
+        PhysicalPlan::SummaryIndexScan {
+            index,
+            label,
+            reverse,
+            ..
+        } => {
+            let (_, instance, _) = index_instances.get(index)?;
+            Some(ProvidedOrder {
+                instance: instance.clone(),
+                label: label.clone(),
+                reversed: *reverse,
+            })
+        }
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::SummaryObjectFilter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Distinct { input }
+        | PhysicalPlan::Limit { input, .. } => provided_order(input, db, index_instances),
+        PhysicalPlan::NestedLoopJoin { left, right, .. } => {
+            let order = provided_order(left, db, index_instances)?;
+            if inner_lacks_instance(right, &order.instance, db) {
+                Some(order)
+            } else {
+                None
+            }
+        }
+        PhysicalPlan::IndexJoin {
+            left, right_table, ..
+        } => {
+            let order = provided_order(left, db, index_instances)?;
+            if db.instance_by_name(*right_table, &order.instance).is_err() {
+                Some(order)
+            } else {
+                None
+            }
+        }
+        PhysicalPlan::SummaryIndexJoin { left, index, .. } => {
+            let order = provided_order(left, db, index_instances)?;
+            let inner_table = index_instances.get(index).map(|(t, _, _)| *t)?;
+            if db.instance_by_name(inner_table, &order.instance).is_err() {
+                Some(order)
+            } else {
+                None
+            }
+        }
+        PhysicalPlan::Sort {
+            key: SortKey::Summary(se),
+            desc,
+            ..
+        } => summary_sort_target(se).map(|(instance, label)| ProvidedOrder {
+            instance,
+            label,
+            reversed: *desc,
+        }),
+        _ => None,
+    }
+}
+
+fn inner_lacks_instance(plan: &PhysicalPlan, instance: &str, db: &Database) -> bool {
+    if instance.is_empty() {
+        return true;
+    }
+    match plan {
+        PhysicalPlan::SeqScan { table, .. } => db.instance_by_name(*table, instance).is_err(),
+        PhysicalPlan::SummaryIndexScan { .. } | PhysicalPlan::BaselineIndexScan { .. } => false,
+        PhysicalPlan::Filter { input, .. }
+        | PhysicalPlan::SummaryObjectFilter { input, .. }
+        | PhysicalPlan::Project { input, .. }
+        | PhysicalPlan::Sort { input, .. }
+        | PhysicalPlan::GroupBy { input, .. }
+        | PhysicalPlan::Distinct { input }
+        | PhysicalPlan::Limit { input, .. } => inner_lacks_instance(input, instance, db),
+        PhysicalPlan::NestedLoopJoin { left, right, .. } => {
+            inner_lacks_instance(left, instance, db) && inner_lacks_instance(right, instance, db)
+        }
+        PhysicalPlan::IndexJoin {
+            left, right_table, ..
+        } => {
+            inner_lacks_instance(left, instance, db)
+                && db.instance_by_name(*right_table, instance).is_err()
+        }
+        // Conservative: an index-based summary join materializes the inner
+        // table's summary objects, so assume the instance may be present.
+        PhysicalPlan::SummaryIndexJoin { .. } => false,
+    }
+}
+
+/// Flip the direction of the ordering index scan beneath order-preserving
+/// operators (used when the provided order is the mirror of the wanted one).
+fn flip_scan_direction(plan: PhysicalPlan) -> PhysicalPlan {
+    match plan {
+        PhysicalPlan::SummaryIndexScan {
+            index,
+            label,
+            lo,
+            hi,
+            propagate,
+            reverse,
+        } => PhysicalPlan::SummaryIndexScan {
+            index,
+            label,
+            lo,
+            hi,
+            propagate,
+            reverse: !reverse,
+        },
+        PhysicalPlan::Filter { input, pred } => PhysicalPlan::Filter {
+            input: Box::new(flip_scan_direction(*input)),
+            pred,
+        },
+        PhysicalPlan::SummaryObjectFilter { input, pred } => PhysicalPlan::SummaryObjectFilter {
+            input: Box::new(flip_scan_direction(*input)),
+            pred,
+        },
+        PhysicalPlan::Project {
+            input,
+            cols,
+            eliminate,
+        } => PhysicalPlan::Project {
+            input: Box::new(flip_scan_direction(*input)),
+            cols,
+            eliminate,
+        },
+        PhysicalPlan::Limit { input, n } => PhysicalPlan::Limit {
+            input: Box::new(flip_scan_direction(*input)),
+            n,
+        },
+        PhysicalPlan::NestedLoopJoin { left, right, pred } => PhysicalPlan::NestedLoopJoin {
+            left: Box::new(flip_scan_direction(*left)),
+            right,
+            pred,
+        },
+        PhysicalPlan::IndexJoin {
+            left,
+            right_table,
+            left_col,
+            right_col,
+            residual,
+            with_summaries,
+        } => PhysicalPlan::IndexJoin {
+            left: Box::new(flip_scan_direction(*left)),
+            right_table,
+            left_col,
+            right_col,
+            residual,
+            with_summaries,
+        },
+        PhysicalPlan::SummaryIndexJoin {
+            left,
+            left_key,
+            index,
+            label,
+            residual,
+            with_summaries,
+        } => PhysicalPlan::SummaryIndexJoin {
+            left: Box::new(flip_scan_direction(*left)),
+            left_key,
+            index,
+            label,
+            residual,
+            with_summaries,
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instn_annot::{Attachment, Category};
+    use instn_core::instance::InstanceKind;
+    use instn_index::{PointerMode, SummaryBTree};
+    use instn_mining::nb::NaiveBayes;
+    use instn_query::exec::ExecContext;
+    use instn_query::expr::{CmpOp, SummaryExpr};
+    use instn_query::lower::lower_naive;
+    use instn_storage::{ColumnType, Oid, Schema, Value};
+
+    fn classifier_kind() -> InstanceKind {
+        let mut model = NaiveBayes::new(vec!["Disease".into(), "Behavior".into()]);
+        model.train("disease outbreak infection virus", "Disease");
+        model.train("eating foraging migration song", "Behavior");
+        InstanceKind::Classifier { model }
+    }
+
+    /// Birds(id, family) with i disease annots on tuple i; Synonyms(id,
+    /// bird_id) 3 per bird, no summary instances.
+    fn setup(n: usize) -> (Database, TableId, TableId, Vec<Oid>) {
+        let mut db = Database::new();
+        // A fat description column makes sequential scans realistically
+        // expensive, as in the paper's 450 MB Birds table.
+        let birds = db
+            .create_table(
+                "Birds",
+                Schema::of(&[
+                    ("id", ColumnType::Int),
+                    ("family", ColumnType::Text),
+                    ("descr", ColumnType::Text),
+                ]),
+            )
+            .unwrap();
+        let syn = db
+            .create_table(
+                "Synonyms",
+                Schema::of(&[("id", ColumnType::Int), ("bird_id", ColumnType::Int)]),
+            )
+            .unwrap();
+        db.link_instance(birds, "ClassBird1", classifier_kind(), true)
+            .unwrap();
+        let mut oids = Vec::new();
+        for i in 0..n {
+            let oid = db
+                .insert_tuple(
+                    birds,
+                    vec![
+                        Value::Int(i as i64),
+                        Value::Text(format!("f{}", i % 3)),
+                        Value::Text("d".repeat(1200)),
+                    ],
+                )
+                .unwrap();
+            oids.push(oid);
+            for _ in 0..i {
+                db.add_annotation(
+                    birds,
+                    "disease outbreak infection",
+                    Category::Disease,
+                    "u",
+                    vec![Attachment::row(oid)],
+                )
+                .unwrap();
+            }
+            for s in 0..3i64 {
+                db.insert_tuple(
+                    syn,
+                    vec![Value::Int(i as i64 * 3 + s), Value::Int(i as i64)],
+                )
+                .unwrap();
+            }
+        }
+        (db, birds, syn, oids)
+    }
+
+    #[test]
+    fn optimizer_picks_summary_index_scan() {
+        let (db, birds, _, _) = setup(200);
+        let config = PlannerConfig::default().with_summary_index("idx", birds, "ClassBird1", 2);
+        let opt = Optimizer::new(&db, config).unwrap();
+        let logical = LogicalPlan::scan("Birds").summary_select(Expr::label_cmp(
+            "ClassBird1",
+            "Disease",
+            CmpOp::Gt,
+            190,
+        ));
+        let plan = opt.optimize(&logical).unwrap();
+        assert!(
+            matches!(plan.physical, PhysicalPlan::SummaryIndexScan { .. }),
+            "got {:?}",
+            plan.physical
+        );
+        assert!(plan.considered >= 1);
+    }
+
+    #[test]
+    fn optimizer_keeps_seq_scan_without_index() {
+        let (db, _, _, _) = setup(10);
+        let opt = Optimizer::new(&db, PlannerConfig::default()).unwrap();
+        let logical = LogicalPlan::scan("Birds").summary_select(Expr::label_cmp(
+            "ClassBird1",
+            "Disease",
+            CmpOp::Gt,
+            5,
+        ));
+        let plan = opt.optimize(&logical).unwrap();
+        assert!(matches!(plan.physical, PhysicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn sort_elimination_via_interesting_order() {
+        let (db, birds, _, _) = setup(200);
+        let config = PlannerConfig::default().with_summary_index("idx", birds, "ClassBird1", 2);
+        let opt = Optimizer::new(&db, config).unwrap();
+        let logical = LogicalPlan::scan("Birds")
+            .summary_select(Expr::label_cmp("ClassBird1", "Disease", CmpOp::Ge, 180))
+            .sort(
+                SortKey::Summary(SummaryExpr::label_value("ClassBird1", "Disease")),
+                false,
+            );
+        let plan = opt.optimize(&logical).unwrap();
+        assert!(
+            !contains_sort(&plan.physical),
+            "sort should be eliminated: {:?}",
+            plan.physical
+        );
+        // Descending flips the scan instead of sorting.
+        let logical_desc = LogicalPlan::scan("Birds")
+            .summary_select(Expr::label_cmp("ClassBird1", "Disease", CmpOp::Ge, 180))
+            .sort(
+                SortKey::Summary(SummaryExpr::label_value("ClassBird1", "Disease")),
+                true,
+            );
+        let plan = opt.optimize(&logical_desc).unwrap();
+        assert!(!contains_sort(&plan.physical));
+        assert!(scan_reversed(&plan.physical));
+    }
+
+    fn contains_sort(p: &PhysicalPlan) -> bool {
+        match p {
+            PhysicalPlan::Sort { .. } => true,
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::SummaryObjectFilter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::GroupBy { input, .. }
+            | PhysicalPlan::Limit { input, .. } => contains_sort(input),
+            PhysicalPlan::NestedLoopJoin { left, right, .. } => {
+                contains_sort(left) || contains_sort(right)
+            }
+            PhysicalPlan::IndexJoin { left, .. } => contains_sort(left),
+            _ => false,
+        }
+    }
+
+    fn scan_reversed(p: &PhysicalPlan) -> bool {
+        match p {
+            PhysicalPlan::SummaryIndexScan { reverse, .. } => *reverse,
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::SummaryObjectFilter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Limit { input, .. } => scan_reversed(input),
+            PhysicalPlan::NestedLoopJoin { left, .. } | PhysicalPlan::IndexJoin { left, .. } => {
+                scan_reversed(left)
+            }
+            _ => false,
+        }
+    }
+
+    #[test]
+    fn fig14_shape_optimized_plan_beats_naive() {
+        // S(sort(Birds ⋈ Synonyms)) with disease predicate: the optimizer
+        // should push the selection below the join (Rule 2), use the index
+        // (order), and eliminate the sort (Rule 5).
+        let (db, birds, syn, _) = setup(200);
+        let config = PlannerConfig::default()
+            .with_summary_index("idx", birds, "ClassBird1", 2)
+            .with_column_index(syn, 1);
+        let opt = Optimizer::new(&db, config).unwrap();
+        let logical = LogicalPlan::scan("Birds")
+            .join(
+                LogicalPlan::scan("Synonyms"),
+                JoinPredicate::DataEq {
+                    left_col: 0,
+                    right_col: 1,
+                },
+            )
+            .summary_select(Expr::label_cmp("ClassBird1", "Disease", CmpOp::Gt, 190))
+            .sort(
+                SortKey::Summary(SummaryExpr::label_value("ClassBird1", "Disease")),
+                false,
+            );
+        let plan = opt.optimize(&logical).unwrap();
+        assert!(!contains_sort(&plan.physical), "{}", plan.explain);
+        // The chosen plan must start from the index scan.
+        fn has_index_scan(p: &PhysicalPlan) -> bool {
+            match p {
+                PhysicalPlan::SummaryIndexScan { .. } => true,
+                PhysicalPlan::Filter { input, .. }
+                | PhysicalPlan::SummaryObjectFilter { input, .. }
+                | PhysicalPlan::Project { input, .. }
+                | PhysicalPlan::Limit { input, .. }
+                | PhysicalPlan::Sort { input, .. }
+                | PhysicalPlan::GroupBy { input, .. } => has_index_scan(input),
+                PhysicalPlan::NestedLoopJoin { left, right, .. } => {
+                    has_index_scan(left) || has_index_scan(right)
+                }
+                PhysicalPlan::IndexJoin { left, .. } => has_index_scan(left),
+                _ => false,
+            }
+        }
+        assert!(has_index_scan(&plan.physical), "{:?}", plan.physical);
+
+        // The naive plan costs strictly more.
+        let info = opt.config.index_info();
+        let model = CostModel::new(opt.stats(), &info);
+        let naive = lower_naive(&db, &logical).unwrap();
+        assert!(
+            model.cost(&plan.physical).total() < model.cost(&naive).total(),
+            "optimized {} vs naive {}",
+            model.cost(&plan.physical).total(),
+            model.cost(&naive).total()
+        );
+    }
+
+    #[test]
+    fn optimized_plan_produces_same_rows_as_naive() {
+        let (db, birds, syn, _) = setup(25);
+        let config = PlannerConfig::default()
+            .with_summary_index("idx", birds, "ClassBird1", 2)
+            .with_column_index(syn, 1);
+        let opt = Optimizer::new(&db, config).unwrap();
+        let logical = LogicalPlan::scan("Birds")
+            .join(
+                LogicalPlan::scan("Synonyms"),
+                JoinPredicate::DataEq {
+                    left_col: 0,
+                    right_col: 1,
+                },
+            )
+            .summary_select(Expr::label_cmp("ClassBird1", "Disease", CmpOp::Gt, 20))
+            .sort(
+                SortKey::Summary(SummaryExpr::label_value("ClassBird1", "Disease")),
+                false,
+            );
+        let optimized = opt.optimize(&logical).unwrap();
+        let naive = lower_naive(&db, &logical).unwrap();
+
+        let run = |plan: &PhysicalPlan| {
+            let mut ctx = ExecContext::new(&db);
+            ctx.register_summary_index(
+                "idx",
+                SummaryBTree::bulk_build(&db, birds, "ClassBird1", PointerMode::Backward).unwrap(),
+            );
+            ctx.register_column_index(
+                instn_query::dataindex::ColumnIndex::build(&db, syn, 1).unwrap(),
+            );
+            ctx.execute(plan).unwrap()
+        };
+        let a = run(&optimized.physical);
+        let b = run(&naive);
+        assert_eq!(a.len(), b.len());
+        // Same multiset of data values and same disease-count order.
+        let key = |r: &instn_core::AnnotatedTuple| {
+            SummaryExpr::label_value("ClassBird1", "Disease")
+                .eval(r)
+                .as_int()
+                .unwrap()
+        };
+        let ka: Vec<i64> = a.iter().map(key).collect();
+        let kb: Vec<i64> = b.iter().map(key).collect();
+        assert_eq!(ka, kb, "identical order");
+    }
+
+    #[test]
+    fn plan_uses_summaries_detection() {
+        let p1 = LogicalPlan::scan("Birds").select(Expr::col_cmp(0, CmpOp::Eq, Value::Int(1)));
+        assert!(!plan_uses_summaries(&p1));
+        let p2 = LogicalPlan::scan("Birds").summary_select(Expr::label_cmp("C", "D", CmpOp::Gt, 1));
+        assert!(plan_uses_summaries(&p2));
+        let p3 = LogicalPlan::scan("Birds")
+            .sort(SortKey::Summary(SummaryExpr::label_value("C", "D")), false);
+        assert!(plan_uses_summaries(&p3));
+    }
+
+    #[test]
+    fn optimizer_picks_index_based_summary_join() {
+        let (db, birds, _, _) = setup(200);
+        let config = PlannerConfig::default().with_summary_index("sij", birds, "ClassBird1", 2);
+        let opt = Optimizer::new(&db, config).unwrap();
+        // Self-join on equal disease counts with a highly selective outer:
+        // few probes, so the index-based J beats re-scanning the inner.
+        let logical = LogicalPlan::scan("Birds")
+            .select(Expr::col_cmp(0, CmpOp::Eq, Value::Int(5)))
+            .summary_join(
+                LogicalPlan::scan("Birds"),
+                JoinPredicate::SummaryCmp {
+                    left: SummaryExpr::label_value("ClassBird1", "Disease"),
+                    op: CmpOp::Eq,
+                    right: SummaryExpr::label_value("ClassBird1", "Disease"),
+                },
+            );
+        let plan = opt.optimize(&logical).unwrap();
+        fn has_sij(p: &PhysicalPlan) -> bool {
+            match p {
+                PhysicalPlan::SummaryIndexJoin { .. } => true,
+                PhysicalPlan::Filter { input, .. }
+                | PhysicalPlan::SummaryObjectFilter { input, .. }
+                | PhysicalPlan::Project { input, .. }
+                | PhysicalPlan::Sort { input, .. }
+                | PhysicalPlan::GroupBy { input, .. }
+                | PhysicalPlan::Limit { input, .. } => has_sij(input),
+                PhysicalPlan::NestedLoopJoin { left, right, .. } => has_sij(left) || has_sij(right),
+                PhysicalPlan::IndexJoin { left, .. } => has_sij(left),
+                _ => false,
+            }
+        }
+        assert!(
+            has_sij(&plan.physical),
+            "expected an index-based summary join: {:?}",
+            plan.physical
+        );
+    }
+
+    #[test]
+    fn strip_summary_eq_removes_only_one_probe() {
+        let eq = |_i: u32| JoinPredicate::SummaryCmp {
+            left: SummaryExpr::label_value("C", "Disease"),
+            op: CmpOp::Eq,
+            right: SummaryExpr::label_value("C", "Disease"),
+        };
+        let pred = JoinPredicate::And(Box::new(eq(0)), Box::new(eq(1)));
+        let rest = strip_summary_eq(&pred).expect("one conjunct remains");
+        assert!(matches!(rest, JoinPredicate::SummaryCmp { .. }));
+        assert!(strip_summary_eq(&eq(0)).is_none());
+    }
+
+    #[test]
+    fn strip_data_eq_leaves_residual() {
+        let pred = JoinPredicate::And(
+            Box::new(JoinPredicate::DataEq {
+                left_col: 0,
+                right_col: 1,
+            }),
+            Box::new(JoinPredicate::CombinedContains {
+                instance: "T".into(),
+                keywords: vec!["k".into()],
+            }),
+        );
+        let rest = strip_data_eq(&pred).unwrap();
+        assert!(matches!(rest, JoinPredicate::CombinedContains { .. }));
+        assert!(strip_data_eq(&JoinPredicate::DataEq {
+            left_col: 0,
+            right_col: 0
+        })
+        .is_none());
+    }
+}

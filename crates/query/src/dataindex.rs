@@ -1,0 +1,183 @@
+//! Standard B-Tree indexes on data columns.
+//!
+//! The optimizer experiments need ordinary data indexes: Figure 14 joins
+//! Birds with Synonyms through an index on the Synonyms join column, and
+//! Figure 15 switches a join order to exploit an index on the bird
+//! identifiers of a replica table. This module provides exactly that: a
+//! B-Tree mapping an order-preserving encoding of one column's values to
+//! tuple OIDs.
+
+use std::sync::Arc;
+
+use instn_core::db::Database;
+use instn_storage::btree::BTree;
+use instn_storage::{Oid, TableId, Value};
+
+use crate::Result;
+
+/// Order-preserving byte encoding of a value for index keys.
+///
+/// Only same-type comparisons matter (columns are single-typed): integers
+/// use sign-flipped big-endian, floats the standard IEEE total-order
+/// transform, text its UTF-8 bytes.
+pub fn value_key(v: &Value) -> Vec<u8> {
+    match v {
+        Value::Null => vec![0],
+        Value::Int(i) => {
+            let mut out = vec![1];
+            out.extend_from_slice(&((*i as u64) ^ (1u64 << 63)).to_be_bytes());
+            out
+        }
+        Value::Float(f) => {
+            let bits = f.to_bits();
+            let ordered = if *f >= 0.0 {
+                bits ^ (1u64 << 63)
+            } else {
+                !bits
+            };
+            let mut out = vec![2];
+            out.extend_from_slice(&ordered.to_be_bytes());
+            out
+        }
+        Value::Text(s) => {
+            let mut out = vec![3];
+            out.extend_from_slice(s.as_bytes());
+            out
+        }
+        Value::Bool(b) => vec![4, *b as u8],
+    }
+}
+
+/// A standard B-Tree index on one data column.
+#[derive(Debug)]
+pub struct ColumnIndex {
+    table: TableId,
+    column: usize,
+    tree: BTree<Oid>,
+}
+
+impl ColumnIndex {
+    /// Build over the current contents of `table.column`.
+    pub fn build(db: &Database, table: TableId, column: usize) -> Result<ColumnIndex> {
+        let t = db.table(table)?;
+        let mut pairs: Vec<(Vec<u8>, Oid)> = t
+            .scan()
+            .map(|(oid, tuple)| (value_key(&tuple[column]), oid))
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let tree = BTree::bulk_load(
+            Arc::clone(db.stats()),
+            instn_storage::btree::DEFAULT_ORDER,
+            pairs,
+        );
+        Ok(ColumnIndex {
+            table,
+            column,
+            tree,
+        })
+    }
+
+    /// The indexed table.
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+
+    /// The indexed column.
+    pub fn column(&self) -> usize {
+        self.column
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// OIDs of tuples whose column equals `v`.
+    pub fn lookup(&self, v: &Value) -> Vec<Oid> {
+        self.tree.get_all(&value_key(v))
+    }
+
+    /// Maintain on insert.
+    pub fn insert(&mut self, v: &Value, oid: Oid) {
+        self.tree.insert(&value_key(v), oid);
+    }
+
+    /// Maintain on delete.
+    pub fn delete(&mut self, v: &Value, oid: Oid) {
+        let _ = self.tree.delete(&value_key(v), &oid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instn_storage::{ColumnType, Schema};
+
+    fn db_with_table() -> (Database, TableId, Vec<Oid>) {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "S",
+                Schema::of(&[("c1", ColumnType::Int), ("c2", ColumnType::Text)]),
+            )
+            .unwrap();
+        let mut oids = Vec::new();
+        for i in 0..20i64 {
+            oids.push(
+                db.insert_tuple(t, vec![Value::Int(i % 5), Value::Text(format!("t{i}"))])
+                    .unwrap(),
+            );
+        }
+        (db, t, oids)
+    }
+
+    #[test]
+    fn lookup_by_int_value() {
+        let (db, t, _) = db_with_table();
+        let idx = ColumnIndex::build(&db, t, 0).unwrap();
+        assert_eq!(idx.len(), 20);
+        let hits = idx.lookup(&Value::Int(3));
+        assert_eq!(hits.len(), 4, "values 3, 8, 13, 18");
+        assert!(idx.lookup(&Value::Int(99)).is_empty());
+    }
+
+    #[test]
+    fn lookup_by_text_value() {
+        let (db, t, oids) = db_with_table();
+        let idx = ColumnIndex::build(&db, t, 1).unwrap();
+        assert_eq!(idx.lookup(&Value::Text("t7".into())), vec![oids[7]]);
+    }
+
+    #[test]
+    fn maintenance() {
+        let (db, t, oids) = db_with_table();
+        let mut idx = ColumnIndex::build(&db, t, 0).unwrap();
+        idx.delete(&Value::Int(3), oids[3]);
+        assert_eq!(idx.lookup(&Value::Int(3)).len(), 3);
+        idx.insert(&Value::Int(3), Oid(999));
+        assert_eq!(idx.lookup(&Value::Int(3)).len(), 4);
+    }
+
+    #[test]
+    fn int_key_encoding_is_order_preserving() {
+        let vals = [-100i64, -1, 0, 1, 42, 1_000_000];
+        let keys: Vec<Vec<u8>> = vals.iter().map(|&i| value_key(&Value::Int(i))).collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn float_key_encoding_is_order_preserving() {
+        let vals = [-1.5f64, -0.25, 0.0, 0.25, 3.5, 1e9];
+        let keys: Vec<Vec<u8>> = vals.iter().map(|&f| value_key(&Value::Float(f))).collect();
+        for w in keys.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+    }
+}

@@ -1,0 +1,1796 @@
+//! Physical operators and the executor.
+//!
+//! The executor materializes operator outputs (vectors of
+//! [`AnnotatedTuple`]); all "disk" cost flows through the shared
+//! [`instn_storage::IoStats`], so the benchmark harness can report simulated
+//! I/O next to wall time. Implemented operators:
+//!
+//! * sequential scan (with or without summary propagation),
+//! * Summary-BTree index scan (equality / range, in count order — the
+//!   *interesting order* the optimizer exploits),
+//! * baseline-scheme index scan (with its extra join indirection, and the
+//!   optional propagate-from-normalized mode of Figure 12),
+//! * data filter σ / summary selection `S` (one physical node — the
+//!   distinction is logical), summary object filter `F`,
+//! * projection with annotation-effect elimination (Fig. 3 step 1),
+//! * block nested-loop join and index join, both merging summary sets with
+//!   common-annotation de-duplication,
+//! * in-memory and external (spilling) sort, data- or summary-keyed,
+//! * group-by with COUNT(*) and summary merging, and LIMIT.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use instn_core::algebra::{merge_summary_sets, project_eliminate};
+use instn_core::db::Database;
+use instn_core::summary::{decode_objects, encode_objects};
+use instn_core::AnnotatedTuple;
+use instn_index::{BaselineIndex, SummaryBTree};
+use instn_storage::io::IoStats;
+use instn_storage::tuple::{decode_tuple, encode_tuple};
+use instn_storage::{HeapFile, TableId, Value};
+
+use crate::dataindex::ColumnIndex;
+use crate::expr::{Expr, ObjectPred};
+use crate::plan::{JoinPredicate, SortKey};
+use crate::{QueryError, Result};
+
+/// Tuples per block for the block nested-loop join (the inner plan is
+/// re-executed once per block, like a block NL join re-reads the inner
+/// relation per buffer-full of outer tuples).
+pub const NL_BLOCK_SIZE: usize = 1024;
+
+/// Default in-memory sort budget (tuples); larger inputs spill to runs.
+pub const DEFAULT_SORT_MEM: usize = 10_000;
+
+/// The physical plan tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Sequential scan of a base table.
+    SeqScan {
+        /// The table.
+        table: TableId,
+        /// Whether to propagate summaries (read SummaryStorage rows).
+        with_summaries: bool,
+    },
+    /// Summary-BTree range scan; output arrives in ascending count order of
+    /// the probed label.
+    SummaryIndexScan {
+        /// Registered index name.
+        index: String,
+        /// Classifier label to probe.
+        label: String,
+        /// Inclusive lower count bound.
+        lo: Option<u64>,
+        /// Inclusive upper count bound.
+        hi: Option<u64>,
+        /// Whether to propagate summaries.
+        propagate: bool,
+        /// Reverse the (ascending) index order.
+        reverse: bool,
+    },
+    /// Baseline-scheme index scan (extra joins to reach the data).
+    BaselineIndexScan {
+        /// Registered index name.
+        index: String,
+        /// Classifier label to probe.
+        label: String,
+        /// Inclusive lower count bound.
+        lo: Option<u64>,
+        /// Inclusive upper count bound.
+        hi: Option<u64>,
+        /// Whether to propagate summaries.
+        propagate: bool,
+        /// Propagate by re-assembling objects from the normalized replica
+        /// (the Figure 12 comparison) instead of reading SummaryStorage.
+        from_normalized: bool,
+    },
+    /// Tuple filter: evaluates any predicate (data σ or summary `S`).
+    Filter {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Predicate.
+        pred: Expr,
+    },
+    /// Summary object filter `F`: keeps only matching objects per tuple.
+    SummaryObjectFilter {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Object predicate.
+        pred: ObjectPred,
+    },
+    /// Projection. When `eliminate` is set the kept columns are positions in
+    /// the *base relation* and dropped-annotation effects are removed
+    /// (planners set it only directly above base-relation-shaped inputs).
+    Project {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Kept columns (input positions, output order).
+        cols: Vec<usize>,
+        /// Eliminate dropped annotations' effects from summaries.
+        eliminate: bool,
+    },
+    /// Block nested-loop join (re-executes the inner per outer block).
+    NestedLoopJoin {
+        /// Outer input.
+        left: Box<PhysicalPlan>,
+        /// Inner input (re-executed per block).
+        right: Box<PhysicalPlan>,
+        /// Join predicate.
+        pred: JoinPredicate,
+    },
+    /// Index join: probes a column index on the inner table per outer tuple.
+    IndexJoin {
+        /// Outer input.
+        left: Box<PhysicalPlan>,
+        /// Inner table.
+        right_table: TableId,
+        /// Outer join column.
+        left_col: usize,
+        /// Inner join column (must be indexed in the context).
+        right_col: usize,
+        /// Residual predicate applied after the index probe.
+        residual: Option<JoinPredicate>,
+        /// Whether inner tuples carry summaries.
+        with_summaries: bool,
+    },
+    /// Index-based summary join (the paper's second `J` implementation,
+    /// §5.2): for each outer tuple, evaluate the left summary expression
+    /// and probe a Summary-BTree on the inner table for tuples whose label
+    /// count matches.
+    SummaryIndexJoin {
+        /// Outer input.
+        left: Box<PhysicalPlan>,
+        /// Summary expression evaluated on each outer tuple; its integer
+        /// value is the probe key.
+        left_key: crate::expr::SummaryExpr,
+        /// Registered Summary-BTree over the inner table's instance.
+        index: String,
+        /// The probed classifier label.
+        label: String,
+        /// Residual predicate applied after the probe.
+        residual: Option<JoinPredicate>,
+        /// Whether inner tuples carry summaries.
+        with_summaries: bool,
+    },
+    /// Sort, in-memory or external.
+    Sort {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Sort key (data column or summary expression — the `O` operator).
+        key: SortKey,
+        /// Descending order.
+        desc: bool,
+        /// Force the external (spilling) algorithm.
+        disk: bool,
+    },
+    /// Group-by over column values: output = group cols + COUNT(*), with
+    /// summaries merged across group members.
+    GroupBy {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Grouping columns (input positions).
+        cols: Vec<usize>,
+    },
+    /// Duplicate elimination: tuples with equal data values collapse into
+    /// one output tuple whose summary set is the merge of the duplicates'
+    /// sets (the summary-aware DISTINCT of §2.2).
+    Distinct {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+    },
+    /// LIMIT n.
+    Limit {
+        /// Input plan.
+        input: Box<PhysicalPlan>,
+        /// Row cap.
+        n: usize,
+    },
+}
+
+impl PhysicalPlan {
+    fn fmt_indent(&self, f: &mut std::fmt::Formatter<'_>, indent: usize) -> std::fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            PhysicalPlan::SeqScan {
+                table,
+                with_summaries,
+            } => writeln!(
+                f,
+                "{pad}SeqScan(table#{}{})",
+                table.0,
+                if *with_summaries { ", +summaries" } else { "" }
+            ),
+            PhysicalPlan::SummaryIndexScan {
+                index,
+                label,
+                lo,
+                hi,
+                reverse,
+                ..
+            } => writeln!(
+                f,
+                "{pad}SummaryIndexScan({index}, {label} in [{}, {}]{})",
+                lo.map(|v| v.to_string()).unwrap_or_else(|| "-∞".into()),
+                hi.map(|v| v.to_string()).unwrap_or_else(|| "+∞".into()),
+                if *reverse { ", desc" } else { "" }
+            ),
+            PhysicalPlan::BaselineIndexScan {
+                index,
+                label,
+                from_normalized,
+                ..
+            } => writeln!(
+                f,
+                "{pad}BaselineIndexScan({index}, {label}{})",
+                if *from_normalized {
+                    ", propagate-from-normalized"
+                } else {
+                    ""
+                }
+            ),
+            PhysicalPlan::Filter { input, .. } => {
+                writeln!(f, "{pad}Filter(σ/S)")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::SummaryObjectFilter { input, .. } => {
+                writeln!(f, "{pad}SummaryObjectFilter(F)")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::Project {
+                input,
+                cols,
+                eliminate,
+            } => {
+                writeln!(
+                    f,
+                    "{pad}Project(π {cols:?}{})",
+                    if *eliminate { ", eliminate" } else { "" }
+                )?;
+                input.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::NestedLoopJoin { left, right, .. } => {
+                writeln!(f, "{pad}NestedLoopJoin(block)")?;
+                left.fmt_indent(f, indent + 1)?;
+                right.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::IndexJoin {
+                left,
+                right_table,
+                right_col,
+                ..
+            } => {
+                writeln!(f, "{pad}IndexJoin(table#{}.col{right_col})", right_table.0)?;
+                left.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::SummaryIndexJoin {
+                left, index, label, ..
+            } => {
+                writeln!(f, "{pad}SummaryIndexJoin(J via {index} on {label})")?;
+                left.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::Sort {
+                input,
+                key,
+                desc,
+                disk,
+            } => {
+                writeln!(
+                    f,
+                    "{pad}Sort({}{}{})",
+                    if key.is_summary() { "O" } else { "data" },
+                    if *desc { ", desc" } else { "" },
+                    if *disk { ", external" } else { ", in-memory" }
+                )?;
+                input.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::GroupBy { input, cols } => {
+                writeln!(f, "{pad}GroupBy({cols:?})")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::Distinct { input } => {
+                writeln!(f, "{pad}Distinct(δ)")?;
+                input.fmt_indent(f, indent + 1)
+            }
+            PhysicalPlan::Limit { input, n } => {
+                writeln!(f, "{pad}Limit({n})")?;
+                input.fmt_indent(f, indent + 1)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for PhysicalPlan {
+    /// EXPLAIN-style tree rendering.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.fmt_indent(f, 0)
+    }
+}
+
+/// Execution context: the database plus registered indexes.
+pub struct ExecContext<'a> {
+    /// The engine.
+    pub db: &'a Database,
+    summary_indexes: HashMap<String, SummaryBTree>,
+    baseline_indexes: HashMap<String, BaselineIndex>,
+    column_indexes: HashMap<(TableId, usize), ColumnIndex>,
+    /// In-memory sort budget in tuples; larger sorts spill.
+    pub sort_mem: usize,
+}
+
+impl<'a> ExecContext<'a> {
+    /// A context with no registered indexes.
+    pub fn new(db: &'a Database) -> Self {
+        Self {
+            db,
+            summary_indexes: HashMap::new(),
+            baseline_indexes: HashMap::new(),
+            column_indexes: HashMap::new(),
+            sort_mem: DEFAULT_SORT_MEM,
+        }
+    }
+
+    /// Register a Summary-BTree under a name.
+    pub fn register_summary_index(&mut self, name: &str, index: SummaryBTree) {
+        self.summary_indexes.insert(name.to_string(), index);
+    }
+
+    /// Register a baseline-scheme index under a name.
+    pub fn register_baseline_index(&mut self, name: &str, index: BaselineIndex) {
+        self.baseline_indexes.insert(name.to_string(), index);
+    }
+
+    /// Register a data-column index.
+    pub fn register_column_index(&mut self, index: ColumnIndex) {
+        self.column_indexes
+            .insert((index.table(), index.column()), index);
+    }
+
+    /// Whether a Summary-BTree is registered under `name`.
+    pub fn has_summary_index(&self, name: &str) -> bool {
+        self.summary_indexes.contains_key(name)
+    }
+
+    /// Whether a column index exists on `(table, col)`.
+    pub fn has_column_index(&self, table: TableId, col: usize) -> bool {
+        self.column_indexes.contains_key(&(table, col))
+    }
+
+    /// Borrow a registered Summary-BTree.
+    pub fn summary_index(&self, name: &str) -> Option<&SummaryBTree> {
+        self.summary_indexes.get(name)
+    }
+
+    /// Execute a physical plan to completion.
+    pub fn execute(&mut self, plan: &PhysicalPlan) -> Result<Vec<AnnotatedTuple>> {
+        match plan {
+            PhysicalPlan::SeqScan {
+                table,
+                with_summaries,
+            } => self.seq_scan(*table, *with_summaries),
+            PhysicalPlan::SummaryIndexScan {
+                index,
+                label,
+                lo,
+                hi,
+                propagate,
+                reverse,
+            } => self.summary_index_scan(index, label, *lo, *hi, *propagate, *reverse),
+            PhysicalPlan::BaselineIndexScan {
+                index,
+                label,
+                lo,
+                hi,
+                propagate,
+                from_normalized,
+            } => self.baseline_index_scan(index, label, *lo, *hi, *propagate, *from_normalized),
+            PhysicalPlan::Filter { input, pred } => {
+                let rows = self.execute(input)?;
+                let mut out = Vec::new();
+                for t in rows {
+                    if pred.eval_bool(&t)? {
+                        out.push(t);
+                    }
+                }
+                Ok(out)
+            }
+            PhysicalPlan::SummaryObjectFilter { input, pred } => {
+                let mut rows = self.execute(input)?;
+                for t in &mut rows {
+                    t.summaries.retain(|o| pred.matches(o));
+                }
+                Ok(rows)
+            }
+            PhysicalPlan::Project {
+                input,
+                cols,
+                eliminate,
+            } => self.project(input, cols, *eliminate),
+            PhysicalPlan::NestedLoopJoin { left, right, pred } => {
+                self.nested_loop_join(left, right, pred)
+            }
+            PhysicalPlan::IndexJoin {
+                left,
+                right_table,
+                left_col,
+                right_col,
+                residual,
+                with_summaries,
+            } => self.index_join(
+                left,
+                *right_table,
+                *left_col,
+                *right_col,
+                residual.as_ref(),
+                *with_summaries,
+            ),
+            PhysicalPlan::SummaryIndexJoin {
+                left,
+                left_key,
+                index,
+                label,
+                residual,
+                with_summaries,
+            } => self.summary_index_join(
+                left,
+                left_key,
+                index,
+                label,
+                residual.as_ref(),
+                *with_summaries,
+            ),
+            PhysicalPlan::Sort {
+                input,
+                key,
+                desc,
+                disk,
+            } => {
+                let rows = self.execute(input)?;
+                if *disk || rows.len() > self.sort_mem {
+                    self.external_sort(rows, key, *desc)
+                } else {
+                    Ok(mem_sort(rows, key, *desc))
+                }
+            }
+            PhysicalPlan::GroupBy { input, cols } => self.group_by(input, cols),
+            PhysicalPlan::Distinct { input } => self.distinct(input),
+            PhysicalPlan::Limit { input, n } => {
+                let mut rows = self.execute(input)?;
+                rows.truncate(*n);
+                Ok(rows)
+            }
+        }
+    }
+
+    fn seq_scan(&mut self, table: TableId, with_summaries: bool) -> Result<Vec<AnnotatedTuple>> {
+        if with_summaries {
+            Ok(self.db.scan_annotated(table)?)
+        } else {
+            let t = self.db.table(table)?;
+            Ok(t.scan()
+                .map(|(oid, values)| AnnotatedTuple::bare(table, oid, values))
+                .collect())
+        }
+    }
+
+    fn summary_index_scan(
+        &mut self,
+        index: &str,
+        label: &str,
+        lo: Option<u64>,
+        hi: Option<u64>,
+        propagate: bool,
+        reverse: bool,
+    ) -> Result<Vec<AnnotatedTuple>> {
+        let idx = self
+            .summary_indexes
+            .get_mut(index)
+            .ok_or_else(|| QueryError::UnknownIndex(index.to_string()))?;
+        let table = idx.table();
+        let mut entries = idx.search_range(label, lo, hi);
+        if reverse {
+            entries.reverse();
+        }
+        let mut out = Vec::with_capacity(entries.len());
+        for e in entries {
+            let values = idx.fetch_data_tuple(self.db, &e)?;
+            let summaries = if propagate {
+                idx.fetch_summaries(self.db, &e)?
+            } else {
+                Vec::new()
+            };
+            out.push(AnnotatedTuple {
+                source: Some((table, e.oid)),
+                values,
+                summaries,
+            });
+        }
+        Ok(out)
+    }
+
+    fn baseline_index_scan(
+        &mut self,
+        index: &str,
+        label: &str,
+        lo: Option<u64>,
+        hi: Option<u64>,
+        propagate: bool,
+        from_normalized: bool,
+    ) -> Result<Vec<AnnotatedTuple>> {
+        let idx = self
+            .baseline_indexes
+            .get(index)
+            .ok_or_else(|| QueryError::UnknownIndex(index.to_string()))?;
+        // The baseline index only knows OIDs; find the table through the
+        // instance it was built on.
+        let oids = idx.search_range(label, lo, hi);
+        let mut out = Vec::with_capacity(oids.len());
+        for oid in oids {
+            // Locate the owning table: baseline indexes are registered per
+            // instance, and rebuild_object knows the table internally; here
+            // we resolve through the first table having this instance name.
+            let table = self.table_of_baseline(index)?;
+            // Extra indirection: OID-index probe + heap read.
+            let values = self.db.table(table)?.get(oid)?;
+            let summaries = if propagate {
+                if from_normalized {
+                    // Re-assemble the classifier object from normalized rows
+                    // (plus the remaining objects are unavailable in this
+                    // mode — the paper's Fig. 12 measures exactly this).
+                    idx.rebuild_object(self.db, oid)?
+                        .map(|o| vec![o])
+                        .unwrap_or_default()
+                } else {
+                    self.db.summaries_of(table, oid)?
+                }
+            } else {
+                Vec::new()
+            };
+            out.push(AnnotatedTuple {
+                source: Some((table, oid)),
+                values,
+                summaries,
+            });
+        }
+        Ok(out)
+    }
+
+    fn table_of_baseline(&self, index: &str) -> Result<TableId> {
+        let idx = self
+            .baseline_indexes
+            .get(index)
+            .ok_or_else(|| QueryError::UnknownIndex(index.to_string()))?;
+        // Find the table with this instance linked.
+        for (tid, _) in self.db_tables() {
+            if self.db.instance_by_name(tid, idx.instance_name()).is_ok() {
+                return Ok(tid);
+            }
+        }
+        Err(QueryError::UnknownIndex(index.to_string()))
+    }
+
+    fn db_tables(&self) -> Vec<(TableId, String)> {
+        // The catalog enumerates tables densely from 0.
+        let mut out = Vec::new();
+        let mut i = 0u32;
+        while let Ok(t) = self.db.table(TableId(i)) {
+            out.push((TableId(i), t.name().to_string()));
+            i += 1;
+        }
+        out
+    }
+
+    fn project(
+        &mut self,
+        input: &PhysicalPlan,
+        cols: &[usize],
+        eliminate: bool,
+    ) -> Result<Vec<AnnotatedTuple>> {
+        let rows = self.execute(input)?;
+        let resolver = self.db.text_resolver();
+        let mut out = Vec::with_capacity(rows.len());
+        for mut t in rows {
+            if eliminate {
+                if let Some((table, oid)) = t.source {
+                    let (_kept, removed) = self
+                        .db
+                        .annotation_store(table)
+                        .partition_by_projection(oid, cols);
+                    if !removed.is_empty() {
+                        project_eliminate(&mut t.summaries, &removed, &resolver);
+                    }
+                }
+            }
+            t.values = cols
+                .iter()
+                .map(|&i| t.values.get(i).cloned().unwrap_or(Value::Null))
+                .collect();
+            out.push(t);
+        }
+        Ok(out)
+    }
+
+    fn merge_pair(&self, l: &AnnotatedTuple, r: &AnnotatedTuple) -> AnnotatedTuple {
+        let common: std::collections::HashSet<instn_annot::AnnotId> = match (l.source, r.source) {
+            (Some((tl, ol)), Some((tr, or))) => self
+                .db
+                .common_annotations(tl, ol, tr, or)
+                .into_iter()
+                .collect(),
+            _ => Default::default(),
+        };
+        let resolver = self.db.text_resolver();
+        let mut values = l.values.clone();
+        values.extend(r.values.iter().cloned());
+        AnnotatedTuple {
+            source: None,
+            values,
+            summaries: merge_summary_sets(&l.summaries, &r.summaries, &common, &resolver),
+        }
+    }
+
+    fn nested_loop_join(
+        &mut self,
+        left: &PhysicalPlan,
+        right: &PhysicalPlan,
+        pred: &JoinPredicate,
+    ) -> Result<Vec<AnnotatedTuple>> {
+        let outer = self.execute(left)?;
+        let mut out = Vec::new();
+        for block in outer.chunks(NL_BLOCK_SIZE.max(1)) {
+            // Block NL: the inner is re-executed (re-read) once per block.
+            let inner = self.execute(right)?;
+            for l in block {
+                for r in &inner {
+                    if pred.matches(l, r) {
+                        out.push(self.merge_pair(l, r));
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn index_join(
+        &mut self,
+        left: &PhysicalPlan,
+        right_table: TableId,
+        left_col: usize,
+        right_col: usize,
+        residual: Option<&JoinPredicate>,
+        with_summaries: bool,
+    ) -> Result<Vec<AnnotatedTuple>> {
+        if !self.has_column_index(right_table, right_col) {
+            return Err(QueryError::BadPlan(format!(
+                "index join requires a column index on table {right_table:?} col {right_col}"
+            )));
+        }
+        let outer = self.execute(left)?;
+        let mut out = Vec::new();
+        for l in &outer {
+            let Some(key) = l.values.get(left_col) else {
+                continue;
+            };
+            let oids = self.column_indexes[&(right_table, right_col)].lookup(key);
+            for oid in oids {
+                let r = if with_summaries {
+                    self.db.annotated_tuple(right_table, oid)?
+                } else {
+                    let values = self.db.table(right_table)?.get(oid)?;
+                    AnnotatedTuple::bare(right_table, oid, values)
+                };
+                if let Some(p) = residual {
+                    if !p.matches(l, &r) {
+                        continue;
+                    }
+                }
+                out.push(self.merge_pair(l, &r));
+            }
+        }
+        Ok(out)
+    }
+
+    fn summary_index_join(
+        &mut self,
+        left: &PhysicalPlan,
+        left_key: &crate::expr::SummaryExpr,
+        index: &str,
+        label: &str,
+        residual: Option<&JoinPredicate>,
+        with_summaries: bool,
+    ) -> Result<Vec<AnnotatedTuple>> {
+        let outer = self.execute(left)?;
+        let mut out = Vec::new();
+        for l in &outer {
+            let Some(count) = left_key.eval(l).as_int() else {
+                continue;
+            };
+            if count < 0 {
+                continue;
+            }
+            let idx = self
+                .summary_indexes
+                .get_mut(index)
+                .ok_or_else(|| QueryError::UnknownIndex(index.to_string()))?;
+            let right_table = idx.table();
+            let entries = idx.search_eq(label, count as u64);
+            for e in entries {
+                let values = {
+                    let idx = self.summary_indexes.get(index).expect("checked above");
+                    idx.fetch_data_tuple(self.db, &e)?
+                };
+                let summaries = if with_summaries {
+                    let idx = self.summary_indexes.get(index).expect("checked above");
+                    idx.fetch_summaries(self.db, &e)?
+                } else {
+                    Vec::new()
+                };
+                let r = AnnotatedTuple {
+                    source: Some((right_table, e.oid)),
+                    values,
+                    summaries,
+                };
+                if let Some(p) = residual {
+                    if !p.matches(l, &r) {
+                        continue;
+                    }
+                }
+                out.push(self.merge_pair(l, &r));
+            }
+        }
+        Ok(out)
+    }
+
+    /// External merge sort: spill sorted runs to a heap file, then k-way
+    /// merge reading them back (every spilled tuple is written and re-read,
+    /// charging I/O — the "Disk" sort of Figure 14).
+    fn external_sort(
+        &mut self,
+        rows: Vec<AnnotatedTuple>,
+        key: &SortKey,
+        desc: bool,
+    ) -> Result<Vec<AnnotatedTuple>> {
+        let stats: Arc<IoStats> = Arc::clone(self.db.stats());
+        let mut spill = HeapFile::new(stats);
+        let run_size = self.sort_mem.max(2);
+        let mut runs: Vec<Vec<instn_storage::page::RecordId>> = Vec::new();
+        let mut total = 0usize;
+        for chunk in rows.chunks(run_size) {
+            let sorted = mem_sort(chunk.to_vec(), key, desc);
+            let mut run = Vec::with_capacity(sorted.len());
+            for t in &sorted {
+                run.push(spill.insert(&encode_annotated(t))?);
+            }
+            total += run.len();
+            runs.push(run);
+        }
+        // K-way merge over run heads.
+        let mut heads: Vec<usize> = vec![0; runs.len()];
+        let mut out = Vec::with_capacity(total);
+        let mut head_vals: Vec<Option<(Value, AnnotatedTuple)>> = Vec::with_capacity(runs.len());
+        for (ri, run) in runs.iter().enumerate() {
+            head_vals.push(read_head(&spill, run, heads[ri], key)?);
+        }
+        loop {
+            let mut best: Option<usize> = None;
+            for (ri, hv) in head_vals.iter().enumerate() {
+                let Some((v, _)) = hv else { continue };
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        let (bv, _) = head_vals[*b].as_ref().unwrap();
+                        let ord = v.cmp_sql(bv);
+                        if desc {
+                            ord == std::cmp::Ordering::Greater
+                        } else {
+                            ord == std::cmp::Ordering::Less
+                        }
+                    }
+                };
+                if better {
+                    best = Some(ri);
+                }
+            }
+            let Some(ri) = best else { break };
+            let (_, t) = head_vals[ri].take().unwrap();
+            out.push(t);
+            heads[ri] += 1;
+            head_vals[ri] = read_head(&spill, &runs[ri], heads[ri], key)?;
+        }
+        Ok(out)
+    }
+
+    /// Duplicate elimination with summary merging: equal data values
+    /// collapse; their summary sets merge with common-annotation dedup.
+    fn distinct(&mut self, input: &PhysicalPlan) -> Result<Vec<AnnotatedTuple>> {
+        let rows = self.execute(input)?;
+        let resolver = self.db.text_resolver();
+        let mut order: Vec<String> = Vec::new();
+        let mut seen: HashMap<String, AnnotatedTuple> = HashMap::new();
+        for t in rows {
+            let key: String = t.values.iter().map(|v| format!("{v}\u{1}")).collect();
+            match seen.get_mut(&key) {
+                None => {
+                    order.push(key.clone());
+                    seen.insert(key, t);
+                }
+                Some(acc) => {
+                    let common: std::collections::HashSet<instn_annot::AnnotId> =
+                        match (acc.source, t.source) {
+                            (Some((ta, oa)), Some((tb, ob))) => self
+                                .db
+                                .common_annotations(ta, oa, tb, ob)
+                                .into_iter()
+                                .collect(),
+                            _ => Default::default(),
+                        };
+                    acc.summaries =
+                        merge_summary_sets(&acc.summaries, &t.summaries, &common, &resolver);
+                    acc.source = None;
+                }
+            }
+        }
+        Ok(order
+            .into_iter()
+            .map(|k| seen.remove(&k).expect("inserted above"))
+            .collect())
+    }
+
+    fn group_by(&mut self, input: &PhysicalPlan, cols: &[usize]) -> Result<Vec<AnnotatedTuple>> {
+        let rows = self.execute(input)?;
+        // Group keys must hash; render values to a canonical string key while
+        // keeping the first occurrence's values for output.
+        let mut order: Vec<String> = Vec::new();
+        let mut groups: HashMap<String, (Vec<Value>, u64, AnnotatedTuple)> = HashMap::new();
+        let resolver = self.db.text_resolver();
+        for t in rows {
+            let key_vals: Vec<Value> = cols
+                .iter()
+                .map(|&i| t.values.get(i).cloned().unwrap_or(Value::Null))
+                .collect();
+            let key: String = key_vals.iter().map(|v| format!("{v}\u{1}")).collect();
+            match groups.get_mut(&key) {
+                None => {
+                    order.push(key.clone());
+                    groups.insert(key, (key_vals, 1, t));
+                }
+                Some((_, count, acc)) => {
+                    *count += 1;
+                    let common: std::collections::HashSet<instn_annot::AnnotId> =
+                        match (acc.source, t.source) {
+                            (Some((ta, oa)), Some((tb, ob))) => self
+                                .db
+                                .common_annotations(ta, oa, tb, ob)
+                                .into_iter()
+                                .collect(),
+                            _ => Default::default(),
+                        };
+                    acc.summaries =
+                        merge_summary_sets(&acc.summaries, &t.summaries, &common, &resolver);
+                    acc.source = None;
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(order.len());
+        for key in order {
+            let (mut key_vals, count, acc) = groups.remove(&key).expect("inserted above");
+            key_vals.push(Value::Int(count as i64));
+            out.push(AnnotatedTuple {
+                source: None,
+                values: key_vals,
+                summaries: acc.summaries,
+            });
+        }
+        Ok(out)
+    }
+}
+
+fn read_head(
+    spill: &HeapFile,
+    run: &[instn_storage::page::RecordId],
+    pos: usize,
+    key: &SortKey,
+) -> Result<Option<(Value, AnnotatedTuple)>> {
+    match run.get(pos) {
+        Some(rid) => {
+            let t = decode_annotated(&spill.get(*rid)?)?;
+            Ok(Some((key.eval(&t), t)))
+        }
+        None => Ok(None),
+    }
+}
+
+/// Stable in-memory sort by key.
+fn mem_sort(mut rows: Vec<AnnotatedTuple>, key: &SortKey, desc: bool) -> Vec<AnnotatedTuple> {
+    rows.sort_by(|a, b| {
+        let ord = key.eval(a).cmp_sql(&key.eval(b));
+        if desc {
+            ord.reverse()
+        } else {
+            ord
+        }
+    });
+    rows
+}
+
+/// Serialize a tuple + summaries for sort spills.
+fn encode_annotated(t: &AnnotatedTuple) -> Vec<u8> {
+    let mut out = Vec::new();
+    match t.source {
+        Some((table, oid)) => {
+            out.push(1);
+            out.extend_from_slice(&table.0.to_le_bytes());
+            out.extend_from_slice(&oid.0.to_le_bytes());
+        }
+        None => out.push(0),
+    }
+    let values = encode_tuple(&t.values);
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes());
+    out.extend_from_slice(&values);
+    out.extend_from_slice(&encode_objects(&t.summaries));
+    out
+}
+
+fn decode_annotated(bytes: &[u8]) -> Result<AnnotatedTuple> {
+    let corrupt = || QueryError::Core(instn_core::CoreError::Corrupt("spill record".into()));
+    let mut pos = 0usize;
+    let flag = *bytes.first().ok_or_else(corrupt)?;
+    pos += 1;
+    let source = if flag == 1 {
+        let table = u32::from_le_bytes(
+            bytes
+                .get(pos..pos + 4)
+                .ok_or_else(corrupt)?
+                .try_into()
+                .unwrap(),
+        );
+        pos += 4;
+        let oid = u64::from_le_bytes(
+            bytes
+                .get(pos..pos + 8)
+                .ok_or_else(corrupt)?
+                .try_into()
+                .unwrap(),
+        );
+        pos += 8;
+        Some((TableId(table), instn_storage::Oid(oid)))
+    } else {
+        None
+    };
+    let vlen = u32::from_le_bytes(
+        bytes
+            .get(pos..pos + 4)
+            .ok_or_else(corrupt)?
+            .try_into()
+            .unwrap(),
+    ) as usize;
+    pos += 4;
+    let values = decode_tuple(bytes.get(pos..pos + vlen).ok_or_else(corrupt)?)?;
+    pos += vlen;
+    let summaries = decode_objects(bytes.get(pos..).ok_or_else(corrupt)?)?;
+    Ok(AnnotatedTuple {
+        source,
+        values,
+        summaries,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{CmpOp, SummaryExpr};
+    use instn_annot::{Attachment, Category};
+    use instn_core::instance::InstanceKind;
+    use instn_index::PointerMode;
+    use instn_mining::nb::NaiveBayes;
+    use instn_storage::{ColumnType, Oid, Schema};
+
+    fn classifier_kind() -> InstanceKind {
+        let mut model = NaiveBayes::new(vec!["Disease".into(), "Behavior".into()]);
+        model.train(
+            "disease outbreak infection virus parasite lesion",
+            "Disease",
+        );
+        model.train(
+            "eating foraging migration song nesting stonewort",
+            "Behavior",
+        );
+        InstanceKind::Classifier { model }
+    }
+
+    /// db with n birds; bird i: i disease annots + 1 behavior annot.
+    fn setup(n: usize) -> (Database, TableId, Vec<Oid>) {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "Birds",
+                Schema::of(&[("id", ColumnType::Int), ("family", ColumnType::Text)]),
+            )
+            .unwrap();
+        let mut oids = Vec::new();
+        for i in 0..n {
+            oids.push(
+                db.insert_tuple(
+                    t,
+                    vec![Value::Int(i as i64), Value::Text(format!("fam{}", i % 3))],
+                )
+                .unwrap(),
+            );
+        }
+        db.link_instance(t, "ClassBird1", classifier_kind(), true)
+            .unwrap();
+        for (i, &oid) in oids.iter().enumerate() {
+            for _ in 0..i {
+                db.add_annotation(
+                    t,
+                    "disease outbreak infection",
+                    Category::Disease,
+                    "u",
+                    vec![Attachment::row(oid)],
+                )
+                .unwrap();
+            }
+            db.add_annotation(
+                t,
+                "eating stonewort foraging",
+                Category::Behavior,
+                "u",
+                vec![Attachment::row(oid)],
+            )
+            .unwrap();
+        }
+        (db, t, oids)
+    }
+
+    #[test]
+    fn seq_scan_with_and_without_summaries() {
+        let (db, t, _) = setup(5);
+        let mut ctx = ExecContext::new(&db);
+        let with = ctx
+            .execute(&PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: true,
+            })
+            .unwrap();
+        assert_eq!(with.len(), 5);
+        assert!(with.iter().all(|r| r.summary_count() == 1));
+        let without = ctx
+            .execute(&PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: false,
+            })
+            .unwrap();
+        assert!(without.iter().all(|r| r.summary_count() == 0));
+    }
+
+    #[test]
+    fn filter_on_summary_predicate() {
+        let (db, t, _) = setup(8);
+        let mut ctx = ExecContext::new(&db);
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: true,
+            }),
+            pred: Expr::label_cmp("ClassBird1", "Disease", CmpOp::Gt, 5),
+        };
+        let rows = ctx.execute(&plan).unwrap();
+        assert_eq!(rows.len(), 2, "tuples with 6 and 7 disease annots");
+    }
+
+    #[test]
+    fn summary_index_scan_in_count_order() {
+        let (db, t, oids) = setup(8);
+        let idx = SummaryBTree::bulk_build(&db, t, "ClassBird1", PointerMode::Backward).unwrap();
+        let mut ctx = ExecContext::new(&db);
+        ctx.register_summary_index("idx", idx);
+        let plan = PhysicalPlan::SummaryIndexScan {
+            index: "idx".into(),
+            label: "Disease".into(),
+            lo: Some(3),
+            hi: None,
+            propagate: true,
+            reverse: false,
+        };
+        let rows = ctx.execute(&plan).unwrap();
+        assert_eq!(rows.len(), 5);
+        let got: Vec<Oid> = rows.iter().filter_map(|r| r.oid()).collect();
+        assert_eq!(got, oids[3..].to_vec(), "ascending disease count");
+        assert!(rows.iter().all(|r| r.summary_count() == 1));
+        // Reverse order.
+        let plan_desc = PhysicalPlan::SummaryIndexScan {
+            index: "idx".into(),
+            label: "Disease".into(),
+            lo: Some(3),
+            hi: None,
+            propagate: true,
+            reverse: true,
+        };
+        let rows = ctx.execute(&plan_desc).unwrap();
+        let got: Vec<Oid> = rows.iter().filter_map(|r| r.oid()).collect();
+        let mut expect = oids[3..].to_vec();
+        expect.reverse();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn baseline_index_scan_matches_summary_btree_results() {
+        let (db, t, _) = setup(8);
+        let sb = SummaryBTree::bulk_build(&db, t, "ClassBird1", PointerMode::Backward).unwrap();
+        let bl = BaselineIndex::bulk_build(&db, t, "ClassBird1").unwrap();
+        let mut ctx = ExecContext::new(&db);
+        ctx.register_summary_index("sb", sb);
+        ctx.register_baseline_index("bl", bl);
+        let q = |ctx: &mut ExecContext, index: &str, baseline: bool| {
+            let plan = if baseline {
+                PhysicalPlan::BaselineIndexScan {
+                    index: index.into(),
+                    label: "Disease".into(),
+                    lo: Some(2),
+                    hi: Some(6),
+                    propagate: true,
+                    from_normalized: false,
+                }
+            } else {
+                PhysicalPlan::SummaryIndexScan {
+                    index: index.into(),
+                    label: "Disease".into(),
+                    lo: Some(2),
+                    hi: Some(6),
+                    propagate: true,
+                    reverse: false,
+                }
+            };
+            ctx.execute(&plan).unwrap()
+        };
+        let a = q(&mut ctx, "sb", false);
+        let b = q(&mut ctx, "bl", true);
+        assert_eq!(a.len(), b.len());
+        let ao: Vec<Oid> = a.iter().filter_map(|r| r.oid()).collect();
+        let bo: Vec<Oid> = b.iter().filter_map(|r| r.oid()).collect();
+        assert_eq!(ao, bo);
+    }
+
+    #[test]
+    fn summary_btree_costs_less_io_than_baseline() {
+        let (db, t, _) = setup(30);
+        let sb = SummaryBTree::bulk_build(&db, t, "ClassBird1", PointerMode::Backward).unwrap();
+        let bl = BaselineIndex::bulk_build(&db, t, "ClassBird1").unwrap();
+        let mut ctx = ExecContext::new(&db);
+        ctx.register_summary_index("sb", sb);
+        ctx.register_baseline_index("bl", bl);
+        db.stats().reset();
+        ctx.execute(&PhysicalPlan::SummaryIndexScan {
+            index: "sb".into(),
+            label: "Disease".into(),
+            lo: Some(5),
+            hi: Some(20),
+            propagate: false,
+            reverse: false,
+        })
+        .unwrap();
+        let sb_io = db.stats().snapshot().total();
+        db.stats().reset();
+        ctx.execute(&PhysicalPlan::BaselineIndexScan {
+            index: "bl".into(),
+            label: "Disease".into(),
+            lo: Some(5),
+            hi: Some(20),
+            propagate: false,
+            from_normalized: false,
+        })
+        .unwrap();
+        let bl_io = db.stats().snapshot().total();
+        assert!(
+            sb_io < bl_io,
+            "Summary-BTree {sb_io} I/Os vs baseline {bl_io}"
+        );
+    }
+
+    #[test]
+    fn projection_eliminates_cell_annotation_effects() {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "T",
+                Schema::of(&[("a", ColumnType::Int), ("b", ColumnType::Int)]),
+            )
+            .unwrap();
+        let oid = db
+            .insert_tuple(t, vec![Value::Int(1), Value::Int(2)])
+            .unwrap();
+        db.link_instance(t, "C", classifier_kind(), false).unwrap();
+        // One annotation on column 0, one on column 1.
+        db.add_annotation(
+            t,
+            "disease outbreak",
+            Category::Disease,
+            "u",
+            vec![Attachment::cells(oid, &[0])],
+        )
+        .unwrap();
+        db.add_annotation(
+            t,
+            "disease virus",
+            Category::Disease,
+            "u",
+            vec![Attachment::cells(oid, &[1])],
+        )
+        .unwrap();
+        let mut ctx = ExecContext::new(&db);
+        let plan = PhysicalPlan::Project {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: true,
+            }),
+            cols: vec![0],
+            eliminate: true,
+        };
+        let rows = ctx.execute(&plan).unwrap();
+        assert_eq!(rows[0].values, vec![Value::Int(1)]);
+        let obj = rows[0].summary_by_name("C").unwrap();
+        let instn_core::summary::Rep::Classifier(c) = &obj.rep else {
+            panic!()
+        };
+        assert_eq!(
+            c.count("Disease"),
+            Some(1),
+            "column-1 annotation eliminated"
+        );
+    }
+
+    #[test]
+    fn nested_loop_join_merges_summaries() {
+        let (db, t, oids) = setup(4);
+        let mut db = db;
+        // Attach one annotation to both tuple 1 and tuple 2 (common).
+        db.add_annotation(
+            t,
+            "disease on both",
+            Category::Disease,
+            "u",
+            vec![Attachment::row(oids[1]), Attachment::row(oids[2])],
+        )
+        .unwrap();
+        let mut ctx = ExecContext::new(&db);
+        // Self-join on id=id-1 shifted: join tuples with equal family.
+        let plan = PhysicalPlan::NestedLoopJoin {
+            left: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::SeqScan {
+                    table: t,
+                    with_summaries: true,
+                }),
+                pred: Expr::col_cmp(0, CmpOp::Eq, Value::Int(1)),
+            }),
+            right: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::SeqScan {
+                    table: t,
+                    with_summaries: true,
+                }),
+                pred: Expr::col_cmp(0, CmpOp::Eq, Value::Int(2)),
+            }),
+            pred: JoinPredicate::SummaryCmp {
+                left: SummaryExpr::label_value("ClassBird1", "Disease"),
+                op: CmpOp::Ne,
+                right: SummaryExpr::label_value("ClassBird1", "Disease"),
+            },
+        };
+        let rows = ctx.execute(&plan).unwrap();
+        assert_eq!(rows.len(), 1);
+        let merged = rows[0].summary_by_name("ClassBird1").unwrap();
+        let instn_core::summary::Rep::Classifier(c) = &merged.rep else {
+            panic!()
+        };
+        // t1: 1 own + shared = 2 disease; t2: 2 own + shared = 3; merged
+        // should be 1 + 2 + 1(shared counted once) = 4, not 5.
+        assert_eq!(
+            c.count("Disease"),
+            Some(4),
+            "common annotation deduplicated"
+        );
+        assert_eq!(rows[0].values.len(), 4, "values concatenated");
+        assert!(rows[0].source.is_none());
+    }
+
+    #[test]
+    fn index_join_equals_nested_loop() {
+        let (db, t, _) = setup(6);
+        let mut db = db;
+        let s = db
+            .create_table(
+                "S",
+                Schema::of(&[("c1", ColumnType::Int), ("v", ColumnType::Text)]),
+            )
+            .unwrap();
+        for i in 0..12i64 {
+            db.insert_tuple(s, vec![Value::Int(i % 6), Value::Text(format!("s{i}"))])
+                .unwrap();
+        }
+        let cidx = ColumnIndex::build(&db, s, 0).unwrap();
+        let mut ctx = ExecContext::new(&db);
+        ctx.register_column_index(cidx);
+        let left = PhysicalPlan::SeqScan {
+            table: t,
+            with_summaries: true,
+        };
+        let nl = PhysicalPlan::NestedLoopJoin {
+            left: Box::new(left.clone()),
+            right: Box::new(PhysicalPlan::SeqScan {
+                table: s,
+                with_summaries: false,
+            }),
+            pred: JoinPredicate::DataEq {
+                left_col: 0,
+                right_col: 0,
+            },
+        };
+        let ij = PhysicalPlan::IndexJoin {
+            left: Box::new(left),
+            right_table: s,
+            left_col: 0,
+            right_col: 0,
+            residual: None,
+            with_summaries: false,
+        };
+        let a = ctx.execute(&nl).unwrap();
+        let b = ctx.execute(&ij).unwrap();
+        assert_eq!(a.len(), 12);
+        assert_eq!(a.len(), b.len());
+        let mut ka: Vec<String> = a.iter().map(|r| format!("{:?}", r.values)).collect();
+        let mut kb: Vec<String> = b.iter().map(|r| format!("{:?}", r.values)).collect();
+        ka.sort();
+        kb.sort();
+        assert_eq!(ka, kb);
+    }
+
+    #[test]
+    fn summary_index_join_equals_nested_loop() {
+        // Two-version workload: V2 tuples with matching disease counts.
+        let (db, t, _) = setup(8);
+        let idx = SummaryBTree::bulk_build(&db, t, "ClassBird1", PointerMode::Backward).unwrap();
+        let mut ctx = ExecContext::new(&db);
+        ctx.register_summary_index("sij", idx);
+        let probe_key = SummaryExpr::label_value("ClassBird1", "Disease");
+        let pred = JoinPredicate::SummaryCmp {
+            left: probe_key.clone(),
+            op: CmpOp::Eq,
+            right: SummaryExpr::label_value("ClassBird1", "Disease"),
+        };
+        let nl = PhysicalPlan::NestedLoopJoin {
+            left: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: true,
+            }),
+            right: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: true,
+            }),
+            pred,
+        };
+        let sij = PhysicalPlan::SummaryIndexJoin {
+            left: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: true,
+            }),
+            left_key: probe_key,
+            index: "sij".into(),
+            label: "Disease".into(),
+            residual: None,
+            with_summaries: true,
+        };
+        let a = ctx.execute(&nl).unwrap();
+        let b = ctx.execute(&sij).unwrap();
+        assert_eq!(a.len(), 8, "distinct counts -> diagonal only");
+        assert_eq!(a.len(), b.len());
+        let keys = |rows: &[AnnotatedTuple]| {
+            let mut v: Vec<String> = rows.iter().map(|r| format!("{:?}", r.values)).collect();
+            v.sort();
+            v
+        };
+        assert_eq!(keys(&a), keys(&b));
+    }
+
+    #[test]
+    fn summary_index_join_respects_residual() {
+        let (db, t, _) = setup(8);
+        let idx = SummaryBTree::bulk_build(&db, t, "ClassBird1", PointerMode::Backward).unwrap();
+        let mut ctx = ExecContext::new(&db);
+        ctx.register_summary_index("sij", idx);
+        let plan = PhysicalPlan::SummaryIndexJoin {
+            left: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: true,
+            }),
+            left_key: SummaryExpr::label_value("ClassBird1", "Disease"),
+            index: "sij".into(),
+            label: "Disease".into(),
+            residual: Some(JoinPredicate::DataEq {
+                left_col: 0,
+                right_col: 0,
+            }),
+            with_summaries: false,
+        };
+        let rows = ctx.execute(&plan).unwrap();
+        assert_eq!(rows.len(), 8, "residual keeps the diagonal");
+        // Unknown index errors.
+        let bad = PhysicalPlan::SummaryIndexJoin {
+            left: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: true,
+            }),
+            left_key: SummaryExpr::label_value("ClassBird1", "Disease"),
+            index: "missing".into(),
+            label: "Disease".into(),
+            residual: None,
+            with_summaries: false,
+        };
+        assert!(matches!(
+            ctx.execute(&bad),
+            Err(QueryError::UnknownIndex(_))
+        ));
+    }
+
+    #[test]
+    fn index_join_without_index_errors() {
+        let (db, t, _) = setup(2);
+        let mut ctx = ExecContext::new(&db);
+        let plan = PhysicalPlan::IndexJoin {
+            left: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: false,
+            }),
+            right_table: t,
+            left_col: 0,
+            right_col: 0,
+            residual: None,
+            with_summaries: false,
+        };
+        assert!(matches!(ctx.execute(&plan), Err(QueryError::BadPlan(_))));
+    }
+
+    #[test]
+    fn summary_sort_mem_and_disk_agree() {
+        let (db, t, oids) = setup(9);
+        let mut ctx = ExecContext::new(&db);
+        let base = PhysicalPlan::SeqScan {
+            table: t,
+            with_summaries: true,
+        };
+        let key = SortKey::Summary(SummaryExpr::label_value("ClassBird1", "Disease"));
+        let mem = PhysicalPlan::Sort {
+            input: Box::new(base.clone()),
+            key: key.clone(),
+            desc: true,
+            disk: false,
+        };
+        let disk = PhysicalPlan::Sort {
+            input: Box::new(base),
+            key,
+            desc: true,
+            disk: true,
+        };
+        let a = ctx.execute(&mem).unwrap();
+        db.stats().reset();
+        let b = ctx.execute(&disk).unwrap();
+        let disk_io = db.stats().snapshot();
+        let ao: Vec<Oid> = a.iter().filter_map(|r| r.oid()).collect();
+        let bo: Vec<Oid> = b.iter().filter_map(|r| r.oid()).collect();
+        let mut expect = oids.clone();
+        expect.reverse();
+        assert_eq!(ao, expect, "descending disease counts");
+        assert_eq!(ao, bo, "disk sort agrees with memory sort");
+        assert!(disk_io.heap_writes > 0, "disk sort spills");
+    }
+
+    #[test]
+    fn external_sort_with_tiny_memory_spills_multiple_runs() {
+        let (db, t, _) = setup(20);
+        let mut ctx = ExecContext::new(&db);
+        ctx.sort_mem = 4;
+        let plan = PhysicalPlan::Sort {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: true,
+            }),
+            key: SortKey::Summary(SummaryExpr::label_value("ClassBird1", "Disease")),
+            desc: false,
+            disk: true,
+        };
+        let rows = ctx.execute(&plan).unwrap();
+        assert_eq!(rows.len(), 20);
+        let counts: Vec<Value> = rows
+            .iter()
+            .map(|r| SummaryExpr::label_value("ClassBird1", "Disease").eval(r))
+            .collect();
+        for w in counts.windows(2) {
+            assert!(w[0].cmp_sql(&w[1]) != std::cmp::Ordering::Greater);
+        }
+    }
+
+    #[test]
+    fn group_by_merges_summaries_and_counts() {
+        let (db, t, _) = setup(9);
+        let mut ctx = ExecContext::new(&db);
+        let plan = PhysicalPlan::GroupBy {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: true,
+            }),
+            cols: vec![1],
+        };
+        let rows = ctx.execute(&plan).unwrap();
+        assert_eq!(rows.len(), 3, "three families");
+        let total: i64 = rows.iter().map(|r| r.values[1].as_int().unwrap()).sum();
+        assert_eq!(total, 9);
+        // Each group's merged classifier counts all members' annotations.
+        for r in &rows {
+            let obj = r.summary_by_name("ClassBird1").unwrap();
+            let instn_core::summary::Rep::Classifier(c) = &obj.rep else {
+                panic!()
+            };
+            assert_eq!(
+                c.count("Behavior"),
+                Some(r.values[1].as_int().unwrap() as u64),
+                "one behavior annotation per member"
+            );
+        }
+    }
+
+    #[test]
+    fn summary_object_filter_keeps_tuples() {
+        let (db, t, _) = setup(3);
+        let mut ctx = ExecContext::new(&db);
+        let plan = PhysicalPlan::SummaryObjectFilter {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: true,
+            }),
+            pred: ObjectPred::NameEq("NoSuchInstance".into()),
+        };
+        let rows = ctx.execute(&plan).unwrap();
+        assert_eq!(rows.len(), 3, "tuples survive with empty summary sets");
+        assert!(rows.iter().all(|r| r.summary_count() == 0));
+    }
+
+    #[test]
+    fn limit_truncates() {
+        let (db, t, _) = setup(7);
+        let mut ctx = ExecContext::new(&db);
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: false,
+            }),
+            n: 3,
+        };
+        assert_eq!(ctx.execute(&plan).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn distinct_collapses_and_merges() {
+        let (db, t, _) = setup(6);
+        let mut ctx = ExecContext::new(&db);
+        // Project to the family column only, then deduplicate.
+        let plan = PhysicalPlan::Distinct {
+            input: Box::new(PhysicalPlan::Project {
+                input: Box::new(PhysicalPlan::SeqScan {
+                    table: t,
+                    with_summaries: true,
+                }),
+                cols: vec![1],
+                eliminate: true,
+            }),
+        };
+        let rows = ctx.execute(&plan).unwrap();
+        assert_eq!(rows.len(), 3, "three families");
+        // Merged summaries cover all underlying birds' annotations.
+        let disease: i64 = rows
+            .iter()
+            .map(|r| {
+                SummaryExpr::label_value("ClassBird1", "Disease")
+                    .eval(r)
+                    .as_int()
+                    .unwrap_or(0)
+            })
+            .sum();
+        assert_eq!(disease, (0..6).sum::<i64>());
+        // An input with no duplicates is unchanged.
+        let plan = PhysicalPlan::Distinct {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: false,
+            }),
+        };
+        assert_eq!(ctx.execute(&plan).unwrap().len(), 6);
+    }
+
+    #[test]
+    fn explain_renders_the_tree() {
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::Sort {
+                input: Box::new(PhysicalPlan::Filter {
+                    input: Box::new(PhysicalPlan::SummaryIndexScan {
+                        index: "idx".into(),
+                        label: "Disease".into(),
+                        lo: Some(5),
+                        hi: None,
+                        propagate: true,
+                        reverse: true,
+                    }),
+                    pred: Expr::Const(Value::Bool(true)),
+                }),
+                key: SortKey::Summary(SummaryExpr::label_value("C", "Disease")),
+                desc: true,
+                disk: true,
+            }),
+            n: 10,
+        };
+        let shown = format!("{plan}");
+        assert!(shown.contains("Limit(10)"));
+        assert!(shown.contains("Sort(O, desc, external)"));
+        assert!(shown.contains("SummaryIndexScan(idx, Disease in [5, +∞], desc)"));
+        // Indentation deepens down the tree.
+        let lines: Vec<&str> = shown.lines().collect();
+        assert!(lines[1].starts_with("  "));
+        assert!(lines[3].starts_with("      "));
+    }
+
+    #[test]
+    fn data_column_sort_and_like_filter() {
+        let (db, t, _) = setup(10);
+        let mut ctx = ExecContext::new(&db);
+        let plan = PhysicalPlan::Sort {
+            input: Box::new(PhysicalPlan::Filter {
+                input: Box::new(PhysicalPlan::SeqScan {
+                    table: t,
+                    with_summaries: false,
+                }),
+                pred: Expr::Like(Box::new(Expr::Column(1)), "fam%".into()),
+            }),
+            key: SortKey::Column(0),
+            desc: true,
+            disk: false,
+        };
+        let rows = ctx.execute(&plan).unwrap();
+        assert_eq!(rows.len(), 10);
+        let ids: Vec<i64> = rows.iter().map(|r| r.values[0].as_int().unwrap()).collect();
+        assert_eq!(ids, (0..10).rev().collect::<Vec<i64>>());
+    }
+
+    #[test]
+    fn combined_contains_join_predicate_executes() {
+        // Snippets on both sides; the union must contain all keywords.
+        let mut db = Database::new();
+        let t = db
+            .create_table("T", Schema::of(&[("id", ColumnType::Int)]))
+            .unwrap();
+        db.link_instance(
+            t,
+            "Snips",
+            InstanceKind::Snippet {
+                min_chars: 5,
+                max_chars: 200,
+            },
+            false,
+        )
+        .unwrap();
+        let a = db.insert_tuple(t, vec![Value::Int(1)]).unwrap();
+        let b = db.insert_tuple(t, vec![Value::Int(2)]).unwrap();
+        db.add_annotation(
+            t,
+            "alpha keyword here today",
+            Category::Comment,
+            "u",
+            vec![Attachment::row(a)],
+        )
+        .unwrap();
+        db.add_annotation(
+            t,
+            "beta keyword elsewhere now",
+            Category::Comment,
+            "u",
+            vec![Attachment::row(b)],
+        )
+        .unwrap();
+        let mut ctx = ExecContext::new(&db);
+        let plan = PhysicalPlan::NestedLoopJoin {
+            left: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: true,
+            }),
+            right: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: true,
+            }),
+            pred: JoinPredicate::CombinedContains {
+                instance: "Snips".into(),
+                keywords: vec!["alpha".into(), "beta".into()],
+            },
+        };
+        let rows = ctx.execute(&plan).unwrap();
+        // Only cross pairs (a,b) and (b,a) have both keywords in the union;
+        // (a,a) and (b,b) have one each.
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn index_join_applies_residual_predicate() {
+        let (db, t, _) = setup(6);
+        let mut db = db;
+        let s = db
+            .create_table(
+                "S2",
+                Schema::of(&[("c1", ColumnType::Int), ("flag", ColumnType::Int)]),
+            )
+            .unwrap();
+        for i in 0..6i64 {
+            db.insert_tuple(s, vec![Value::Int(i), Value::Int(i % 2)])
+                .unwrap();
+        }
+        let cidx = ColumnIndex::build(&db, s, 0).unwrap();
+        let mut ctx = ExecContext::new(&db);
+        ctx.register_column_index(cidx);
+        // Join on id with a residual restricting to odd inner flags.
+        let plan = PhysicalPlan::IndexJoin {
+            left: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: false,
+            }),
+            right_table: s,
+            left_col: 0,
+            right_col: 0,
+            residual: Some(JoinPredicate::SummaryCmp {
+                // Degenerate summary predicate is awkward here; use DataEq on
+                // the flag against itself via a data predicate instead:
+                left: SummaryExpr::SetSize,
+                op: CmpOp::Eq,
+                right: SummaryExpr::SetSize,
+            }),
+            with_summaries: false,
+        };
+        let rows = ctx.execute(&plan).unwrap();
+        assert_eq!(rows.len(), 6, "trivially-true residual keeps all matches");
+        // A residual that never holds drops everything.
+        let plan = PhysicalPlan::IndexJoin {
+            left: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: false,
+            }),
+            right_table: s,
+            left_col: 0,
+            right_col: 0,
+            residual: Some(JoinPredicate::SummaryCmp {
+                left: SummaryExpr::SetSize,
+                op: CmpOp::Ne,
+                right: SummaryExpr::SetSize,
+            }),
+            with_summaries: false,
+        };
+        assert!(ctx.execute(&plan).unwrap().is_empty());
+    }
+
+    #[test]
+    fn query_error_display_variants() {
+        let variants: Vec<QueryError> = vec![
+            QueryError::UnknownTable("T".into()),
+            QueryError::UnknownColumn("c".into()),
+            QueryError::UnknownIndex("i".into()),
+            QueryError::NotBoolean("5".into()),
+            QueryError::BadPlan("m".into()),
+            QueryError::Core(instn_core::CoreError::AnnotationNotFound(3)),
+        ];
+        for v in variants {
+            assert!(!format!("{v}").is_empty());
+        }
+    }
+
+    #[test]
+    fn spill_roundtrip_preserves_tuples() {
+        let (db, t, _) = setup(3);
+        let rows = db.scan_annotated(t).unwrap();
+        for r in &rows {
+            let back = decode_annotated(&encode_annotated(r)).unwrap();
+            assert_eq!(&back, r);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Tokenization of the extended SQL subset.
+
+use crate::{Result, SqlError};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (kept verbatim; keyword matching is
+    /// case-insensitive at the parser).
+    Ident(String),
+    /// Single-quoted string literal (quotes stripped).
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `$`
+    Dollar,
+    /// `.`
+    Dot,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `*`
+    Star,
+    /// `;`
+    Semi,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl Token {
+    /// Whether this is the (case-insensitive) keyword `kw`.
+    pub fn is_kw(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Tokenize an input string.
+pub fn lex(input: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '$' => {
+                out.push(Token::Dollar);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semi);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Ne);
+                i += 2;
+            }
+            '<' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    out.push(Token::Ne);
+                    i += 2;
+                } else if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let mut s = String::new();
+                i += 1;
+                loop {
+                    match chars.get(i) {
+                        Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        Some('\'') => {
+                            i += 1;
+                            break;
+                        }
+                        Some(&c) => {
+                            s.push(c);
+                            i += 1;
+                        }
+                        None => return Err(SqlError::Lex("unterminated string".into())),
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit()
+                || (c == '-'
+                    && chars
+                        .get(i + 1)
+                        .map(|d| d.is_ascii_digit())
+                        .unwrap_or(false)) =>
+            {
+                let start = i;
+                i += 1;
+                let mut is_float = false;
+                while let Some(&d) = chars.get(i) {
+                    if d.is_ascii_digit() {
+                        i += 1;
+                    } else if d == '.'
+                        && chars
+                            .get(i + 1)
+                            .map(|x| x.is_ascii_digit())
+                            .unwrap_or(false)
+                        && !is_float
+                    {
+                        is_float = true;
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = chars[start..i].iter().collect();
+                if is_float {
+                    out.push(Token::Float(
+                        text.parse()
+                            .map_err(|e| SqlError::Lex(format!("bad float {text}: {e}")))?,
+                    ));
+                } else {
+                    out.push(Token::Int(
+                        text.parse()
+                            .map_err(|e| SqlError::Lex(format!("bad int {text}: {e}")))?,
+                    ));
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while let Some(&d) = chars.get(i) {
+                    if d.is_alphanumeric() || d == '_' {
+                        i += 1;
+                    } else {
+                        break;
+                    }
+                }
+                out.push(Token::Ident(chars[start..i].iter().collect()));
+            }
+            other => return Err(SqlError::Lex(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_select_tokens() {
+        let toks = lex("SELECT * FROM Birds r WHERE r.id = 5;").unwrap();
+        assert!(toks.contains(&Token::Star));
+        assert!(toks.iter().any(|t| t.is_kw("select")));
+        assert!(toks.iter().any(|t| t.is_kw("from")));
+        assert!(toks.contains(&Token::Int(5)));
+        assert!(toks.contains(&Token::Semi));
+    }
+
+    #[test]
+    fn summary_chain_tokens() {
+        let toks = lex("r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 5").unwrap();
+        assert!(toks.contains(&Token::Dollar));
+        assert!(toks.contains(&Token::Str("ClassBird1".into())));
+        assert!(toks.contains(&Token::Gt));
+    }
+
+    #[test]
+    fn comparison_operators() {
+        let toks = lex("a = b <> c < d <= e > f >= g != h").unwrap();
+        let ops: Vec<&Token> = toks
+            .iter()
+            .filter(|t| {
+                matches!(
+                    t,
+                    Token::Eq | Token::Ne | Token::Lt | Token::Le | Token::Gt | Token::Ge
+                )
+            })
+            .collect();
+        assert_eq!(
+            ops,
+            vec![
+                &Token::Eq,
+                &Token::Ne,
+                &Token::Lt,
+                &Token::Le,
+                &Token::Gt,
+                &Token::Ge,
+                &Token::Ne
+            ]
+        );
+    }
+
+    #[test]
+    fn string_escapes_and_numbers() {
+        let toks = lex("'it''s' 3.5 -42").unwrap();
+        assert_eq!(toks[0], Token::Str("it's".into()));
+        assert_eq!(toks[1], Token::Float(3.5));
+        assert_eq!(toks[2], Token::Int(-42));
+    }
+
+    #[test]
+    fn lex_errors() {
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("#").is_err());
+    }
+}

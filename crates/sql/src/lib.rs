@@ -1,0 +1,64 @@
+//! # instn-sql
+//!
+//! The extended SQL front end.
+//!
+//! InsightNotes exposes its summary-based features through small extensions
+//! to SQL: the `$` summary-set variable with method chains
+//! (`r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 5`), the
+//! extended DDL `ALTER TABLE <t> ADD [INDEXABLE] <InstanceName>` /
+//! `ALTER TABLE <t> DROP <InstanceName>` (§4), summary-based `ORDER BY`, and
+//! the zoom-in command. This crate provides:
+//!
+//! * [`lexer`] — tokenization,
+//! * [`ast`] — the statement / expression AST,
+//! * [`parser`] — a recursive-descent parser for the supported subset,
+//! * [`lower`] — name resolution and lowering of `SELECT` statements into
+//!   [`instn_query::plan::LogicalPlan`]s (splitting data vs summary
+//!   predicates into σ vs `S`, recognizing data- and summary-based join
+//!   conjuncts), plus execution of DDL and zoom-in statements.
+//!
+//! Supported grammar (keywords case-insensitive):
+//!
+//! ```text
+//! SELECT <* | col[, col…]> FROM t [alias][, t2 [alias]]
+//!   [WHERE pred {AND pred}] [GROUP BY col]
+//!   [ORDER BY expr [ASC|DESC]] [LIMIT n];
+//! ALTER TABLE t ADD [INDEXABLE] InstanceName;
+//! ALTER TABLE t DROP InstanceName;
+//! ZOOM IN ON InstanceName OF t TUPLE <oid> [LABEL 'x' | REP <i>];
+//! ```
+
+pub mod ast;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+
+pub use ast::{AstExpr, SelectStmt, Statement};
+pub use lower::{lower_select, LoweredQuery};
+pub use parser::parse;
+
+/// Errors raised by the SQL front end.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lexical error with position.
+    Lex(String),
+    /// Parse error.
+    Parse(String),
+    /// Name-resolution / lowering error.
+    Bind(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex(m) => write!(f, "lex error: {m}"),
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Bind(m) => write!(f, "bind error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, SqlError>;

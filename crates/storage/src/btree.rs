@@ -1,0 +1,567 @@
+//! An order-B multi-map B-Tree over byte-string keys.
+//!
+//! This is the substrate for three of the paper's structures:
+//!
+//! * the standard B-Tree on the OID column of every user relation (behind
+//!   `diskTupleLoc()`),
+//! * the baseline indexing scheme's B-Tree on the derived
+//!   `Label-Cnt` column of the normalized replica table, and
+//! * the Summary-BTree itself, which per §4.1.1 "follows the same structure
+//!   and operations of the standard B-Tree" and differs only in what its leaf
+//!   values point at.
+//!
+//! Nodes live in an arena; every node visited during descent is charged as an
+//! index read and every node modified as an index write, so the logarithmic
+//! bounds of §4.1.3 are directly observable in [`crate::io::IoStats`].
+//!
+//! Duplicate keys are allowed (a classifier key such as `Disease:008` can be
+//! shared by many tuples); deletion therefore takes a `(key, value)` pair.
+//! Deletion is *lazy* — entries are removed from leaves without eager page
+//! merging — matching PostgreSQL, whose B-Tree likewise defers page
+//! reclamation to vacuum.
+
+use std::sync::Arc;
+
+use crate::error::StorageError;
+use crate::io::IoStats;
+use crate::Result;
+
+/// Default maximum entries per node ("B" in the paper's bounds).
+pub const DEFAULT_ORDER: usize = 64;
+
+type Key = Vec<u8>;
+
+#[derive(Debug, Clone)]
+enum Node<V> {
+    Internal {
+        /// `keys[i]` separates `children[i]` (keys < keys[i]) from
+        /// `children[i+1]` (keys >= keys[i]).
+        keys: Vec<Key>,
+        children: Vec<usize>,
+    },
+    Leaf {
+        entries: Vec<(Key, V)>,
+        next: Option<usize>,
+    },
+}
+
+/// Multi-map B-Tree with byte keys and cloneable values.
+#[derive(Debug)]
+pub struct BTree<V> {
+    nodes: Vec<Node<V>>,
+    root: usize,
+    order: usize,
+    len: usize,
+    height: usize,
+    stats: Arc<IoStats>,
+}
+
+impl<V: Clone + PartialEq> BTree<V> {
+    /// Create an empty tree with the default order.
+    pub fn new(stats: Arc<IoStats>) -> Self {
+        Self::with_order(stats, DEFAULT_ORDER)
+    }
+
+    /// Create an empty tree with a specific node capacity.
+    pub fn with_order(stats: Arc<IoStats>, order: usize) -> Self {
+        assert!(order >= 4, "B-Tree order must be at least 4");
+        Self {
+            nodes: vec![Node::Leaf {
+                entries: Vec::new(),
+                next: None,
+            }],
+            root: 0,
+            order,
+            len: 0,
+            height: 1,
+            stats,
+        }
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height (leaf level = 1).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Number of allocated nodes (live + superseded by splits).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Approximate byte footprint of all live entries (for the storage
+    /// overhead experiment of Figure 7).
+    pub fn used_bytes(&self) -> usize {
+        self.nodes
+            .iter()
+            .map(|n| match n {
+                Node::Internal { keys, children } => {
+                    keys.iter().map(|k| k.len() + 8).sum::<usize>() + children.len() * 8
+                }
+                Node::Leaf { entries, .. } => entries
+                    .iter()
+                    .map(|(k, _)| k.len() + std::mem::size_of::<V>() + 8)
+                    .sum(),
+            })
+            .sum()
+    }
+
+    fn read_node(&self, idx: usize) -> &Node<V> {
+        self.stats.index_read(1);
+        &self.nodes[idx]
+    }
+
+    fn write_node(&mut self, idx: usize) -> &mut Node<V> {
+        self.stats.index_read(1);
+        self.stats.index_write(1);
+        &mut self.nodes[idx]
+    }
+
+    /// Insert a `(key, value)` entry. Duplicate keys are kept.
+    pub fn insert(&mut self, key: &[u8], value: V) {
+        if let Some((sep, right)) = self.insert_rec(self.root, key, value) {
+            let new_root = Node::Internal {
+                keys: vec![sep],
+                children: vec![self.root, right],
+            };
+            self.nodes.push(new_root);
+            self.stats.index_write(1);
+            self.root = self.nodes.len() - 1;
+            self.height += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Recursive insert; returns `(separator, new_right_node)` on split.
+    fn insert_rec(&mut self, idx: usize, key: &[u8], value: V) -> Option<(Key, usize)> {
+        // Charge the descent read; the write is charged where mutation happens.
+        self.stats.index_read(1);
+        match &self.nodes[idx] {
+            Node::Internal { keys, .. } => {
+                let child_pos = upper_bound_keys(keys, key);
+                let child = match &self.nodes[idx] {
+                    Node::Internal { children, .. } => children[child_pos],
+                    Node::Leaf { .. } => unreachable!(),
+                };
+                let split = self.insert_rec(child, key, value)?;
+                // Child split: install separator here.
+                self.stats.index_write(1);
+                let (sep, right) = split;
+                let order = self.order;
+                let node = &mut self.nodes[idx];
+                let Node::Internal { keys, children } = node else {
+                    unreachable!()
+                };
+                keys.insert(child_pos, sep);
+                children.insert(child_pos + 1, right);
+                if keys.len() <= order {
+                    return None;
+                }
+                // Split this internal node.
+                let mid = keys.len() / 2;
+                let up_key = keys[mid].clone();
+                let right_keys = keys.split_off(mid + 1);
+                keys.pop(); // `up_key` moves up, not right.
+                let right_children = children.split_off(mid + 1);
+                let right_node = Node::Internal {
+                    keys: right_keys,
+                    children: right_children,
+                };
+                self.nodes.push(right_node);
+                self.stats.index_write(1);
+                Some((up_key, self.nodes.len() - 1))
+            }
+            Node::Leaf { .. } => {
+                self.stats.index_write(1);
+                let order = self.order;
+                let next_slot = self.nodes.len();
+                let node = &mut self.nodes[idx];
+                let Node::Leaf { entries, next } = node else {
+                    unreachable!()
+                };
+                let pos = upper_bound_entries(entries, key);
+                entries.insert(pos, (key.to_vec(), value));
+                if entries.len() <= order {
+                    return None;
+                }
+                // Split the leaf.
+                let mid = entries.len() / 2;
+                let right_entries = entries.split_off(mid);
+                let sep = right_entries[0].0.clone();
+                let right_node = Node::Leaf {
+                    entries: right_entries,
+                    next: *next,
+                };
+                *next = Some(next_slot);
+                self.nodes.push(right_node);
+                self.stats.index_write(1);
+                Some((sep, next_slot))
+            }
+        }
+    }
+
+    /// Locate the leaf that may contain `key` and the position of the first
+    /// entry `>= key` within it.
+    fn seek(&self, key: &[u8]) -> (usize, usize) {
+        let mut idx = self.root;
+        loop {
+            match self.read_node(idx) {
+                Node::Internal { keys, children } => {
+                    idx = children[lower_bound_keys(keys, key)];
+                }
+                Node::Leaf { entries, .. } => {
+                    let pos = entries.partition_point(|(k, _)| k.as_slice() < key);
+                    return (idx, pos);
+                }
+            }
+        }
+    }
+
+    /// First value stored under `key`, if any.
+    pub fn get_first(&self, key: &[u8]) -> Option<V> {
+        self.range(Some(key), Some(key)).next().map(|(_, v)| v)
+    }
+
+    /// All values stored under exactly `key`.
+    pub fn get_all(&self, key: &[u8]) -> Vec<V> {
+        self.range(Some(key), Some(key)).map(|(_, v)| v).collect()
+    }
+
+    /// Inclusive range scan: all `(key, value)` with `lo <= key <= hi`,
+    /// in key order. `None` bounds are unbounded, mirroring the paper's
+    /// `classLabel:000` / `classLabel:999` sentinel probes.
+    pub fn range<'a>(
+        &'a self,
+        lo: Option<&[u8]>,
+        hi: Option<&'a [u8]>,
+    ) -> impl Iterator<Item = (Key, V)> + 'a {
+        let (leaf, pos) = match lo {
+            Some(lo) => self.seek(lo),
+            None => self.leftmost_leaf(),
+        };
+        RangeIter {
+            tree: self,
+            leaf: Some(leaf),
+            pos,
+            hi: hi.map(<[u8]>::to_vec),
+        }
+    }
+
+    fn leftmost_leaf(&self) -> (usize, usize) {
+        let mut idx = self.root;
+        loop {
+            match self.read_node(idx) {
+                Node::Internal { children, .. } => idx = children[0],
+                Node::Leaf { .. } => return (idx, 0),
+            }
+        }
+    }
+
+    /// Delete one `(key, value)` entry. Errors if not present.
+    pub fn delete(&mut self, key: &[u8], value: &V) -> Result<()> {
+        let (mut leaf, mut pos) = self.seek(key);
+        loop {
+            let (found, advance) = {
+                let Node::Leaf { entries, next } = &self.nodes[leaf] else {
+                    unreachable!()
+                };
+                if pos >= entries.len() {
+                    (None, *next)
+                } else if entries[pos].0.as_slice() != key {
+                    return Err(StorageError::KeyNotFound);
+                } else if &entries[pos].1 == value {
+                    (Some(pos), None)
+                } else {
+                    pos += 1;
+                    (None, Some(leaf)) // stay, pos advanced
+                }
+            };
+            match (found, advance) {
+                (Some(p), _) => {
+                    let node = self.write_node(leaf);
+                    let Node::Leaf { entries, .. } = node else {
+                        unreachable!()
+                    };
+                    entries.remove(p);
+                    self.len -= 1;
+                    return Ok(());
+                }
+                (None, Some(next)) if next != leaf => {
+                    leaf = next;
+                    pos = 0;
+                    self.stats.index_read(1);
+                }
+                (None, Some(_same)) => { /* advanced within leaf; loop */ }
+                (None, None) => return Err(StorageError::KeyNotFound),
+            }
+        }
+    }
+
+    /// Replace one `(key, old)` entry's value with `new` in place.
+    pub fn update_value(&mut self, key: &[u8], old: &V, new: V) -> Result<()> {
+        self.delete(key, old)?;
+        self.insert(key, new);
+        Ok(())
+    }
+
+    /// Build a tree from entries that are already sorted by key.
+    ///
+    /// This is the bulk-creation mode of Figure 8: leaves are packed
+    /// sequentially and internal levels built bottom-up, far cheaper than
+    /// repeated root-to-leaf insertion.
+    pub fn bulk_load(stats: Arc<IoStats>, order: usize, sorted: Vec<(Key, V)>) -> Self {
+        debug_assert!(sorted.windows(2).all(|w| w[0].0 <= w[1].0));
+        let mut tree = Self::with_order(Arc::clone(&stats), order);
+        if sorted.is_empty() {
+            return tree;
+        }
+        tree.len = sorted.len();
+        tree.nodes.clear();
+        let per_leaf = (order * 2) / 3; // ~66% fill, PostgreSQL-style
+        let per_leaf = per_leaf.max(2);
+        let mut level: Vec<(Key, usize)> = Vec::new(); // (first key, node idx)
+        for chunk in sorted.chunks(per_leaf) {
+            let idx = tree.nodes.len();
+            tree.nodes.push(Node::Leaf {
+                entries: chunk.to_vec(),
+                next: None,
+            });
+            stats.index_write(1);
+            level.push((chunk[0].0.clone(), idx));
+        }
+        // Link leaves.
+        for w in 0..level.len().saturating_sub(1) {
+            let next_idx = level[w + 1].1;
+            if let Node::Leaf { next, .. } = &mut tree.nodes[level[w].1] {
+                *next = Some(next_idx);
+            }
+        }
+        tree.height = 1;
+        // Build internal levels.
+        while level.len() > 1 {
+            let mut upper: Vec<(Key, usize)> = Vec::new();
+            for chunk in level.chunks(per_leaf.max(2)) {
+                let keys: Vec<Key> = chunk[1..].iter().map(|(k, _)| k.clone()).collect();
+                let children: Vec<usize> = chunk.iter().map(|(_, i)| *i).collect();
+                let idx = tree.nodes.len();
+                tree.nodes.push(Node::Internal { keys, children });
+                stats.index_write(1);
+                upper.push((chunk[0].0.clone(), idx));
+            }
+            level = upper;
+            tree.height += 1;
+        }
+        tree.root = level[0].1;
+        tree
+    }
+}
+
+struct RangeIter<'a, V> {
+    tree: &'a BTree<V>,
+    leaf: Option<usize>,
+    pos: usize,
+    hi: Option<Vec<u8>>,
+}
+
+impl<V: Clone + PartialEq> Iterator for RangeIter<'_, V> {
+    type Item = (Key, V);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let leaf = self.leaf?;
+            let Node::Leaf { entries, next } = &self.tree.nodes[leaf] else {
+                unreachable!()
+            };
+            if self.pos < entries.len() {
+                let (k, v) = &entries[self.pos];
+                if let Some(hi) = &self.hi {
+                    if k > hi {
+                        self.leaf = None;
+                        return None;
+                    }
+                }
+                self.pos += 1;
+                return Some((k.clone(), v.clone()));
+            }
+            self.leaf = *next;
+            self.pos = 0;
+            if self.leaf.is_some() {
+                self.tree.stats.index_read(1);
+            }
+        }
+    }
+}
+
+/// Position of the first separator strictly greater than `key`
+/// (descend into `children[result]` for inserts, keeping duplicates right).
+fn upper_bound_keys(keys: &[Key], key: &[u8]) -> usize {
+    keys.partition_point(|k| k.as_slice() <= key)
+}
+
+/// Child position for *seeking* the first occurrence of `key`: descend left
+/// of equal separators, because duplicates of a separator key may live in the
+/// left subtree (splits keep the first right-hand key as separator while
+/// inserts route duplicates right).
+fn lower_bound_keys(keys: &[Key], key: &[u8]) -> usize {
+    keys.partition_point(|k| k.as_slice() < key)
+}
+
+fn upper_bound_entries<V>(entries: &[(Key, V)], key: &[u8]) -> usize {
+    entries.partition_point(|(k, _)| k.as_slice() <= key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree() -> BTree<u64> {
+        BTree::with_order(IoStats::new(), 8)
+    }
+
+    #[test]
+    fn insert_and_point_lookup() {
+        let mut t = tree();
+        for i in 0..200u64 {
+            t.insert(format!("k{i:04}").as_bytes(), i);
+        }
+        assert_eq!(t.len(), 200);
+        for i in (0..200u64).step_by(17) {
+            assert_eq!(t.get_first(format!("k{i:04}").as_bytes()), Some(i));
+        }
+        assert_eq!(t.get_first(b"missing"), None);
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let mut t = tree();
+        for i in 0..1000u64 {
+            t.insert(format!("{i:06}").as_bytes(), i);
+        }
+        // order 8 -> height around log_4..8(1000/8): small.
+        assert!(t.height() >= 3 && t.height() <= 7, "height {}", t.height());
+    }
+
+    #[test]
+    fn duplicates_are_kept_and_individually_deletable() {
+        let mut t = tree();
+        t.insert(b"dup", 1);
+        t.insert(b"dup", 2);
+        t.insert(b"dup", 3);
+        let mut all = t.get_all(b"dup");
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3]);
+        t.delete(b"dup", &2).unwrap();
+        let mut all = t.get_all(b"dup");
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 3]);
+        assert!(t.delete(b"dup", &2).is_err());
+    }
+
+    #[test]
+    fn many_duplicates_span_leaves() {
+        let mut t = tree();
+        for i in 0..100u64 {
+            t.insert(b"same", i);
+        }
+        assert_eq!(t.get_all(b"same").len(), 100);
+        t.delete(b"same", &99).unwrap();
+        assert_eq!(t.get_all(b"same").len(), 99);
+    }
+
+    #[test]
+    fn range_scan_is_sorted_and_bounded() {
+        let mut t = tree();
+        for i in (0..100u64).rev() {
+            t.insert(format!("{i:04}").as_bytes(), i);
+        }
+        let got: Vec<u64> = t
+            .range(Some(b"0010"), Some(b"0019"))
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(got, (10..=19).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn open_ended_ranges() {
+        let mut t = tree();
+        for i in 0..50u64 {
+            t.insert(format!("{i:04}").as_bytes(), i);
+        }
+        assert_eq!(t.range(None, None).count(), 50);
+        assert_eq!(t.range(Some(b"0045"), None).count(), 5);
+        assert_eq!(t.range(None, Some(b"0004")).count(), 5);
+    }
+
+    #[test]
+    fn update_value_moves_entry() {
+        let mut t = tree();
+        t.insert(b"k", 1);
+        t.update_value(b"k", &1, 9).unwrap();
+        assert_eq!(t.get_all(b"k"), vec![9]);
+    }
+
+    #[test]
+    fn delete_missing_key_errors() {
+        let mut t = tree();
+        t.insert(b"a", 1);
+        assert!(matches!(t.delete(b"b", &1), Err(StorageError::KeyNotFound)));
+    }
+
+    #[test]
+    fn bulk_load_matches_incremental() {
+        let sorted: Vec<(Vec<u8>, u64)> = (0..500u64)
+            .map(|i| (format!("{i:05}").into_bytes(), i))
+            .collect();
+        let bulk = BTree::bulk_load(IoStats::new(), 8, sorted.clone());
+        assert_eq!(bulk.len(), 500);
+        for (k, v) in &sorted {
+            assert_eq!(bulk.get_first(k), Some(*v), "key {:?}", k);
+        }
+        let all: Vec<u64> = bulk.range(None, None).map(|(_, v)| v).collect();
+        assert_eq!(all, (0..500).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn bulk_load_empty() {
+        let t: BTree<u64> = BTree::bulk_load(IoStats::new(), 8, vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.range(None, None).count(), 0);
+    }
+
+    #[test]
+    fn point_lookup_io_is_logarithmic() {
+        let stats = IoStats::new();
+        let mut t = BTree::with_order(Arc::clone(&stats), 64);
+        for i in 0..100_000u64 {
+            t.insert(format!("{i:08}").as_bytes(), i);
+        }
+        stats.reset();
+        let _ = t.get_first(b"00050000");
+        let reads = stats.snapshot().index_reads;
+        // height is ~3 for 100k entries at order 64.
+        assert!(reads <= (t.height() as u64) + 2, "reads={reads}");
+    }
+
+    #[test]
+    fn insert_after_bulk_load() {
+        let sorted: Vec<(Vec<u8>, u64)> = (0..100u64)
+            .map(|i| (format!("{:03}", i * 2).into_bytes(), i * 2))
+            .collect();
+        let mut t = BTree::bulk_load(IoStats::new(), 8, sorted);
+        t.insert(b"101", 101);
+        let vals: Vec<u64> = t
+            .range(Some(b"100"), Some(b"102"))
+            .map(|(_, v)| v)
+            .collect();
+        assert_eq!(vals, vec![100, 101, 102]);
+    }
+}

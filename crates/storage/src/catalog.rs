@@ -1,0 +1,151 @@
+//! Table registry.
+//!
+//! The [`Catalog`] maps table names to [`TableId`]s and owns the [`Table`]
+//! objects. Higher layers (the annotation store, summary storage, indexes)
+//! hold `TableId`s and borrow tables through the catalog.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::error::StorageError;
+use crate::io::IoStats;
+use crate::table::Table;
+use crate::tuple::Schema;
+use crate::Result;
+
+/// Identifier of a table within one [`Catalog`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TableId(pub u32);
+
+/// Owns all tables of one database instance.
+#[derive(Debug)]
+pub struct Catalog {
+    tables: Vec<Table>,
+    by_name: HashMap<String, TableId>,
+    stats: Arc<IoStats>,
+}
+
+impl Catalog {
+    /// Create an empty catalog charging I/O to `stats`.
+    pub fn new(stats: Arc<IoStats>) -> Self {
+        Self {
+            tables: Vec::new(),
+            by_name: HashMap::new(),
+            stats,
+        }
+    }
+
+    /// The shared I/O counters.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Create a table, failing if the name is taken.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<TableId> {
+        if self.by_name.contains_key(name) {
+            return Err(StorageError::TableExists(name.to_string()));
+        }
+        let id = TableId(self.tables.len() as u32);
+        self.tables
+            .push(Table::new(name, schema, Arc::clone(&self.stats)));
+        self.by_name.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Resolve a table name.
+    pub fn table_id(&self, name: &str) -> Result<TableId> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    /// Borrow a table by id.
+    pub fn table(&self, id: TableId) -> Result<&Table> {
+        self.tables
+            .get(id.0 as usize)
+            .ok_or_else(|| StorageError::TableNotFound(format!("#{}", id.0)))
+    }
+
+    /// Mutably borrow a table by id.
+    pub fn table_mut(&mut self, id: TableId) -> Result<&mut Table> {
+        self.tables
+            .get_mut(id.0 as usize)
+            .ok_or_else(|| StorageError::TableNotFound(format!("#{}", id.0)))
+    }
+
+    /// Borrow a table by name.
+    pub fn table_by_name(&self, name: &str) -> Result<&Table> {
+        self.table(self.table_id(name)?)
+    }
+
+    /// All `(id, name)` pairs.
+    pub fn list(&self) -> Vec<(TableId, &str)> {
+        self.tables
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TableId(i as u32), t.name()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple::{ColumnType, Value};
+
+    #[test]
+    fn create_lookup_roundtrip() {
+        let mut c = Catalog::new(IoStats::new());
+        let id = c
+            .create_table("birds", Schema::of(&[("id", ColumnType::Int)]))
+            .unwrap();
+        assert_eq!(c.table_id("birds").unwrap(), id);
+        assert_eq!(c.table(id).unwrap().name(), "birds");
+        assert_eq!(c.table_by_name("birds").unwrap().name(), "birds");
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut c = Catalog::new(IoStats::new());
+        c.create_table("t", Schema::of(&[("x", ColumnType::Int)]))
+            .unwrap();
+        assert!(matches!(
+            c.create_table("t", Schema::of(&[("x", ColumnType::Int)])),
+            Err(StorageError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn missing_table_errors() {
+        let c = Catalog::new(IoStats::new());
+        assert!(c.table_id("nope").is_err());
+        assert!(c.table(TableId(9)).is_err());
+    }
+
+    #[test]
+    fn tables_share_io_stats() {
+        let stats = IoStats::new();
+        let mut c = Catalog::new(Arc::clone(&stats));
+        let a = c
+            .create_table("a", Schema::of(&[("x", ColumnType::Int)]))
+            .unwrap();
+        let b = c
+            .create_table("b", Schema::of(&[("x", ColumnType::Int)]))
+            .unwrap();
+        c.table_mut(a).unwrap().insert(vec![Value::Int(1)]).unwrap();
+        c.table_mut(b).unwrap().insert(vec![Value::Int(2)]).unwrap();
+        assert!(stats.snapshot().total() > 0);
+    }
+
+    #[test]
+    fn list_enumerates_in_creation_order() {
+        let mut c = Catalog::new(IoStats::new());
+        c.create_table("one", Schema::of(&[("x", ColumnType::Int)]))
+            .unwrap();
+        c.create_table("two", Schema::of(&[("x", ColumnType::Int)]))
+            .unwrap();
+        let names: Vec<&str> = c.list().into_iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["one", "two"]);
+    }
+}

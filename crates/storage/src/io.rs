@@ -1,0 +1,195 @@
+//! I/O accounting.
+//!
+//! Every page access in the heap files and every node visit in the B-Trees is
+//! charged to a shared [`IoStats`]. The benchmark harness snapshots these
+//! counters around each measured query so the paper's figures can be
+//! regenerated in terms of simulated I/O as well as wall time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe I/O counters.
+///
+/// The counters distinguish heap-page traffic from index-node traffic because
+/// several of the paper's claims (e.g. the backward-pointer experiment of
+/// Figure 13) are precisely about trading index hops for heap joins.
+#[derive(Debug, Default)]
+pub struct IoStats {
+    heap_reads: AtomicU64,
+    heap_writes: AtomicU64,
+    index_reads: AtomicU64,
+    index_writes: AtomicU64,
+}
+
+impl IoStats {
+    /// Create a fresh, zeroed counter set behind an [`Arc`].
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record `n` heap page reads.
+    #[inline]
+    pub fn heap_read(&self, n: u64) {
+        self.heap_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` heap page writes.
+    #[inline]
+    pub fn heap_write(&self, n: u64) {
+        self.heap_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` index node reads.
+    #[inline]
+    pub fn index_read(&self, n: u64) {
+        self.index_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` index node writes.
+    #[inline]
+    pub fn index_write(&self, n: u64) {
+        self.index_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            heap_reads: self.heap_reads.load(Ordering::Relaxed),
+            heap_writes: self.heap_writes.load(Ordering::Relaxed),
+            index_reads: self.index_reads.load(Ordering::Relaxed),
+            index_writes: self.index_writes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset all counters to zero.
+    pub fn reset(&self) {
+        self.heap_reads.store(0, Ordering::Relaxed);
+        self.heap_writes.store(0, Ordering::Relaxed);
+        self.index_reads.store(0, Ordering::Relaxed);
+        self.index_writes.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time copy of [`IoStats`], supporting subtraction to express
+/// "I/O performed between two snapshots".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Heap page reads.
+    pub heap_reads: u64,
+    /// Heap page writes.
+    pub heap_writes: u64,
+    /// Index node reads.
+    pub index_reads: u64,
+    /// Index node writes.
+    pub index_writes: u64,
+}
+
+impl IoSnapshot {
+    /// Total of all four counters.
+    pub fn total(&self) -> u64 {
+        self.heap_reads + self.heap_writes + self.index_reads + self.index_writes
+    }
+
+    /// Total reads (heap + index).
+    pub fn reads(&self) -> u64 {
+        self.heap_reads + self.index_reads
+    }
+
+    /// Total writes (heap + index).
+    pub fn writes(&self) -> u64 {
+        self.heap_writes + self.index_writes
+    }
+
+    /// Counter-wise difference `self - earlier` (saturating).
+    pub fn since(&self, earlier: &IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            heap_reads: self.heap_reads.saturating_sub(earlier.heap_reads),
+            heap_writes: self.heap_writes.saturating_sub(earlier.heap_writes),
+            index_reads: self.index_reads.saturating_sub(earlier.index_reads),
+            index_writes: self.index_writes.saturating_sub(earlier.index_writes),
+        }
+    }
+}
+
+/// RAII helper measuring the I/O performed within a scope.
+///
+/// ```
+/// use instn_storage::io::{IoScope, IoStats};
+/// let stats = IoStats::new();
+/// let scope = IoScope::begin(&stats);
+/// stats.heap_read(3);
+/// let delta = scope.end();
+/// assert_eq!(delta.heap_reads, 3);
+/// ```
+pub struct IoScope {
+    stats: Arc<IoStats>,
+    start: IoSnapshot,
+}
+
+impl IoScope {
+    /// Start measuring against `stats`.
+    pub fn begin(stats: &Arc<IoStats>) -> Self {
+        Self {
+            stats: Arc::clone(stats),
+            start: stats.snapshot(),
+        }
+    }
+
+    /// Finish measuring and return the delta since [`IoScope::begin`].
+    pub fn end(self) -> IoSnapshot {
+        self.stats.snapshot().since(&self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta() {
+        let s = IoStats::new();
+        s.heap_read(5);
+        s.index_write(2);
+        let a = s.snapshot();
+        s.heap_read(1);
+        s.heap_write(4);
+        let b = s.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.heap_reads, 1);
+        assert_eq!(d.heap_writes, 4);
+        assert_eq!(d.index_writes, 0);
+        assert_eq!(d.total(), 5);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let s = IoStats::new();
+        s.heap_read(10);
+        s.reset();
+        assert_eq!(s.snapshot().total(), 0);
+    }
+
+    #[test]
+    fn scope_measures_inner_io_only() {
+        let s = IoStats::new();
+        s.heap_read(100);
+        let scope = IoScope::begin(&s);
+        s.index_read(7);
+        let d = scope.end();
+        assert_eq!(d.index_reads, 7);
+        assert_eq!(d.heap_reads, 0);
+    }
+
+    #[test]
+    fn totals_partition() {
+        let s = IoStats::new();
+        s.heap_read(1);
+        s.heap_write(2);
+        s.index_read(3);
+        s.index_write(4);
+        let snap = s.snapshot();
+        assert_eq!(snap.reads(), 4);
+        assert_eq!(snap.writes(), 6);
+        assert_eq!(snap.total(), 10);
+    }
+}

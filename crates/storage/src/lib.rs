@@ -1,0 +1,47 @@
+//! # instn-storage
+//!
+//! The storage substrate for the InsightNotes+ reproduction.
+//!
+//! The original system (EDBT 2015) is a patched PostgreSQL; every experiment
+//! in its evaluation section is ultimately a statement about *pages touched*
+//! and *levels of indirection* (extra joins) between an index entry and the
+//! data tuple it annotates. This crate therefore provides a faithful,
+//! self-contained stand-in for the PostgreSQL storage layer:
+//!
+//! * [`page`] — slotted 8 KiB pages holding variable-length records,
+//! * [`pager`] — a page arena with an [`io::IoStats`] accounting layer that
+//!   counts every logical page read and write,
+//! * [`heap`] — heap files (unordered record storage) built on the pager,
+//! * [`btree`] — an order-B multi-map B-Tree with byte-string keys whose node
+//!   visits are charged to the same I/O accounting,
+//! * [`mod@tuple`] — values, tuples, schemas, and their byte encoding,
+//! * [`table`] — a heap-backed table with stable OIDs and an OID → heap
+//!   location B-Tree (the substrate behind the paper's `diskTupleLoc()`),
+//! * [`catalog`] — the table registry.
+//!
+//! All structures are deterministic and in-memory; "disk" cost is observed
+//! through [`io::IoStats`], which the benchmark harness reports next to wall
+//! time so the paper's relative speedups can be checked against both metrics.
+
+pub mod btree;
+pub mod catalog;
+pub mod error;
+pub mod heap;
+pub mod io;
+pub mod page;
+pub mod pager;
+pub mod table;
+pub mod tuple;
+
+pub use btree::BTree;
+pub use catalog::{Catalog, TableId};
+pub use error::StorageError;
+pub use heap::HeapFile;
+pub use io::{IoScope, IoSnapshot, IoStats};
+pub use page::{PageId, RecordId, PAGE_SIZE};
+pub use pager::Pager;
+pub use table::{Oid, Table};
+pub use tuple::{ColumnType, Schema, Tuple, Value};
+
+/// Convenient crate-wide result alias.
+pub type Result<T> = std::result::Result<T, StorageError>;

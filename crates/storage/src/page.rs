@@ -1,0 +1,262 @@
+//! Slotted pages.
+//!
+//! A [`Page`] stores variable-length records behind a slot directory, exactly
+//! the layout textbooks (and PostgreSQL) use: records grow from the end of
+//! the page toward the front, the slot array grows from the front toward the
+//! end, and deleting a record leaves a dead slot so that [`RecordId`]s of the
+//! surviving records remain stable.
+
+use crate::error::StorageError;
+use crate::Result;
+
+/// Usable bytes per page. 8 KiB, matching PostgreSQL's default block size.
+pub const PAGE_SIZE: usize = 8192;
+
+/// Per-slot bookkeeping overhead used when estimating capacity.
+const SLOT_OVERHEAD: usize = 8;
+
+/// Identifier of a page within a single [`crate::pager::Pager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PageId(pub u32);
+
+/// Physical location of a record: page + slot.
+///
+/// This is the Rust analogue of a PostgreSQL `ctid`, and is what the paper's
+/// `diskTupleLoc()` returns: the Summary-BTree stores these as *backward
+/// pointers* straight to the annotated data tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecordId {
+    /// Page containing the record.
+    pub page: PageId,
+    /// Slot within the page.
+    pub slot: u16,
+}
+
+impl RecordId {
+    /// Construct from raw parts.
+    pub fn new(page: u32, slot: u16) -> Self {
+        Self {
+            page: PageId(page),
+            slot,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Slot {
+    Live(Vec<u8>),
+    Dead,
+}
+
+/// A slotted page holding variable-length records.
+///
+/// The implementation keeps records as owned byte vectors but enforces the
+/// [`PAGE_SIZE`] byte budget (record bytes + slot overhead), so page counts —
+/// and therefore the simulated I/O of every experiment — match what a real
+/// on-disk layout would produce.
+#[derive(Debug, Clone, Default)]
+pub struct Page {
+    slots: Vec<Slot>,
+    used: usize,
+    live: usize,
+}
+
+impl Page {
+    /// A fresh, empty page.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bytes currently consumed (record payloads + slot overhead).
+    pub fn used_bytes(&self) -> usize {
+        self.used
+    }
+
+    /// Bytes still available for a new record payload.
+    pub fn free_bytes(&self) -> usize {
+        PAGE_SIZE.saturating_sub(self.used + SLOT_OVERHEAD)
+    }
+
+    /// Number of live (non-deleted) records.
+    pub fn live_records(&self) -> usize {
+        self.live
+    }
+
+    /// Whether a record of `len` payload bytes fits.
+    pub fn fits(&self, len: usize) -> bool {
+        len + SLOT_OVERHEAD + self.used <= PAGE_SIZE
+    }
+
+    /// Largest payload a single (empty) page can hold.
+    pub fn max_record_len() -> usize {
+        PAGE_SIZE - SLOT_OVERHEAD
+    }
+
+    /// Insert a record, returning its slot number.
+    pub fn insert(&mut self, data: &[u8]) -> Result<u16> {
+        if data.len() > Self::max_record_len() {
+            return Err(StorageError::RecordTooLarge {
+                size: data.len(),
+                max: Self::max_record_len(),
+            });
+        }
+        if !self.fits(data.len()) {
+            return Err(StorageError::RecordTooLarge {
+                size: data.len(),
+                max: self.free_bytes(),
+            });
+        }
+        self.used += data.len() + SLOT_OVERHEAD;
+        self.live += 1;
+        // Reuse a dead slot if available to keep the slot array compact.
+        for (i, s) in self.slots.iter_mut().enumerate() {
+            if matches!(s, Slot::Dead) {
+                *s = Slot::Live(data.to_vec());
+                // Dead slot directory entries were already paid for.
+                self.used -= SLOT_OVERHEAD;
+                return Ok(i as u16);
+            }
+        }
+        self.slots.push(Slot::Live(data.to_vec()));
+        Ok((self.slots.len() - 1) as u16)
+    }
+
+    /// Fetch the record in `slot`.
+    pub fn get(&self, slot: u16) -> Option<&[u8]> {
+        match self.slots.get(slot as usize) {
+            Some(Slot::Live(d)) => Some(d.as_slice()),
+            _ => None,
+        }
+    }
+
+    /// Delete the record in `slot`. Returns the payload length freed.
+    pub fn delete(&mut self, slot: u16) -> Option<usize> {
+        match self.slots.get_mut(slot as usize) {
+            Some(s @ Slot::Live(_)) => {
+                let len = match s {
+                    Slot::Live(d) => d.len(),
+                    Slot::Dead => unreachable!(),
+                };
+                *s = Slot::Dead;
+                // Slot directory entry stays (keeps other RecordIds stable);
+                // only the payload bytes are reclaimed.
+                self.used -= len;
+                self.live -= 1;
+                Some(len)
+            }
+            _ => None,
+        }
+    }
+
+    /// Replace the record in `slot` in place, if the new payload fits.
+    ///
+    /// Returns `false` when it does not fit (caller must relocate).
+    pub fn update(&mut self, slot: u16, data: &[u8]) -> Result<bool> {
+        let old_len = match self.slots.get(slot as usize) {
+            Some(Slot::Live(d)) => d.len(),
+            _ => return Err(StorageError::RecordNotFound { page: 0, slot }),
+        };
+        let new_used = self.used - old_len + data.len();
+        if new_used > PAGE_SIZE {
+            return Ok(false);
+        }
+        self.slots[slot as usize] = Slot::Live(data.to_vec());
+        self.used = new_used;
+        Ok(true)
+    }
+
+    /// Iterate over `(slot, payload)` for live records.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, &[u8])> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| match s {
+            Slot::Live(d) => Some((i as u16, d.as_slice())),
+            Slot::Dead => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut p = Page::new();
+        let s1 = p.insert(b"hello").unwrap();
+        let s2 = p.insert(b"world!").unwrap();
+        assert_eq!(p.get(s1), Some(&b"hello"[..]));
+        assert_eq!(p.get(s2), Some(&b"world!"[..]));
+        assert_eq!(p.live_records(), 2);
+    }
+
+    #[test]
+    fn delete_keeps_other_slots_stable() {
+        let mut p = Page::new();
+        let s1 = p.insert(b"a").unwrap();
+        let s2 = p.insert(b"b").unwrap();
+        assert_eq!(p.delete(s1), Some(1));
+        assert_eq!(p.get(s1), None);
+        assert_eq!(p.get(s2), Some(&b"b"[..]));
+        assert_eq!(p.live_records(), 1);
+    }
+
+    #[test]
+    fn dead_slot_is_reused() {
+        let mut p = Page::new();
+        let s1 = p.insert(b"a").unwrap();
+        p.insert(b"b").unwrap();
+        p.delete(s1).unwrap();
+        let s3 = p.insert(b"c").unwrap();
+        assert_eq!(s3, s1);
+        assert_eq!(p.get(s3), Some(&b"c"[..]));
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut p = Page::new();
+        let big = vec![0u8; Page::max_record_len()];
+        p.insert(&big).unwrap();
+        assert!(matches!(
+            p.insert(b"x"),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut p = Page::new();
+        let big = vec![0u8; PAGE_SIZE + 1];
+        assert!(p.insert(&big).is_err());
+    }
+
+    #[test]
+    fn update_in_place_and_grow() {
+        let mut p = Page::new();
+        let s = p.insert(b"short").unwrap();
+        assert!(p.update(s, b"longer-payload").unwrap());
+        assert_eq!(p.get(s), Some(&b"longer-payload"[..]));
+        // Updating a missing slot errors.
+        assert!(p.update(99, b"x").is_err());
+    }
+
+    #[test]
+    fn update_that_overflows_reports_false() {
+        let mut p = Page::new();
+        let s = p.insert(b"tiny").unwrap();
+        p.insert(&vec![1u8; 4000]).unwrap();
+        p.insert(&vec![2u8; 4000]).unwrap();
+        let huge = vec![3u8; 5000];
+        assert!(!p.update(s, &huge).unwrap());
+        // Original survives a failed update.
+        assert_eq!(p.get(s), Some(&b"tiny"[..]));
+    }
+
+    #[test]
+    fn iter_skips_dead() {
+        let mut p = Page::new();
+        let s1 = p.insert(b"a").unwrap();
+        p.insert(b"b").unwrap();
+        p.delete(s1).unwrap();
+        let got: Vec<_> = p.iter().map(|(_, d)| d.to_vec()).collect();
+        assert_eq!(got, vec![b"b".to_vec()]);
+    }
+}

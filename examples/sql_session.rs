@@ -1,0 +1,140 @@
+//! A scripted session against the extended SQL front end: the paper's DDL
+//! (`ALTER TABLE … ADD [INDEXABLE] <Instance>`), summary method chains in
+//! `WHERE`/`ORDER BY`, and the zoom-in command.
+//!
+//! ```text
+//! cargo run --example sql_session
+//! ```
+
+use std::collections::HashMap;
+
+use insightnotes::prelude::*;
+
+fn main() {
+    let mut db = Database::new();
+    let birds = db
+        .create_table(
+            "Birds",
+            Schema::of(&[
+                ("id", ColumnType::Int),
+                ("common_name", ColumnType::Text),
+                ("family", ColumnType::Text),
+            ]),
+        )
+        .expect("fresh database");
+
+    // Data + annotations first (bulk-load style).
+    for i in 0..12i64 {
+        let name = if i % 3 == 0 {
+            format!("Swan {i}")
+        } else {
+            format!("Gull {i}")
+        };
+        let oid = db
+            .insert_tuple(
+                birds,
+                vec![
+                    Value::Int(i),
+                    Value::Text(name),
+                    Value::Text(format!("family{}", i % 2)),
+                ],
+            )
+            .expect("matches schema");
+        for k in 0..i {
+            let text = if k % 2 == 0 {
+                "disease outbreak infection observed"
+            } else {
+                "seen foraging and eating stonewort"
+            };
+            db.add_annotation(
+                birds,
+                text,
+                Category::Other,
+                "sql-demo",
+                vec![Attachment::row(oid)],
+            )
+            .expect("fits a page");
+        }
+    }
+
+    // The instance registry the DDL resolves names against.
+    let mut registry: HashMap<String, InstanceKind> = HashMap::new();
+    let mut model = NaiveBayes::new(vec!["Disease".into(), "Behavior".into()]);
+    model.train("disease outbreak infection virus lesion", "Disease");
+    model.train("foraging eating stonewort migration song", "Behavior");
+    registry.insert("ClassBird1".into(), InstanceKind::Classifier { model });
+
+    let mut run = |sql: &str| {
+        println!("sql> {sql}");
+        match execute_statement(&mut db, &registry, sql) {
+            Ok(SqlOutcome::Altered {
+                instance,
+                deltas,
+                indexable,
+            }) => {
+                println!(
+                    "     linked/dropped (instance={instance:?}, {} deltas, indexable={indexable})\n",
+                    deltas.len()
+                );
+            }
+            Ok(SqlOutcome::Analyzed(_)) => {
+                println!("     statistics collected\n");
+            }
+            Ok(SqlOutcome::Explain(text)) => {
+                println!("     plan:\n{}", text.trim_end());
+                println!();
+            }
+            Ok(SqlOutcome::Zoom(annots)) => {
+                println!("     {} raw annotations:", annots.len());
+                for a in annots.iter().take(3) {
+                    println!("       - {}", a.text);
+                }
+                println!();
+            }
+            Ok(SqlOutcome::Query(q)) => {
+                let physical = lower_naive(&db, &q.plan).expect("lowers");
+                let rows = ExecContext::new(&db).execute(&physical).expect("executes");
+                println!("     {} rows  (columns: {:?})", rows.len(), q.columns);
+                for r in rows.iter().take(5) {
+                    let vals: Vec<String> = r.values.iter().map(|v| format!("{v}")).collect();
+                    println!("       {}", vals.join(" | "));
+                }
+                println!();
+            }
+            Err(e) => println!("     ERROR: {e}\n"),
+        }
+    };
+
+    // 1. The extended DDL links and summarizes in one statement.
+    run("ALTER TABLE Birds ADD INDEXABLE ClassBird1;");
+
+    // 2. Summary-based selection: the paper's flagship predicate form.
+    run("SELECT id, common_name FROM Birds r WHERE \
+         r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 3;");
+
+    // 3. Mixed data + summary predicates.
+    run(
+        "SELECT id, common_name FROM Birds r WHERE common_name LIKE 'Swan%' AND \
+         r.$.getSummaryObject('ClassBird1').getLabelValue('Behavior') >= 2;",
+    );
+
+    // 4. Summary-based ORDER BY (the O operator) with projection and LIMIT.
+    run("SELECT common_name FROM Birds r \
+         ORDER BY r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') DESC LIMIT 3;");
+
+    // 5. Grouping merges the groups' summaries on the fly.
+    run("SELECT family FROM Birds GROUP BY family;");
+
+    // 6. EXPLAIN shows the lowered logical plan.
+    run("EXPLAIN SELECT common_name FROM Birds r WHERE \
+         r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 3 \
+         ORDER BY r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') DESC;");
+
+    // 7. Zoom-in: from a summary back to the raw annotations.
+    run("ZOOM IN ON ClassBird1 OF Birds TUPLE 12 LABEL 'Disease';");
+
+    // 7. Drop the instance again.
+    run("ALTER TABLE Birds DROP ClassBird1;");
+
+    println!("sql_session OK");
+}

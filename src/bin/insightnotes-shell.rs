@@ -1,0 +1,202 @@
+//! An interactive shell over the extended SQL front end.
+//!
+//! ```text
+//! cargo run --bin insightnotes-shell            # demo birds database
+//! echo "SELECT * FROM Birds LIMIT 3;" | cargo run --bin insightnotes-shell
+//! ```
+//!
+//! The shell boots a small demo database (Birds + synonyms, two summary
+//! instances, a Summary-BTree) and reads one statement per line:
+//! `SELECT` (with `$` method chains, `DISTINCT`, `ORDER BY`, `LIMIT`),
+//! `EXPLAIN SELECT`, `ANALYZE`, `ALTER TABLE … ADD [INDEXABLE] <Instance>`,
+//! `ALTER TABLE … DROP <Instance>`, and
+//! `ZOOM IN ON <Instance> OF <Table> TUPLE <oid> [LABEL 'x' | REP i]`.
+
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+
+use insightnotes::prelude::*;
+
+fn demo_db() -> (Database, HashMap<String, InstanceKind>) {
+    let mut db = Database::new();
+    let birds = db
+        .create_table(
+            "Birds",
+            Schema::of(&[
+                ("id", ColumnType::Int),
+                ("common_name", ColumnType::Text),
+                ("family", ColumnType::Text),
+            ]),
+        )
+        .expect("fresh database");
+    let mut model = NaiveBayes::new(vec!["Disease".into(), "Behavior".into(), "Other".into()]);
+    model.train(
+        "disease outbreak infection virus parasite lesion",
+        "Disease",
+    );
+    model.train("symptom mortality influenza pox", "Disease");
+    model.train(
+        "eating foraging migration song nesting stonewort",
+        "Behavior",
+    );
+    model.train("flock roosting courtship preening", "Behavior");
+    model.train("field station weather volunteer note", "Other");
+    model.train("project count season misc", "Other");
+    let mut registry: HashMap<String, InstanceKind> = HashMap::new();
+    registry.insert("ClassBird1".into(), InstanceKind::Classifier { model });
+    registry.insert(
+        "TextSummary1".into(),
+        InstanceKind::Snippet {
+            min_chars: 200,
+            max_chars: 200,
+        },
+    );
+    registry.insert(
+        "SimCluster".into(),
+        InstanceKind::Cluster {
+            params: ClusterParams::default(),
+        },
+    );
+    // Link the classifier up front so the demo data is summarized.
+    db.link_instance(birds, "ClassBird1", registry["ClassBird1"].clone(), true)
+        .expect("fresh name");
+    let names = [
+        "Swan Goose",
+        "Carrion Crow",
+        "Mute Swan",
+        "Common Gull",
+        "Great Tit",
+    ];
+    let families = ["Anatidae", "Corvidae", "Anatidae", "Laridae", "Paridae"];
+    for i in 0..10i64 {
+        let oid = db
+            .insert_tuple(
+                birds,
+                vec![
+                    Value::Int(i),
+                    Value::Text(format!("{} {}", names[i as usize % names.len()], i)),
+                    Value::Text(families[i as usize % families.len()].to_string()),
+                ],
+            )
+            .expect("matches schema");
+        for k in 0..i {
+            let text = if k % 2 == 0 {
+                "observed disease outbreak with lesions"
+            } else {
+                "seen foraging and eating stonewort"
+            };
+            db.add_annotation(
+                birds,
+                text,
+                Category::Other,
+                "demo",
+                vec![Attachment::row(oid)],
+            )
+            .expect("fits a page");
+        }
+    }
+    (db, registry)
+}
+
+fn main() {
+    let (mut db, registry) = demo_db();
+    let interactive = std::io::IsTerminal::is_terminal(&std::io::stdin());
+    if interactive {
+        println!("insightnotes-shell — demo Birds database loaded (10 tuples).");
+        println!("Statements end at end-of-line. Try:");
+        println!("  SELECT * FROM Birds r WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 2;");
+        println!("  EXPLAIN SELECT id FROM Birds ORDER BY $.getSummaryObject('ClassBird1').getLabelValue('Disease') DESC;");
+        println!("  ZOOM IN ON ClassBird1 OF Birds TUPLE 8 LABEL 'Disease';");
+        println!("  \\save <file> / \\load <file> to persist, \\q to quit.");
+    }
+    let stdin = std::io::stdin();
+    loop {
+        if interactive {
+            print!("insightnotes> ");
+            std::io::stdout().flush().ok();
+        }
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("--") {
+            continue;
+        }
+        if line == "\\q" || line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        if let Some(path) = line.strip_prefix("\\save ") {
+            match db.dump().map(|bytes| std::fs::write(path.trim(), bytes)) {
+                Ok(Ok(())) => println!("saved to {}", path.trim()),
+                Ok(Err(e)) => eprintln!("write error: {e}"),
+                Err(e) => eprintln!("dump error: {e}"),
+            }
+            continue;
+        }
+        if let Some(path) = line.strip_prefix("\\load ") {
+            match std::fs::read(path.trim()) {
+                Ok(bytes) => match Database::restore(&bytes) {
+                    Ok(restored) => {
+                        db = restored;
+                        println!("loaded {}", path.trim());
+                    }
+                    Err(e) => eprintln!("restore error: {e}"),
+                },
+                Err(e) => eprintln!("read error: {e}"),
+            }
+            continue;
+        }
+        match execute_statement(&mut db, &registry, line) {
+            Ok(SqlOutcome::Query(q)) => match lower_naive(&db, &q.plan) {
+                Ok(physical) => match ExecContext::new(&db).execute(&physical) {
+                    Ok(rows) => {
+                        println!("{}", q.columns.join(" | "));
+                        for r in rows.iter().take(50) {
+                            let vals: Vec<String> =
+                                r.values.iter().map(|v| format!("{v}")).collect();
+                            let summaries = if r.summaries.is_empty() {
+                                String::new()
+                            } else {
+                                format!(
+                                    "   [{}]",
+                                    r.summaries
+                                        .iter()
+                                        .map(|o| format!("{}:{}", o.summary_name(), o.size()))
+                                        .collect::<Vec<_>>()
+                                        .join(", ")
+                                )
+                            };
+                            println!("{}{summaries}", vals.join(" | "));
+                        }
+                        println!("({} rows)", rows.len());
+                    }
+                    Err(e) => eprintln!("execution error: {e}"),
+                },
+                Err(e) => eprintln!("planning error: {e}"),
+            },
+            Ok(SqlOutcome::Explain(text)) => print!("{text}"),
+            Ok(SqlOutcome::Analyzed(_)) => println!("statistics collected"),
+            Ok(SqlOutcome::Altered {
+                instance,
+                deltas,
+                indexable,
+            }) => println!(
+                "ok (instance={instance:?}, {} deltas, indexable={indexable})",
+                deltas.len()
+            ),
+            Ok(SqlOutcome::Zoom(annots)) => {
+                for a in annots.iter().take(20) {
+                    println!("[{}] {}", a.author, a.text);
+                }
+                println!("({} annotations)", annots.len());
+            }
+            Err(e) => eprintln!("error: {e}"),
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Concurrent read-path tests: the engine's read surface (`&Database`) is
+//! shareable across threads, and the I/O accounting — the backbone of every
+//! experiment — tallies exactly under parallel readers.
+
+use insightnotes::prelude::*;
+
+fn build(n: usize) -> (Database, TableId) {
+    let mut db = Database::new();
+    let t = db
+        .create_table(
+            "Birds",
+            Schema::of(&[("id", ColumnType::Int), ("name", ColumnType::Text)]),
+        )
+        .unwrap();
+    let mut model = NaiveBayes::new(vec!["Disease".into(), "Other".into()]);
+    model.train("disease outbreak infection virus", "Disease");
+    model.train("field station weather note", "Other");
+    db.link_instance(t, "C", InstanceKind::Classifier { model }, true)
+        .unwrap();
+    for i in 0..n {
+        let oid = db
+            .insert_tuple(t, vec![Value::Int(i as i64), Value::Text(format!("b{i}"))])
+            .unwrap();
+        for _ in 0..(i % 7) {
+            db.add_annotation(
+                t,
+                "disease outbreak",
+                Category::Disease,
+                "u",
+                vec![Attachment::row(oid)],
+            )
+            .unwrap();
+        }
+    }
+    (db, t)
+}
+
+#[test]
+fn parallel_readers_see_consistent_data() {
+    let (db, t) = build(60);
+    const THREADS: usize = 8;
+    let results: Vec<usize> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let db = &db;
+                scope.spawn(move |_| {
+                    let mut ctx = ExecContext::new(db);
+                    let plan = PhysicalPlan::Filter {
+                        input: Box::new(PhysicalPlan::SeqScan {
+                            table: t,
+                            with_summaries: true,
+                        }),
+                        pred: Expr::label_cmp("C", "Disease", CmpOp::Ge, 3),
+                    };
+                    ctx.execute(&plan).expect("read-only query").len()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    })
+    .expect("scope");
+    // Every thread sees the same answer.
+    assert!(results.windows(2).all(|w| w[0] == w[1]));
+    // i % 7 >= 3 for i in 0..60: residues 3,4,5,6 → 4 per 7, plus partials.
+    let expected = (0..60).filter(|i| i % 7 >= 3).count();
+    assert_eq!(results[0], expected);
+}
+
+#[test]
+fn io_accounting_tallies_exactly_under_parallelism() {
+    let (db, t) = build(40);
+    // Baseline: one sequential scan's I/O.
+    db.stats().reset();
+    let _ = db.scan_annotated(t).unwrap();
+    let single = db.stats().snapshot().total();
+    assert!(single > 0);
+
+    const THREADS: usize = 6;
+    db.stats().reset();
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..THREADS {
+            let db = &db;
+            scope.spawn(move |_| {
+                let _ = db.scan_annotated(t).expect("read-only scan");
+            });
+        }
+    })
+    .expect("scope");
+    let parallel = db.stats().snapshot().total();
+    assert_eq!(
+        parallel,
+        single * THREADS as u64,
+        "atomic counters lose nothing under contention"
+    );
+}
+
+#[test]
+fn parallel_index_probes_agree_with_sequential() {
+    let (db, t) = build(50);
+    let index = SummaryBTree::bulk_build(&db, t, "C", PointerMode::Backward).unwrap();
+    // Sequential ground truth (search_eq needs &mut for op counters, so
+    // probe tuples via per-thread contexts with their own index handles).
+    let sequential: Vec<usize> = (0..7u64)
+        .map(|c| {
+            let mut idx = SummaryBTree::bulk_build(&db, t, "C", PointerMode::Backward).unwrap();
+            idx.search_eq("Disease", c).len()
+        })
+        .collect();
+    let parallel: Vec<usize> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = (0..7u64)
+            .map(|c| {
+                let db = &db;
+                scope.spawn(move |_| {
+                    let mut idx =
+                        SummaryBTree::bulk_build(db, t, "C", PointerMode::Backward).unwrap();
+                    idx.search_eq("Disease", c).len()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    })
+    .expect("scope");
+    assert_eq!(sequential, parallel);
+    drop(index);
+}

