@@ -12,7 +12,7 @@ use std::sync::Arc;
 
 use instn_storage::io::IoStats;
 use instn_storage::page::RecordId;
-use instn_storage::{HeapFile, Oid, StorageError};
+use instn_storage::{BufferPool, HeapFile, Oid, StorageError};
 
 use crate::annotation::{AnnotId, Annotation};
 use crate::target::{Attachment, ColumnSet};
@@ -44,8 +44,13 @@ impl AnnotationStore {
     /// Create an empty store drawing ids from a shared counter, so ids are
     /// globally unique across the stores of one database.
     pub fn with_counter(stats: Arc<IoStats>, next_id: Arc<AtomicU64>) -> Self {
+        Self::with_pool_and_counter(BufferPool::disabled(stats), next_id)
+    }
+
+    /// [`AnnotationStore::with_counter`] with heap pages cached by `pool`.
+    pub fn with_pool_and_counter(pool: Arc<BufferPool>, next_id: Arc<AtomicU64>) -> Self {
         Self {
-            heap: HeapFile::new(stats),
+            heap: HeapFile::with_pool(pool),
             locations: HashMap::new(),
             postings: HashMap::new(),
             attachments: HashMap::new(),

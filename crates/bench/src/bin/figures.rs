@@ -4,15 +4,21 @@
 //! figures --exp all                 # every experiment at default scale
 //! figures --exp fig10 --scale 50    # one experiment, 45 000/50 = 900 birds
 //! figures --exp fig7 --sweep 10,50,200
+//! figures --exp fig10 --cache-pages 4096   # run behind a buffer pool
+//! figures --exp cache-sweep                # cold/warm I/O vs pool size
 //! ```
 //!
 //! Experiments: fig2, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
-//! fig15, fig16, bounds, rules-ablation, all.
+//! fig15, fig16, bounds, rules-ablation, cache-sweep, all.
 //!
 //! Every experiment prints wall time *and* simulated I/O (page/node
 //! accesses) — the substitution for the paper's disk-bound testbed; the
-//! relative factors are what the reproduction checks.
+//! relative factors are what the reproduction checks. `--cache-pages N`
+//! runs every experiment behind an N-page buffer pool (0, the default,
+//! reproduces the uncached counters bit for bit); `cache-sweep` measures
+//! one experiment across pool sizes and writes `BENCH_cache.json`.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use instn_annot::{text, Attachment, Category};
@@ -56,6 +62,11 @@ fn main() {
                 }
                 i += 2;
             }
+            "--cache-pages" => {
+                let pages = args.get(i + 1).and_then(|s| s.parse().ok()).unwrap_or(0);
+                CACHE_PAGES.store(pages, Ordering::Relaxed);
+                i += 2;
+            }
             other => {
                 eprintln!("unknown argument {other}");
                 std::process::exit(2);
@@ -69,6 +80,10 @@ fn main() {
         45_000 / scale * 5,
         sweep
     );
+    let cache = CACHE_PAGES.load(Ordering::Relaxed);
+    if cache > 0 {
+        println!("buffer pool: {cache} pages (physical I/O = cache misses + write-back)");
+    }
     println!();
     let run_all = exp == "all";
     if run_all || exp == "fig2" {
@@ -113,6 +128,19 @@ fn main() {
     if run_all || exp == "keyword-ablation" {
         keyword_ablation(scale);
     }
+    if run_all || exp == "cache-sweep" {
+        cache_sweep(scale);
+    }
+}
+
+/// Buffer-pool capacity every experiment database runs with (`--cache-pages`).
+static CACHE_PAGES: AtomicUsize = AtomicUsize::new(0);
+
+/// [`build_db`] plus the harness-wide `--cache-pages` pool capacity.
+fn bench_db(cfg: &BenchConfig) -> BenchDb {
+    let b = build_db(cfg);
+    b.db.set_cache_capacity(CACHE_PAGES.load(Ordering::Relaxed));
+    b
 }
 
 /// Time a closure, returning `(wall, io_delta, result)`.
@@ -159,7 +187,7 @@ fn fig2(_scale: usize) {
         annots_per_tuple: 150,
         ..Default::default()
     };
-    let b = build_db(&cfg);
+    let b = bench_db(&cfg);
     let db = &b.db;
     println!(
         "dataset: {} tuples, {} raw annotations",
@@ -306,7 +334,7 @@ fn fig7(scale: usize, sweep: &[usize]) {
             annots_per_tuple: apt,
             ..Default::default()
         };
-        let b = build_db(&cfg);
+        let b = bench_db(&cfg);
         let (sb, bl) = build_indexes(&b);
         // Both schemes keep the de-normalized SummaryStorage for propagation;
         // the *overhead* Fig. 7 charts is what indexing adds on top: the
@@ -346,7 +374,7 @@ fn fig8(scale: usize, sweep: &[usize]) {
             annots_per_tuple: apt,
             ..Default::default()
         };
-        let b = build_db(&cfg);
+        let b = bench_db(&cfg);
         let loading = b.load_time + b.summarize_time;
         let t0 = Instant::now();
         let sb =
@@ -385,7 +413,7 @@ fn fig9(scale: usize, sweep: &[usize]) {
             annots_per_tuple: apt,
             ..Default::default()
         };
-        let mut b = build_db(&cfg);
+        let mut b = bench_db(&cfg);
         let (mut sb, mut bl) = build_indexes(&b);
         let mut rng = StdRng::seed_from_u64(99);
         let mut t_add = Duration::ZERO;
@@ -446,7 +474,7 @@ fn fig10(scale: usize, sweep: &[usize]) {
             annots_per_tuple: apt,
             ..Default::default()
         };
-        let b = build_db(&cfg);
+        let b = bench_db(&cfg);
         let (sb, bl) = build_indexes(&b);
         let stats = Statistics::analyze(&b.db).unwrap();
         let c = count_at_selectivity(&stats, b.birds, "ClassBird1", "Disease", 0.01);
@@ -514,7 +542,7 @@ fn fig11(scale: usize, sweep: &[usize]) {
                 annots_per_tuple: apt,
                 ..Default::default()
             };
-            let b = build_db(&cfg);
+            let b = bench_db(&cfg);
             let (sb, bl) = build_indexes(&b);
             let stats = Statistics::analyze(&b.db).unwrap();
             let (lo, hi) = range_at_selectivity(&stats, b.birds, "ClassBird1", "Anatomy", target);
@@ -596,7 +624,7 @@ fn fig12(scale: usize, sweep: &[usize]) {
             annots_per_tuple: apt,
             ..Default::default()
         };
-        let b = build_db(&cfg);
+        let b = bench_db(&cfg);
         let (sb, bl) = build_indexes(&b);
         let stats = Statistics::analyze(&b.db).unwrap();
         let (lo, hi) = range_at_selectivity(&stats, b.birds, "ClassBird1", "Anatomy", 0.05);
@@ -650,7 +678,7 @@ fn fig13(scale: usize, sweep: &[usize]) {
             annots_per_tuple: apt,
             ..Default::default()
         };
-        let b = build_db(&cfg);
+        let b = bench_db(&cfg);
         let stats = Statistics::analyze(&b.db).unwrap();
         let c = count_at_selectivity(&stats, b.birds, "ClassBird1", "Disease", 0.01);
         let backward =
@@ -701,7 +729,7 @@ fn fig14(scale: usize) {
         annots_per_tuple: 200, // the paper pins 9M annotations here
         ..Default::default()
     };
-    let b = build_db(&cfg);
+    let b = bench_db(&cfg);
     let stats = Statistics::analyze(&b.db).unwrap();
     let (lo, _) = range_at_selectivity(&stats, b.birds, "ClassBird1", "Disease", 0.03);
     let sb = SummaryBTree::bulk_build(&b.db, b.birds, "ClassBird1", PointerMode::Backward).unwrap();
@@ -818,7 +846,7 @@ fn fig15(scale: usize, sweep: &[usize]) {
             annots_per_tuple: apt,
             ..Default::default()
         };
-        let mut b = build_db(&cfg);
+        let mut b = bench_db(&cfg);
         // T: a 1-1 replica of Birds with an index on the bird identifiers.
         let t_table =
             b.db.create_table(
@@ -935,7 +963,7 @@ fn fig16(scale: usize) {
         annots_per_tuple: 50,
         ..Default::default()
     };
-    let mut b = build_db(&cfg);
+    let mut b = bench_db(&cfg);
     // ClassBird2 for the provenance workload.
     b.db.link_instance(b.birds, "ClassBird2", classbird2_kind(3), false)
         .unwrap();
@@ -1092,7 +1120,7 @@ fn bounds(scale: usize) {
             annots_per_tuple: apt,
             ..Default::default()
         };
-        let mut b = build_db(&cfg);
+        let mut b = bench_db(&cfg);
         let mut sb =
             SummaryBTree::bulk_build(&b.db, b.birds, "ClassBird1", PointerMode::Backward).unwrap();
         let keys = sb.len();
@@ -1144,7 +1172,7 @@ fn rules_ablation(scale: usize) {
         annots_per_tuple: 100,
         ..Default::default()
     };
-    let b = build_db(&cfg);
+    let b = bench_db(&cfg);
     let stats = Statistics::analyze(&b.db).unwrap();
     let (lo, _) = range_at_selectivity(&stats, b.birds, "ClassBird1", "Disease", 0.03);
     let sb = SummaryBTree::bulk_build(&b.db, b.birds, "ClassBird1", PointerMode::Backward).unwrap();
@@ -1220,7 +1248,7 @@ fn keyword_ablation(scale: usize) {
         long_fraction: 0.15, // plenty of snippets
         ..Default::default()
     };
-    let b = build_db(&cfg);
+    let b = bench_db(&cfg);
     let kidx = instn_index::KeywordIndex::bulk_build(
         &b.db,
         b.birds,
@@ -1270,4 +1298,113 @@ fn keyword_ablation(scale: usize) {
         );
     }
     println!("(extension: not in the paper — quantifies the gap Fig. 15 leaves open)\n");
+}
+
+// ====================================================================
+// Extension — buffer-pool sweep over the Fig. 10 SP query. Not in the
+// paper (its testbed relies on the OS page cache); this quantifies how
+// much of the simulated physical I/O a real buffer manager absorbs.
+// ====================================================================
+fn cache_sweep(scale: usize) {
+    header("Extension — buffer-pool sweep: Fig. 10 SP query, cold vs warm");
+    let cfg = BenchConfig {
+        scale_down: scale,
+        annots_per_tuple: 50,
+        ..Default::default()
+    };
+    let b = bench_db(&cfg);
+    let (sb, _) = build_indexes(&b);
+    let stats = Statistics::analyze(&b.db).unwrap();
+    let c = count_at_selectivity(&stats, b.birds, "ClassBird1", "Disease", 0.01);
+    let mut ctx = ExecContext::new(&b.db);
+    ctx.register_summary_index("sb", sb);
+    let sbtree = PhysicalPlan::SummaryIndexScan {
+        index: "sb".into(),
+        label: "Disease".into(),
+        lo: Some(c),
+        hi: Some(c),
+        propagate: true,
+        reverse: false,
+    };
+    let heap_pages = b.db.table(b.birds).unwrap().page_count();
+    // Generously past the working set: every heap, summary, and index page.
+    let full = (heap_pages * 16).max(1 << 16);
+    let pool = b.db.buffer_pool();
+    println!("birds heap: {heap_pages} pages; \"full\" pool: {full} pages");
+    println!(
+        "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "pool", "cold phys", "warm phys", "warm heap", "warm hits", "logical", "hit%"
+    );
+    let mut json_rows = Vec::new();
+    for cap in [0usize, 16, 64, 256, 1024, full] {
+        // Cold run: empty the pool (capacity 0 flushes and drops every
+        // frame), restore the capacity, then measure.
+        pool.set_capacity(0);
+        pool.set_capacity(cap);
+        let (_, cold, rows) = measure(&b.db, || ctx.execute(&sbtree).unwrap().len());
+        let (_, warm, rows2) = measure(&b.db, || ctx.execute(&sbtree).unwrap().len());
+        assert_eq!(rows, rows2);
+        assert_eq!(
+            cold.logical_total(),
+            warm.logical_total(),
+            "caching must not change the work done"
+        );
+        println!(
+            "{:>10} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8.1}%",
+            cap,
+            cold.total(),
+            warm.total(),
+            warm.heap_reads,
+            warm.cache_hits,
+            warm.logical_total(),
+            warm.hit_ratio() * 100.0
+        );
+        json_rows.push(format!(
+            "  {{\"pool_pages\": {}, \"cold_physical\": {}, \"warm_physical\": {}, \
+             \"cold_heap_reads\": {}, \"warm_heap_reads\": {}, \"warm_hits\": {}, \
+             \"logical_total\": {}, \"warm_hit_ratio\": {:.4}, \"rows\": {}}}",
+            cap,
+            cold.total(),
+            warm.total(),
+            cold.heap_reads,
+            warm.heap_reads,
+            warm.cache_hits,
+            warm.logical_total(),
+            warm.hit_ratio(),
+            rows
+        ));
+        if cap == full {
+            if warm.heap_reads == 0 {
+                println!(
+                    "full pool: all {} cold physical heap reads absorbed by the pool",
+                    cold.heap_reads
+                );
+            } else {
+                println!(
+                    "full pool: warm run does {:.1}x fewer physical heap reads ({} -> {})",
+                    cold.heap_reads as f64 / warm.heap_reads as f64,
+                    cold.heap_reads,
+                    warm.heap_reads
+                );
+            }
+            assert!(
+                warm.heap_reads * 5 <= cold.heap_reads,
+                "warm run must save at least 5x the physical heap reads \
+                 ({} cold vs {} warm)",
+                cold.heap_reads,
+                warm.heap_reads
+            );
+        }
+    }
+    let json = format!(
+        "{{\"experiment\": \"cache-sweep\", \"scale\": {scale}, \
+         \"annots_per_tuple\": {}, \"rows\": [\n{}\n]}}\n",
+        cfg.annots_per_tuple,
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_cache.json", &json) {
+        Ok(()) => println!("wrote BENCH_cache.json"),
+        Err(e) => eprintln!("could not write BENCH_cache.json: {e}"),
+    }
+    println!();
 }

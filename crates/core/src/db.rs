@@ -19,7 +19,7 @@ use std::sync::Arc;
 
 use instn_annot::{AnnotId, Annotation, AnnotationStore, Attachment, Category};
 use instn_storage::io::IoStats;
-use instn_storage::{Catalog, Oid, Schema, Table, TableId, Tuple};
+use instn_storage::{BufferPool, Catalog, Oid, Schema, Table, TableId, Tuple};
 
 use crate::instance::{InstanceKind, SummaryInstance};
 use crate::maintain::{LabelChange, SummaryDelta};
@@ -31,6 +31,7 @@ use crate::{AnnotatedTuple, CoreError, Result};
 #[derive(Debug)]
 pub struct Database {
     pub(crate) stats: Arc<IoStats>,
+    pub(crate) pool: Arc<BufferPool>,
     pub(crate) catalog: Catalog,
     pub(crate) annotations: HashMap<TableId, AnnotationStore>,
     /// Which table's store holds each annotation's body.
@@ -52,12 +53,17 @@ impl Default for Database {
 }
 
 impl Database {
-    /// An empty database.
+    /// An empty database. The shared buffer pool starts disabled
+    /// (capacity 0), so all I/O is accounted physically — identical to the
+    /// engine before the buffer pool existed. Enable caching with
+    /// [`Database::set_cache_capacity`] or [`Database::with_cache_pages`].
     pub fn new() -> Self {
         let stats = IoStats::new();
+        let pool = BufferPool::new(Arc::clone(&stats), 0);
         Self {
-            catalog: Catalog::new(Arc::clone(&stats)),
+            catalog: Catalog::with_pool(Arc::clone(&pool)),
             stats,
+            pool,
             annotations: HashMap::new(),
             annot_home: HashMap::new(),
             annot_tables: HashMap::new(),
@@ -70,9 +76,29 @@ impl Database {
         }
     }
 
+    /// An empty database with a buffer pool of `pages` frames.
+    pub fn with_cache_pages(pages: usize) -> Self {
+        let db = Self::new();
+        db.pool.set_capacity(pages);
+        db
+    }
+
     /// The shared I/O counters.
     pub fn stats(&self) -> &Arc<IoStats> {
         &self.stats
+    }
+
+    /// The buffer pool shared by every heap file and B-Tree of this
+    /// database (including secondary indexes built over it).
+    pub fn buffer_pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Resize the shared buffer pool. Capacity 0 disables caching (and
+    /// flushes + drops all resident frames); see
+    /// [`instn_storage::BufferPool::set_capacity`].
+    pub fn set_cache_capacity(&self, pages: usize) {
+        self.pool.set_capacity(pages);
     }
 
     /// Current revision counter (monotone; bump with [`Database::bump_revision`]).
@@ -95,11 +121,14 @@ impl Database {
         let id = self.catalog.create_table(name, schema)?;
         self.annotations.insert(
             id,
-            AnnotationStore::with_counter(Arc::clone(&self.stats), Arc::clone(&self.annot_counter)),
+            AnnotationStore::with_pool_and_counter(
+                Arc::clone(&self.pool),
+                Arc::clone(&self.annot_counter),
+            ),
         );
         self.instances.insert(id, Vec::new());
         self.summaries
-            .insert(id, SummaryStorage::new(Arc::clone(&self.stats)));
+            .insert(id, SummaryStorage::with_pool(Arc::clone(&self.pool)));
         Ok(id)
     }
 

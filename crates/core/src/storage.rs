@@ -14,7 +14,7 @@ use std::sync::Arc;
 
 use instn_storage::io::IoStats;
 use instn_storage::page::RecordId;
-use instn_storage::{HeapFile, Oid, StorageError};
+use instn_storage::{BufferPool, HeapFile, Oid, StorageError};
 
 use crate::summary::{decode_objects, encode_objects, SummaryObject};
 use crate::Result;
@@ -27,10 +27,15 @@ pub struct SummaryStorage {
 }
 
 impl SummaryStorage {
-    /// Empty storage charging I/O to `stats`.
+    /// Empty storage charging I/O to `stats` directly (no caching).
     pub fn new(stats: Arc<IoStats>) -> Self {
+        Self::with_pool(BufferPool::disabled(stats))
+    }
+
+    /// Empty storage whose heap pages are cached by `pool`.
+    pub fn with_pool(pool: Arc<BufferPool>) -> Self {
         Self {
-            heap: HeapFile::new(stats),
+            heap: HeapFile::with_pool(pool),
             rows: HashMap::new(),
         }
     }

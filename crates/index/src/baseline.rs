@@ -23,7 +23,6 @@ use instn_core::maintain::SummaryDelta;
 use instn_core::summary::{ClassifierRep, InstanceId, ObjId, Rep, SummaryObject};
 use instn_core::Result;
 use instn_storage::btree::BTree;
-use instn_storage::io::IoStats;
 use instn_storage::page::RecordId;
 use instn_storage::{HeapFile, Oid, TableId};
 
@@ -75,7 +74,6 @@ pub struct BaselineIndex {
     /// Standard B-Tree on the OID column of the normalized table (needed to
     /// find a tuple's rows for maintenance and for object re-assembly).
     oid_index: BTree<RecordId>,
-    stats: Arc<IoStats>,
 }
 
 impl BaselineIndex {
@@ -83,16 +81,15 @@ impl BaselineIndex {
     pub fn bulk_build(db: &Database, table: TableId, instance_name: &str) -> Result<BaselineIndex> {
         let instance = db.instance_by_name(table, instance_name)?;
         let instance_id = instance.id;
-        let stats = Arc::clone(db.stats());
+        let pool = db.buffer_pool();
         let mut idx = BaselineIndex {
             table,
             instance: instance_id,
             instance_name: instance_name.to_string(),
             width: ItemizeWidth::default(),
-            norm: HeapFile::new(Arc::clone(&stats)),
-            derived_index: BTree::new(Arc::clone(&stats)),
-            oid_index: BTree::new(Arc::clone(&stats)),
-            stats,
+            norm: HeapFile::with_pool(Arc::clone(pool)),
+            derived_index: BTree::new_in(Arc::clone(pool)),
+            oid_index: BTree::new_in(Arc::clone(pool)),
         };
         let storage = db.summary_storage(table);
         for oid in storage.oids() {
@@ -114,16 +111,15 @@ impl BaselineIndex {
     /// An empty scheme for incremental maintenance.
     pub fn empty(db: &Database, table: TableId, instance_name: &str) -> Result<BaselineIndex> {
         let instance = db.instance_by_name(table, instance_name)?;
-        let stats = Arc::clone(db.stats());
+        let pool = db.buffer_pool();
         Ok(BaselineIndex {
             table,
             instance: instance.id,
             instance_name: instance_name.to_string(),
             width: ItemizeWidth::default(),
-            norm: HeapFile::new(Arc::clone(&stats)),
-            derived_index: BTree::new(Arc::clone(&stats)),
-            oid_index: BTree::new(Arc::clone(&stats)),
-            stats,
+            norm: HeapFile::with_pool(Arc::clone(pool)),
+            derived_index: BTree::new_in(Arc::clone(pool)),
+            oid_index: BTree::new_in(Arc::clone(pool)),
         })
     }
 
@@ -224,8 +220,8 @@ impl BaselineIndex {
             }
         }
         pairs.sort_by(|a, b| a.0.cmp(&b.0));
-        self.derived_index = BTree::bulk_load(
-            Arc::clone(&self.stats),
+        self.derived_index = BTree::bulk_load_in(
+            Arc::clone(self.oid_index.pool()),
             instn_storage::btree::DEFAULT_ORDER,
             pairs,
         );

@@ -51,7 +51,7 @@ impl KeywordIndex {
             instance: instance_id,
             instance_name: instance_name.to_string(),
             mode,
-            tree: BTree::new(Arc::clone(&stats)),
+            tree: BTree::new_in(Arc::clone(db.buffer_pool())),
             stats,
         };
         for oid in db.summary_storage(table).oids() {

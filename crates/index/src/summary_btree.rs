@@ -134,8 +134,8 @@ impl SummaryBTree {
         }
         pairs.sort_by(|a, b| a.0.cmp(&b.0));
         let n = pairs.len() as u64;
-        let tree = BTree::bulk_load(
-            Arc::clone(&stats),
+        let tree = BTree::bulk_load_in(
+            Arc::clone(db.buffer_pool()),
             instn_storage::btree::DEFAULT_ORDER,
             pairs,
         );
@@ -170,7 +170,7 @@ impl SummaryBTree {
             instance_name: instance_name.to_string(),
             mode,
             width: ItemizeWidth::default(),
-            tree: BTree::new(Arc::clone(&stats)),
+            tree: BTree::new_in(Arc::clone(db.buffer_pool())),
             stats,
             ops: OpCounters::default(),
         })

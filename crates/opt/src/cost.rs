@@ -12,6 +12,18 @@
 //! * index-answerable predicates are costed from the Summary-BTree's
 //!   theoretical bounds (`O(log_B kN)` descent plus one heap page per
 //!   qualifying tuple).
+//!
+//! # Cache awareness
+//!
+//! When the engine runs with a buffer pool ([`CostModel::with_cache_pages`]),
+//! repeated descents through the same B-Tree — an index join probing once
+//! per outer row, per-result OID-index lookups — hit the tree's upper
+//! levels in cache after the first probe. The model discounts those
+//! descents by the number of *fully cacheable* levels: the largest `l`
+//! such that `Σ_{i<l} B^i ≤ cache_pages` (root = level 0, fanout `B`).
+//! The discounted descent never drops below one page (the leaf).
+//! With `cache_pages == 0` every cost expression is bit-identical to the
+//! uncached model.
 
 use std::collections::{HashMap, HashSet};
 
@@ -63,17 +75,57 @@ pub struct IndexInfo {
     pub columns: HashSet<(TableId, usize)>,
 }
 
-/// The cost model: statistics + index metadata.
+/// The cost model: statistics + index metadata + buffer-pool budget.
 #[derive(Debug)]
 pub struct CostModel<'a> {
     stats: &'a Statistics,
     indexes: &'a IndexInfo,
+    cache_pages: usize,
+    /// Precomputed from `cache_pages`: B-Tree levels fully resident.
+    cached_levels: f64,
 }
 
 impl<'a> CostModel<'a> {
-    /// Build over collected statistics and index metadata.
+    /// Build over collected statistics and index metadata, with no buffer
+    /// pool (every page access is a physical transfer).
     pub fn new(stats: &'a Statistics, indexes: &'a IndexInfo) -> Self {
-        Self { stats, indexes }
+        Self::with_cache_pages(stats, indexes, 0)
+    }
+
+    /// Build a cache-aware model: `cache_pages` is the buffer-pool
+    /// capacity the engine runs with. `0` reproduces [`CostModel::new`]
+    /// bit for bit.
+    pub fn with_cache_pages(
+        stats: &'a Statistics,
+        indexes: &'a IndexInfo,
+        cache_pages: usize,
+    ) -> Self {
+        Self {
+            stats,
+            indexes,
+            cache_pages,
+            cached_levels: Self::cacheable_levels(cache_pages),
+        }
+    }
+
+    /// The buffer-pool budget this model assumes.
+    pub fn cache_pages(&self) -> usize {
+        self.cache_pages
+    }
+
+    /// Number of B-Tree levels (root = level 0) whose pages *all* fit in a
+    /// pool of `cache_pages`: the largest `l` with `Σ_{i<l} B^i ≤ budget`.
+    fn cacheable_levels(cache_pages: usize) -> f64 {
+        let budget = cache_pages as f64;
+        let mut levels = 0.0;
+        let mut level_pages = 1.0; // pages at the current level
+        let mut total = 1.0; // pages in levels 0..=current
+        while total <= budget {
+            levels += 1.0;
+            level_pages *= BTREE_FANOUT;
+            total += level_pages;
+        }
+        levels
     }
 
     /// Height of a B-Tree with `keys` entries.
@@ -83,6 +135,14 @@ impl<'a> CostModel<'a> {
         } else {
             (keys.ln() / BTREE_FANOUT.ln()).ceil().max(1.0)
         }
+    }
+
+    /// Physical pages charged for one descent of a *repeatedly probed*
+    /// B-Tree with `keys` entries: the upper levels that fit in the buffer
+    /// pool are hit in cache after the first probe, so only the remaining
+    /// levels (at least the leaf) are charged.
+    fn probe_height(&self, keys: f64) -> f64 {
+        (Self::btree_height(keys) - self.cached_levels).max(1.0)
     }
 
     /// Estimate the full plan.
@@ -139,8 +199,10 @@ impl<'a> CostModel<'a> {
                 let rows = (n * sel).max(0.0);
                 let keys = n * (*k as f64).max(1.0);
                 // Descent + leaf walk + one heap page per result
-                // (+ one SummaryStorage row read when propagating).
-                let mut io = Self::btree_height(keys) + (rows / BTREE_FANOUT).ceil() + rows;
+                // (+ one SummaryStorage row read when propagating). The
+                // descent is discounted by cached upper levels: index roots
+                // stay hot across queries.
+                let mut io = self.probe_height(keys) + (rows / BTREE_FANOUT).ceil() + rows;
                 if *propagate {
                     io += rows;
                 }
@@ -180,14 +242,16 @@ impl<'a> CostModel<'a> {
                 let rows = n * sel;
                 let keys = n * (*k as f64).max(1.0);
                 // Descent + per result: normalized row read + OID-index
-                // probe + data heap read — the extra join levels.
-                let mut io = Self::btree_height(keys)
+                // probe + data heap read — the extra join levels. The
+                // per-result OID probes repeat through the same tree, so
+                // their descents get the cached-level discount.
+                let mut io = self.probe_height(keys)
                     + (rows / BTREE_FANOUT).ceil()
-                    + rows * (1.0 + Self::btree_height(n) + 1.0);
+                    + rows * (1.0 + self.probe_height(n) + 1.0);
                 if *propagate {
                     io += if *from_normalized {
                         // k normalized rows re-read per object rebuild.
-                        rows * (Self::btree_height(keys) + *k as f64)
+                        rows * (self.probe_height(keys) + *k as f64)
                     } else {
                         rows
                     };
@@ -259,8 +323,10 @@ impl<'a> CostModel<'a> {
                 let (cl, _) = self.cost_inner(left);
                 let n_r = self.stats.rows(*right_table);
                 let matches = 1.0f64.max(n_r * DEFAULT_EQ_SEL / 2.0).min(n_r);
-                let probe = Self::btree_height(n_r)
-                    + matches * (1.0 + Self::btree_height(n_r))
+                // One probe per outer row: the inner tree's upper levels
+                // stay resident between probes.
+                let probe = self.probe_height(n_r)
+                    + matches * (1.0 + self.probe_height(n_r))
                     + if *with_summaries { matches } else { 0.0 };
                 (
                     PlanCost {
@@ -298,7 +364,9 @@ impl<'a> CostModel<'a> {
                     .map(|ls| ls.num_distinct.max(1) as f64)
                     .unwrap_or(1.0);
                 let matches = (n_r / nd).max(0.0);
-                let probe = Self::btree_height(keys)
+                // One probe per outer row: the inner Summary-BTree's upper
+                // levels stay resident between probes.
+                let probe = self.probe_height(keys)
                     + matches * (1.0 + if *with_summaries { 1.0 } else { 0.0 });
                 (
                     PlanCost {
@@ -410,7 +478,7 @@ mod tests {
     use instn_core::db::Database;
     use instn_core::instance::InstanceKind;
     use instn_mining::nb::NaiveBayes;
-    use instn_query::expr::CmpOp;
+    use instn_query::expr::{CmpOp, SummaryExpr};
     use instn_storage::{ColumnType, Schema, Value};
 
     fn setup(n: usize) -> (Database, TableId) {
@@ -578,6 +646,102 @@ mod tests {
             reverse: false,
         };
         assert!(model.cost(&bad).total().is_infinite());
+    }
+
+    #[test]
+    fn zero_cache_pages_is_bit_identical_to_uncached_model() {
+        let (db, t) = setup(150);
+        let stats = Statistics::analyze(&db).unwrap();
+        let info = index_info(t);
+        let base = CostModel::new(&stats, &info);
+        let zero = CostModel::with_cache_pages(&stats, &info, 0);
+        let plans = [
+            PhysicalPlan::SummaryIndexScan {
+                index: "idx".into(),
+                label: "Disease".into(),
+                lo: Some(5),
+                hi: None,
+                propagate: true,
+                reverse: false,
+            },
+            PhysicalPlan::BaselineIndexScan {
+                index: "bl".into(),
+                label: "Disease".into(),
+                lo: Some(5),
+                hi: None,
+                propagate: true,
+                from_normalized: true,
+            },
+            PhysicalPlan::SummaryIndexJoin {
+                left: Box::new(PhysicalPlan::SeqScan {
+                    table: t,
+                    with_summaries: false,
+                }),
+                left_key: SummaryExpr::label_value("C", "Disease"),
+                index: "idx".into(),
+                label: "Disease".into(),
+                residual: None,
+                with_summaries: true,
+            },
+        ];
+        for plan in &plans {
+            let a = base.cost(plan);
+            let b = zero.cost(plan);
+            assert_eq!(a.io.to_bits(), b.io.to_bits(), "{plan:?}");
+            assert_eq!(a.cpu.to_bits(), b.cpu.to_bits(), "{plan:?}");
+            assert_eq!(a.rows.to_bits(), b.rows.to_bits(), "{plan:?}");
+        }
+    }
+
+    #[test]
+    fn cache_discount_lowers_repeated_probe_cost_not_rows() {
+        let (db, t) = setup(200);
+        let stats = Statistics::analyze(&db).unwrap();
+        let info = index_info(t);
+        let cold = CostModel::new(&stats, &info);
+        let warm = CostModel::with_cache_pages(&stats, &info, 1 << 20);
+        let join = PhysicalPlan::SummaryIndexJoin {
+            left: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: false,
+            }),
+            left_key: SummaryExpr::label_value("C", "Disease"),
+            index: "idx".into(),
+            label: "Disease".into(),
+            residual: None,
+            with_summaries: true,
+        };
+        let c = cold.cost(&join);
+        let w = warm.cost(&join);
+        assert!(w.io < c.io, "warm {} vs cold {}", w.io, c.io);
+        assert_eq!(w.rows.to_bits(), c.rows.to_bits());
+        assert_eq!(w.cpu.to_bits(), c.cpu.to_bits());
+    }
+
+    #[test]
+    fn cache_discount_is_monotone_in_budget_and_floors_at_leaf() {
+        let (db, t) = setup(200);
+        let stats = Statistics::analyze(&db).unwrap();
+        let info = index_info(t);
+        let scan = PhysicalPlan::BaselineIndexScan {
+            index: "bl".into(),
+            label: "Disease".into(),
+            lo: Some(5),
+            hi: None,
+            propagate: false,
+            from_normalized: false,
+        };
+        let mut last = f64::INFINITY;
+        // Root-only budget, root+inner budget, effectively infinite.
+        for pages in [0usize, 1, 100, 1 << 30] {
+            let model = CostModel::with_cache_pages(&stats, &info, pages);
+            let io = model.cost(&scan).io;
+            assert!(io <= last, "budget {pages}: {io} > {last}");
+            // Even an infinite budget still charges the leaf touches and
+            // per-result heap reads — cost stays positive.
+            assert!(io >= 1.0);
+            last = io;
+        }
     }
 
     #[test]

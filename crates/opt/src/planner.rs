@@ -36,6 +36,10 @@ pub struct PlannerConfig {
     /// Whether the final output must carry summaries (InsightNotes
     /// propagates by default).
     pub propagate_output: bool,
+    /// Buffer-pool capacity (pages) the cost model should assume. `0`
+    /// keeps costs identical to the uncached model; [`Optimizer::new`]
+    /// fills it in from the database's pool when left at `0`.
+    pub cache_pages: usize,
 }
 
 impl Default for PlannerConfig {
@@ -47,6 +51,7 @@ impl Default for PlannerConfig {
             max_alternatives: 64,
             sort_mem_tuples: instn_query::exec::DEFAULT_SORT_MEM,
             propagate_output: true,
+            cache_pages: 0,
         }
     }
 }
@@ -68,6 +73,12 @@ impl PlannerConfig {
     /// Register a data-column index.
     pub fn with_column_index(mut self, table: TableId, col: usize) -> Self {
         self.column_indexes.insert((table, col));
+        self
+    }
+
+    /// Assume a buffer pool of `pages` when costing repeated index probes.
+    pub fn with_cache_pages(mut self, pages: usize) -> Self {
+        self.cache_pages = pages;
         self
     }
 
@@ -113,16 +124,16 @@ impl<'a> Optimizer<'a> {
     /// Build an optimizer, collecting statistics via ANALYZE.
     pub fn new(db: &'a Database, config: PlannerConfig) -> Result<Self> {
         let stats = Statistics::analyze(db)?;
-        Ok(Self {
-            rule_ctx: RuleContext::from_db(db),
-            db,
-            stats,
-            config,
-        })
+        Ok(Self::with_stats(db, stats, config))
     }
 
     /// Use pre-collected statistics.
-    pub fn with_stats(db: &'a Database, stats: Statistics, config: PlannerConfig) -> Self {
+    pub fn with_stats(db: &'a Database, stats: Statistics, mut config: PlannerConfig) -> Self {
+        if config.cache_pages == 0 {
+            // Cost with the pool the engine actually runs with. A disabled
+            // pool (capacity 0) leaves every cost bit-identical.
+            config.cache_pages = db.buffer_pool().capacity();
+        }
         Self {
             rule_ctx: RuleContext::from_db(db),
             db,
@@ -136,12 +147,17 @@ impl<'a> Optimizer<'a> {
         &self.stats
     }
 
+    /// The cost model this optimizer prices plans with.
+    fn model<'b>(&'b self, info: &'b IndexInfo) -> CostModel<'b> {
+        CostModel::with_cache_pages(&self.stats, info, self.config.cache_pages)
+    }
+
     /// Optimize a logical plan: enumerate, lower, cost, pick cheapest.
     pub fn optimize(&self, logical: &LogicalPlan) -> Result<OptimizedPlan> {
         let alternatives =
             enumerate_equivalent(logical, &self.rule_ctx, self.config.max_alternatives);
         let info = self.config.index_info();
-        let model = CostModel::new(&self.stats, &info);
+        let model = self.model(&info);
         let uses_summaries = self.config.propagate_output || plan_uses_summaries(logical);
         let mut best: Option<(PhysicalPlan, PlanCost, String)> = None;
         for alt in &alternatives {
@@ -270,7 +286,7 @@ impl<'a> Optimizer<'a> {
                     }
                 }
                 let info = self.config.index_info();
-                let model = CostModel::new(&self.stats, &info);
+                let model = self.model(&info);
                 let rows = model.cost(&lowered).rows;
                 PhysicalPlan::Sort {
                     input: Box::new(lowered),
@@ -296,7 +312,7 @@ impl<'a> Optimizer<'a> {
     /// Pick the cheaper of two physical alternatives.
     fn cheaper(&self, a: PhysicalPlan, b: PhysicalPlan) -> PhysicalPlan {
         let info = self.config.index_info();
-        let model = CostModel::new(&self.stats, &info);
+        let model = self.model(&info);
         if model.cost(&a).total() <= model.cost(&b).total() {
             a
         } else {

@@ -65,8 +65,8 @@ impl ColumnIndex {
             .map(|(oid, tuple)| (value_key(&tuple[column]), oid))
             .collect();
         pairs.sort_by(|a, b| a.0.cmp(&b.0));
-        let tree = BTree::bulk_load(
-            Arc::clone(db.stats()),
+        let tree = BTree::bulk_load_in(
+            Arc::clone(db.buffer_pool()),
             instn_storage::btree::DEFAULT_ORDER,
             pairs,
         );

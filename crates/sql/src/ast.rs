@@ -138,6 +138,9 @@ pub enum Statement {
     Select(SelectStmt),
     /// `EXPLAIN SELECT …`: show the logical plan instead of executing.
     Explain(SelectStmt),
+    /// `EXPLAIN ANALYZE SELECT …`: execute the query and report the plan
+    /// together with the observed I/O counters (physical, logical, cache).
+    ExplainAnalyze(SelectStmt),
     /// `ANALYZE;`: collect optimizer statistics over every table.
     Analyze,
     /// `ALTER TABLE …`.

@@ -63,8 +63,62 @@ pub enum SqlOutcome {
     Zoom(Vec<Annotation>),
     /// `EXPLAIN` output: the rendered logical plan.
     Explain(String),
+    /// `EXPLAIN ANALYZE` output: the executed plan plus observed I/O.
+    ExplainAnalyzed(ExplainAnalysis),
     /// `ANALYZE` output: freshly collected optimizer statistics.
     Analyzed(Box<instn_opt::Statistics>),
+}
+
+/// What `EXPLAIN ANALYZE` observed while executing the query.
+#[derive(Debug, Clone)]
+pub struct ExplainAnalysis {
+    /// The executed physical plan, rendered.
+    pub plan: String,
+    /// Rows the query produced.
+    pub rows: usize,
+    /// Wall-clock execution time.
+    pub elapsed: std::time::Duration,
+    /// I/O charged during execution: physical transfers, logical accesses,
+    /// and buffer-pool traffic.
+    pub io: instn_storage::IoSnapshot,
+}
+
+impl std::fmt::Display for ExplainAnalysis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.plan)?;
+        writeln!(
+            f,
+            "rows: {}  time: {:.3} ms",
+            self.rows,
+            self.elapsed.as_secs_f64() * 1e3
+        )?;
+        writeln!(
+            f,
+            "physical I/O: heap {}r/{}w, index {}r/{}w (total {})",
+            self.io.heap_reads,
+            self.io.heap_writes,
+            self.io.index_reads,
+            self.io.index_writes,
+            self.io.total()
+        )?;
+        writeln!(
+            f,
+            "logical I/O:  heap {}r/{}w, index {}r/{}w (total {})",
+            self.io.logical_heap_reads,
+            self.io.logical_heap_writes,
+            self.io.logical_index_reads,
+            self.io.logical_index_writes,
+            self.io.logical_total()
+        )?;
+        writeln!(
+            f,
+            "buffer pool:  {} hits, {} misses, {} evictions (hit ratio {:.1}%)",
+            self.io.cache_hits,
+            self.io.cache_misses,
+            self.io.cache_evictions,
+            self.io.hit_ratio() * 100.0
+        )
+    }
 }
 
 /// Parse + lower + (for DDL/zoom) execute one statement.
@@ -83,6 +137,24 @@ pub fn execute_statement(
         Statement::Explain(sel) => {
             let lowered = lower_select(db, &sel)?;
             Ok(SqlOutcome::Explain(format!("{}", lowered.plan)))
+        }
+        Statement::ExplainAnalyze(sel) => {
+            let lowered = lower_select(db, &sel)?;
+            let physical = instn_query::lower::lower_naive(db, &lowered.plan)
+                .map_err(|e| SqlError::Bind(e.to_string()))?;
+            let before = db.stats().snapshot();
+            let start = std::time::Instant::now();
+            let rows = instn_query::exec::ExecContext::new(db)
+                .execute(&physical)
+                .map_err(|e| SqlError::Bind(e.to_string()))?;
+            let elapsed = start.elapsed();
+            let io = db.stats().snapshot().since(&before);
+            Ok(SqlOutcome::ExplainAnalyzed(ExplainAnalysis {
+                plan: format!("{physical}"),
+                rows: rows.len(),
+                elapsed,
+                io,
+            }))
         }
         Statement::Analyze => {
             let stats =
@@ -806,6 +878,46 @@ mod tests {
         assert!(text.contains("Sort(O desc)"), "{text}");
         assert!(text.contains("Limit(2)"), "{text}");
         assert!(text.contains("Scan(Birds)"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_executes_and_reports_io() {
+        let mut db = setup();
+        let registry: HashMap<String, InstanceKind> = HashMap::new();
+        let sql = "EXPLAIN ANALYZE SELECT * FROM Birds r WHERE \
+                   r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 5";
+        let out = execute_statement(&mut db, &registry, sql).unwrap();
+        let SqlOutcome::ExplainAnalyzed(a) = out else {
+            panic!("{out:?}")
+        };
+        assert_eq!(a.rows, 2, "same result as executing the SELECT");
+        assert!(a.plan.contains("SeqScan"), "{}", a.plan);
+        assert!(a.io.logical_total() > 0, "{:?}", a.io);
+        // Uncached database: every logical access is a physical transfer.
+        assert_eq!(a.io.total(), a.io.logical_total());
+        assert_eq!(a.io.cache_hits, 0);
+        let text = format!("{a}");
+        assert!(text.contains("physical I/O"), "{text}");
+        assert!(text.contains("hit ratio"), "{text}");
+    }
+
+    #[test]
+    fn explain_analyze_shows_warm_cache_hits() {
+        let mut db = setup();
+        db.set_cache_capacity(4096);
+        let registry: HashMap<String, InstanceKind> = HashMap::new();
+        let sql = "EXPLAIN ANALYZE SELECT * FROM Birds r WHERE \
+                   r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 5";
+        // First run faults pages in; the repeat runs against a warm pool.
+        execute_statement(&mut db, &registry, sql).unwrap();
+        let out = execute_statement(&mut db, &registry, sql).unwrap();
+        let SqlOutcome::ExplainAnalyzed(a) = out else {
+            panic!("{out:?}")
+        };
+        assert_eq!(a.rows, 2);
+        assert!(a.io.cache_hits > 0, "{:?}", a.io);
+        assert_eq!(a.io.total(), 0, "warm run pays no physical I/O: {:?}", a.io);
+        assert!((a.io.hit_ratio() - 1.0).abs() < f64::EPSILON, "{:?}", a.io);
     }
 
     #[test]

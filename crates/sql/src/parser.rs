@@ -89,6 +89,10 @@ impl Parser {
 
     fn statement(&mut self) -> Result<Statement> {
         if self.eat_kw("explain") {
+            if self.eat_kw("analyze") {
+                self.expect_kw("select")?;
+                return Ok(Statement::ExplainAnalyze(self.select()?));
+            }
             self.expect_kw("select")?;
             return Ok(Statement::Explain(self.select()?));
         }

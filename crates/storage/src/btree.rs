@@ -22,6 +22,7 @@
 
 use std::sync::Arc;
 
+use crate::buffer::{BufferPool, FileId, FileKind};
 use crate::error::StorageError;
 use crate::io::IoStats;
 use crate::Result;
@@ -53,18 +54,32 @@ pub struct BTree<V> {
     order: usize,
     len: usize,
     height: usize,
-    stats: Arc<IoStats>,
+    pool: Arc<BufferPool>,
+    file: FileId,
 }
 
 impl<V: Clone + PartialEq> BTree<V> {
-    /// Create an empty tree with the default order.
+    /// Create an empty tree with the default order, charging I/O to `stats`
+    /// directly (no caching).
     pub fn new(stats: Arc<IoStats>) -> Self {
         Self::with_order(stats, DEFAULT_ORDER)
     }
 
-    /// Create an empty tree with a specific node capacity.
+    /// Create an empty tree with a specific node capacity, uncached.
     pub fn with_order(stats: Arc<IoStats>, order: usize) -> Self {
+        Self::with_order_in(BufferPool::disabled(stats), order)
+    }
+
+    /// Create an empty tree with the default order whose node accesses are
+    /// cached by `pool`.
+    pub fn new_in(pool: Arc<BufferPool>) -> Self {
+        Self::with_order_in(pool, DEFAULT_ORDER)
+    }
+
+    /// Create an empty tree with a specific node capacity, cached by `pool`.
+    pub fn with_order_in(pool: Arc<BufferPool>, order: usize) -> Self {
         assert!(order >= 4, "B-Tree order must be at least 4");
+        let file = pool.register_file(FileKind::Index);
         Self {
             nodes: vec![Node::Leaf {
                 entries: Vec::new(),
@@ -74,7 +89,8 @@ impl<V: Clone + PartialEq> BTree<V> {
             order,
             len: 0,
             height: 1,
-            stats,
+            pool,
+            file,
         }
     }
 
@@ -98,6 +114,16 @@ impl<V: Clone + PartialEq> BTree<V> {
         self.nodes.len()
     }
 
+    /// The shared I/O counters.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        self.pool.stats()
+    }
+
+    /// The buffer pool this tree charges.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
     /// Approximate byte footprint of all live entries (for the storage
     /// overhead experiment of Figure 7).
     pub fn used_bytes(&self) -> usize {
@@ -116,13 +142,12 @@ impl<V: Clone + PartialEq> BTree<V> {
     }
 
     fn read_node(&self, idx: usize) -> &Node<V> {
-        self.stats.index_read(1);
+        self.pool.read(self.file, idx as u64);
         &self.nodes[idx]
     }
 
     fn write_node(&mut self, idx: usize) -> &mut Node<V> {
-        self.stats.index_read(1);
-        self.stats.index_write(1);
+        self.pool.write(self.file, idx as u64);
         &mut self.nodes[idx]
     }
 
@@ -134,7 +159,7 @@ impl<V: Clone + PartialEq> BTree<V> {
                 children: vec![self.root, right],
             };
             self.nodes.push(new_root);
-            self.stats.index_write(1);
+            self.pool.alloc(self.file, (self.nodes.len() - 1) as u64);
             self.root = self.nodes.len() - 1;
             self.height += 1;
         }
@@ -144,7 +169,7 @@ impl<V: Clone + PartialEq> BTree<V> {
     /// Recursive insert; returns `(separator, new_right_node)` on split.
     fn insert_rec(&mut self, idx: usize, key: &[u8], value: V) -> Option<(Key, usize)> {
         // Charge the descent read; the write is charged where mutation happens.
-        self.stats.index_read(1);
+        self.pool.read(self.file, idx as u64);
         match &self.nodes[idx] {
             Node::Internal { keys, .. } => {
                 let child_pos = upper_bound_keys(keys, key);
@@ -153,8 +178,9 @@ impl<V: Clone + PartialEq> BTree<V> {
                     Node::Leaf { .. } => unreachable!(),
                 };
                 let split = self.insert_rec(child, key, value)?;
-                // Child split: install separator here.
-                self.stats.index_write(1);
+                // Child split: install separator here. The node was fetched
+                // during the descent above, so this is a bare (logical) write.
+                self.pool.mutate(self.file, idx as u64);
                 let (sep, right) = split;
                 let order = self.order;
                 let node = &mut self.nodes[idx];
@@ -177,11 +203,11 @@ impl<V: Clone + PartialEq> BTree<V> {
                     children: right_children,
                 };
                 self.nodes.push(right_node);
-                self.stats.index_write(1);
+                self.pool.alloc(self.file, (self.nodes.len() - 1) as u64);
                 Some((up_key, self.nodes.len() - 1))
             }
             Node::Leaf { .. } => {
-                self.stats.index_write(1);
+                self.pool.mutate(self.file, idx as u64);
                 let order = self.order;
                 let next_slot = self.nodes.len();
                 let node = &mut self.nodes[idx];
@@ -203,7 +229,7 @@ impl<V: Clone + PartialEq> BTree<V> {
                 };
                 *next = Some(next_slot);
                 self.nodes.push(right_node);
-                self.stats.index_write(1);
+                self.pool.alloc(self.file, next_slot as u64);
                 Some((sep, next_slot))
             }
         }
@@ -298,7 +324,7 @@ impl<V: Clone + PartialEq> BTree<V> {
                 (None, Some(next)) if next != leaf => {
                     leaf = next;
                     pos = 0;
-                    self.stats.index_read(1);
+                    self.pool.read(self.file, next as u64);
                 }
                 (None, Some(_same)) => { /* advanced within leaf; loop */ }
                 (None, None) => return Err(StorageError::KeyNotFound),
@@ -319,8 +345,13 @@ impl<V: Clone + PartialEq> BTree<V> {
     /// sequentially and internal levels built bottom-up, far cheaper than
     /// repeated root-to-leaf insertion.
     pub fn bulk_load(stats: Arc<IoStats>, order: usize, sorted: Vec<(Key, V)>) -> Self {
+        Self::bulk_load_in(BufferPool::disabled(stats), order, sorted)
+    }
+
+    /// [`BTree::bulk_load`] with node accesses cached by `pool`.
+    pub fn bulk_load_in(pool: Arc<BufferPool>, order: usize, sorted: Vec<(Key, V)>) -> Self {
         debug_assert!(sorted.windows(2).all(|w| w[0].0 <= w[1].0));
-        let mut tree = Self::with_order(Arc::clone(&stats), order);
+        let mut tree = Self::with_order_in(pool, order);
         if sorted.is_empty() {
             return tree;
         }
@@ -335,7 +366,7 @@ impl<V: Clone + PartialEq> BTree<V> {
                 entries: chunk.to_vec(),
                 next: None,
             });
-            stats.index_write(1);
+            tree.pool.alloc(tree.file, idx as u64);
             level.push((chunk[0].0.clone(), idx));
         }
         // Link leaves.
@@ -354,7 +385,7 @@ impl<V: Clone + PartialEq> BTree<V> {
                 let children: Vec<usize> = chunk.iter().map(|(_, i)| *i).collect();
                 let idx = tree.nodes.len();
                 tree.nodes.push(Node::Internal { keys, children });
-                stats.index_write(1);
+                tree.pool.alloc(tree.file, idx as u64);
                 upper.push((chunk[0].0.clone(), idx));
             }
             level = upper;
@@ -394,8 +425,8 @@ impl<V: Clone + PartialEq> Iterator for RangeIter<'_, V> {
             }
             self.leaf = *next;
             self.pos = 0;
-            if self.leaf.is_some() {
-                self.tree.stats.index_read(1);
+            if let Some(next_leaf) = self.leaf {
+                self.tree.pool.read(self.tree.file, next_leaf as u64);
             }
         }
     }
@@ -549,6 +580,54 @@ mod tests {
         let reads = stats.snapshot().index_reads;
         // height is ~3 for 100k entries at order 64.
         assert!(reads <= (t.height() as u64) + 2, "reads={reads}");
+    }
+
+    #[test]
+    fn pooled_repeat_lookup_hits_cached_path() {
+        let stats = IoStats::new();
+        let pool = BufferPool::new(Arc::clone(&stats), 256);
+        let mut t = BTree::with_order_in(Arc::clone(&pool), 64);
+        for i in 0..10_000u64 {
+            t.insert(format!("{i:08}").as_bytes(), i);
+        }
+        // Cold: clear residency, then probe twice.
+        pool.set_capacity(0);
+        pool.set_capacity(256);
+        stats.reset();
+        let _ = t.get_first(b"00005000");
+        let cold = stats.snapshot();
+        assert!(cold.index_reads >= t.height() as u64);
+        stats.reset();
+        let _ = t.get_first(b"00005000");
+        let warm = stats.snapshot();
+        assert_eq!(warm.index_reads, 0, "warm descent is all cache hits");
+        assert_eq!(warm.logical_index_reads, cold.logical_index_reads);
+        assert!(warm.cache_hits >= t.height() as u64);
+    }
+
+    #[test]
+    fn pooled_and_uncached_trees_agree_on_logical_io() {
+        let run = |cap: usize| {
+            let stats = IoStats::new();
+            let pool = BufferPool::new(Arc::clone(&stats), cap);
+            let mut t = BTree::with_order_in(Arc::clone(&pool), 8);
+            for i in 0..500u64 {
+                t.insert(format!("{i:04}").as_bytes(), i);
+            }
+            let _ = t.range(Some(b"0100"), Some(b"0200")).count();
+            t.delete(b"0042", &42).unwrap();
+            stats.snapshot()
+        };
+        let uncached = run(0);
+        let pooled = run(1 << 20);
+        // Same logical work regardless of caching.
+        assert_eq!(uncached.logical_index_reads, pooled.logical_index_reads);
+        assert_eq!(uncached.logical_index_writes, pooled.logical_index_writes);
+        // Uncached physical counters equal the logical stream by definition.
+        assert_eq!(uncached.index_reads, uncached.logical_index_reads);
+        assert_eq!(uncached.index_writes, uncached.logical_index_writes);
+        // A big-enough pool never re-reads a node.
+        assert!(pooled.index_reads < uncached.index_reads / 10);
     }
 
     #[test]

@@ -1,0 +1,663 @@
+//! Buffer-pool manager.
+//!
+//! A [`BufferPool`] is a fixed-capacity page cache shared by every heap file
+//! and B-Tree of a database. Pages in this engine live in per-file arenas
+//! (`Vec<Page>` / `Vec<Node>`), so the pool does not own page bytes; it is the
+//! *residency directory*: which `(file, page)` frames are currently in
+//! memory, which are dirty, which are pinned, and in which order the CLOCK
+//! hand will reclaim them. All I/O accounting flows through the pool, which
+//! is what lets one component decide, per access, whether the engine pays a
+//! physical transfer or a cache hit.
+//!
+//! # Charging rules
+//!
+//! Every access charges a *logical* counter for its file kind. What happens
+//! to the *physical* counters depends on pool state:
+//!
+//! | access                 | capacity 0 (disabled) | miss                    | hit        |
+//! |------------------------|-----------------------|-------------------------|------------|
+//! | [`BufferPool::read`]   | phys read             | phys read, admit clean  | —          |
+//! | [`BufferPool::write`]  | phys read + write     | phys read, admit dirty  | mark dirty |
+//! | [`BufferPool::mutate`] | phys write            | phys read, admit dirty  | mark dirty |
+//! | [`BufferPool::alloc`]  | phys write            | admit dirty (no read)   | n/a        |
+//!
+//! Evicting a dirty frame charges one physical write of the victim's kind
+//! (the write-back); clean victims are dropped for free. With capacity 0 the
+//! physical counters are bit-identical to the engine before the pool existed:
+//! `read` ↔ the old `heap_read(1)`/`index_read(1)` charge, `write` ↔ the old
+//! read-modify-write charge, `mutate`/`alloc` ↔ the old bare write charge.
+//!
+//! # Eviction
+//!
+//! CLOCK (second chance): frames sit in a circular list; a hit sets the
+//! frame's reference bit; the hand clears reference bits as it sweeps and
+//! evicts the first unreferenced, unpinned frame. Pinned frames are never
+//! evicted — if every frame is pinned the pool temporarily over-allocates
+//! rather than corrupt an in-progress multi-page operation, and shrinks back
+//! on the next admission.
+
+use crate::io::IoStats;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Which counter family a registered file charges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Heap pages (`heap_reads` / `heap_writes`).
+    Heap,
+    /// Index nodes (`index_reads` / `index_writes`).
+    Index,
+}
+
+/// Handle for a file registered with [`BufferPool::register_file`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileId(pub u32);
+
+/// Identity of one cached frame: a page within a registered file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrameKey {
+    /// Owning file.
+    pub file: FileId,
+    /// Page (heap page id or B-Tree node index) within that file.
+    pub page: u64,
+}
+
+/// Record of one eviction, reported so callers (and property tests) can see
+/// exactly which frames left the pool and whether they needed write-back.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Evicted {
+    /// The frame that was evicted.
+    pub key: FrameKey,
+    /// Whether the frame was dirty (and therefore written back).
+    pub dirty: bool,
+}
+
+/// Outcome of a single pool access.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Access {
+    /// Whether the access was satisfied from the pool. Always `false` with
+    /// capacity 0 and for [`BufferPool::alloc`].
+    pub hit: bool,
+    /// Frames evicted to make room (empty on hits and while under capacity).
+    pub evicted: Vec<Evicted>,
+}
+
+#[derive(Debug)]
+struct Frame {
+    key: FrameKey,
+    dirty: bool,
+    pins: u32,
+    referenced: bool,
+}
+
+#[derive(Debug, Default)]
+struct PoolState {
+    frames: Vec<Frame>,
+    map: HashMap<FrameKey, usize>,
+    hand: usize,
+    kinds: Vec<FileKind>,
+}
+
+/// Shared, thread-safe buffer-pool manager. See the module docs for the
+/// charging rules.
+#[derive(Debug)]
+pub struct BufferPool {
+    stats: Arc<IoStats>,
+    capacity: AtomicUsize,
+    state: Mutex<PoolState>,
+}
+
+impl BufferPool {
+    /// Create a pool holding at most `capacity` frames. Capacity 0 disables
+    /// caching entirely: every access is charged as a physical transfer and
+    /// the pool keeps no state, which reproduces the uncached engine's
+    /// counters exactly.
+    pub fn new(stats: Arc<IoStats>, capacity: usize) -> Arc<Self> {
+        Arc::new(Self {
+            stats,
+            capacity: AtomicUsize::new(capacity),
+            state: Mutex::new(PoolState::default()),
+        })
+    }
+
+    /// Create a disabled (capacity 0) pool — the compatibility default.
+    pub fn disabled(stats: Arc<IoStats>) -> Arc<Self> {
+        Self::new(stats, 0)
+    }
+
+    /// The shared I/O counters this pool charges.
+    pub fn stats(&self) -> &Arc<IoStats> {
+        &self.stats
+    }
+
+    /// Current frame capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Resize the pool. Shrinking evicts (with write-back of dirty frames)
+    /// until the resident set fits; growing takes effect immediately.
+    /// Resizing to 0 flushes and drops every frame, returning the pool to
+    /// the disabled, physically-accounted mode.
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        let mut st = self.state.lock().expect("buffer pool poisoned");
+        while st.frames.len() > capacity {
+            match Self::clock_victim(&mut st) {
+                Some(slot) => {
+                    self.evict_slot(&mut st, slot);
+                }
+                None => break, // every remaining frame is pinned
+            }
+        }
+    }
+
+    /// Register a file (heap or index arena) and obtain its [`FileId`].
+    pub fn register_file(&self, kind: FileKind) -> FileId {
+        let mut st = self.state.lock().expect("buffer pool poisoned");
+        st.kinds.push(kind);
+        FileId((st.kinds.len() - 1) as u32)
+    }
+
+    /// Fetch a page for reading.
+    pub fn read(&self, file: FileId, page: u64) -> Access {
+        let cap = self.capacity.load(Ordering::Relaxed);
+        if cap == 0 {
+            match self.file_kind(file) {
+                FileKind::Heap => {
+                    self.stats.logical_heap_read(1);
+                    self.stats.heap_read(1);
+                }
+                FileKind::Index => {
+                    self.stats.logical_index_read(1);
+                    self.stats.index_read(1);
+                }
+            }
+            return Access::default();
+        }
+        let mut st = self.state.lock().expect("buffer pool poisoned");
+        self.stats_logical_read(&st, file);
+        let key = FrameKey { file, page };
+        if let Some(&slot) = st.map.get(&key) {
+            st.frames[slot].referenced = true;
+            self.stats.cache_hit(1);
+            return Access {
+                hit: true,
+                evicted: Vec::new(),
+            };
+        }
+        self.stats.cache_miss(1);
+        self.charge_physical_read(&st, file);
+        let evicted = self.admit(&mut st, cap, key, false);
+        Access {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Fetch a page for modification (read-modify-write). This is the charge
+    /// the pager's `write` and the B-Tree's `write_node` pay: a logical read
+    /// plus a logical write.
+    pub fn write(&self, file: FileId, page: u64) -> Access {
+        let cap = self.capacity.load(Ordering::Relaxed);
+        if cap == 0 {
+            match self.file_kind(file) {
+                FileKind::Heap => {
+                    self.stats.logical_heap_read(1);
+                    self.stats.logical_heap_write(1);
+                    self.stats.heap_read(1);
+                    self.stats.heap_write(1);
+                }
+                FileKind::Index => {
+                    self.stats.logical_index_read(1);
+                    self.stats.logical_index_write(1);
+                    self.stats.index_read(1);
+                    self.stats.index_write(1);
+                }
+            }
+            return Access::default();
+        }
+        let mut st = self.state.lock().expect("buffer pool poisoned");
+        self.stats_logical_read(&st, file);
+        self.stats_logical_write(&st, file);
+        let key = FrameKey { file, page };
+        if let Some(&slot) = st.map.get(&key) {
+            let frame = &mut st.frames[slot];
+            frame.referenced = true;
+            frame.dirty = true;
+            self.stats.cache_hit(1);
+            return Access {
+                hit: true,
+                evicted: Vec::new(),
+            };
+        }
+        self.stats.cache_miss(1);
+        self.charge_physical_read(&st, file);
+        let evicted = self.admit(&mut st, cap, key, true);
+        Access {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Modify a page already fetched earlier in the same operation (e.g. a
+    /// B-Tree node mutated after the descent that read it). Charges a logical
+    /// write only — no logical read — matching the uncached engine's bare
+    /// write charge at these sites. If the frame was evicted since the fetch
+    /// it is honestly re-read.
+    pub fn mutate(&self, file: FileId, page: u64) -> Access {
+        let cap = self.capacity.load(Ordering::Relaxed);
+        if cap == 0 {
+            match self.file_kind(file) {
+                FileKind::Heap => {
+                    self.stats.logical_heap_write(1);
+                    self.stats.heap_write(1);
+                }
+                FileKind::Index => {
+                    self.stats.logical_index_write(1);
+                    self.stats.index_write(1);
+                }
+            }
+            return Access::default();
+        }
+        let mut st = self.state.lock().expect("buffer pool poisoned");
+        self.stats_logical_write(&st, file);
+        let key = FrameKey { file, page };
+        if let Some(&slot) = st.map.get(&key) {
+            let frame = &mut st.frames[slot];
+            frame.referenced = true;
+            frame.dirty = true;
+            self.stats.cache_hit(1);
+            return Access {
+                hit: true,
+                evicted: Vec::new(),
+            };
+        }
+        self.stats.cache_miss(1);
+        self.charge_physical_read(&st, file);
+        let evicted = self.admit(&mut st, cap, key, true);
+        Access {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Record creation of a brand-new page (heap allocation, B-Tree node
+    /// split, bulk-load node). The page is born dirty in the pool; there is
+    /// nothing on disk to read, so no read is ever charged and the access
+    /// counts neither as a hit nor a miss.
+    pub fn alloc(&self, file: FileId, page: u64) -> Access {
+        let cap = self.capacity.load(Ordering::Relaxed);
+        if cap == 0 {
+            match self.file_kind(file) {
+                FileKind::Heap => {
+                    self.stats.logical_heap_write(1);
+                    self.stats.heap_write(1);
+                }
+                FileKind::Index => {
+                    self.stats.logical_index_write(1);
+                    self.stats.index_write(1);
+                }
+            }
+            return Access::default();
+        }
+        let mut st = self.state.lock().expect("buffer pool poisoned");
+        self.stats_logical_write(&st, file);
+        let key = FrameKey { file, page };
+        if let Some(&slot) = st.map.get(&key) {
+            // Re-allocation of a resident page id (possible after a clear):
+            // just dirty it.
+            let frame = &mut st.frames[slot];
+            frame.referenced = true;
+            frame.dirty = true;
+            return Access {
+                hit: true,
+                evicted: Vec::new(),
+            };
+        }
+        let evicted = self.admit(&mut st, cap, key, true);
+        Access {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Pin a resident frame so eviction skips it. Returns `false` (no-op) if
+    /// the frame is not resident — with capacity 0 nothing is ever resident,
+    /// so pinning is free there. Pins nest; match each with [`Self::unpin`].
+    pub fn pin(&self, file: FileId, page: u64) -> bool {
+        if self.capacity.load(Ordering::Relaxed) == 0 {
+            return false;
+        }
+        let mut st = self.state.lock().expect("buffer pool poisoned");
+        let key = FrameKey { file, page };
+        match st.map.get(&key).copied() {
+            Some(slot) => {
+                st.frames[slot].pins += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Release one pin taken by [`Self::pin`]. Harmless if the frame is not
+    /// resident or not pinned.
+    pub fn unpin(&self, file: FileId, page: u64) {
+        let mut st = self.state.lock().expect("buffer pool poisoned");
+        let key = FrameKey { file, page };
+        if let Some(slot) = st.map.get(&key).copied() {
+            let frame = &mut st.frames[slot];
+            frame.pins = frame.pins.saturating_sub(1);
+        }
+    }
+
+    /// Write back every dirty frame (charging one physical write each) and
+    /// clear its dirty bit. Frames stay resident. Returns the keys written.
+    pub fn flush_all(&self) -> Vec<FrameKey> {
+        let mut st = self.state.lock().expect("buffer pool poisoned");
+        let mut written = Vec::new();
+        let kinds = st.kinds.clone();
+        for frame in &mut st.frames {
+            if frame.dirty {
+                frame.dirty = false;
+                match kinds[frame.key.file.0 as usize] {
+                    FileKind::Heap => self.stats.heap_write(1),
+                    FileKind::Index => self.stats.index_write(1),
+                }
+                written.push(frame.key);
+            }
+        }
+        written
+    }
+
+    /// Number of frames currently resident.
+    pub fn resident(&self) -> usize {
+        self.state
+            .lock()
+            .expect("buffer pool poisoned")
+            .frames
+            .len()
+    }
+
+    /// Whether `(file, page)` is currently resident.
+    pub fn contains(&self, file: FileId, page: u64) -> bool {
+        let st = self.state.lock().expect("buffer pool poisoned");
+        st.map.contains_key(&FrameKey { file, page })
+    }
+
+    /// Whether `(file, page)` is resident with at least one pin.
+    pub fn is_pinned(&self, file: FileId, page: u64) -> bool {
+        let st = self.state.lock().expect("buffer pool poisoned");
+        st.map
+            .get(&FrameKey { file, page })
+            .is_some_and(|&slot| st.frames[slot].pins > 0)
+    }
+
+    // ------------------------------------------------------------------
+    // Internals.
+    // ------------------------------------------------------------------
+
+    /// Admit `key` (must not be resident), evicting as needed. Returns the
+    /// eviction records.
+    fn admit(&self, st: &mut PoolState, cap: usize, key: FrameKey, dirty: bool) -> Vec<Evicted> {
+        let mut evicted = Vec::new();
+        while st.frames.len() >= cap {
+            match Self::clock_victim(st) {
+                Some(slot) => evicted.push(self.evict_slot(st, slot)),
+                None => break, // all pinned: over-allocate rather than fail
+            }
+        }
+        let slot = st.frames.len();
+        st.frames.push(Frame {
+            key,
+            dirty,
+            pins: 0,
+            referenced: true,
+        });
+        st.map.insert(key, slot);
+        evicted
+    }
+
+    /// One CLOCK sweep: clear reference bits until an unpinned, unreferenced
+    /// frame comes under the hand. `None` if every frame is pinned.
+    fn clock_victim(st: &mut PoolState) -> Option<usize> {
+        let n = st.frames.len();
+        if n == 0 {
+            return None;
+        }
+        // Two full sweeps suffice: the first clears reference bits, the
+        // second must find a victim unless everything is pinned.
+        for _ in 0..2 * n {
+            let slot = st.hand;
+            st.hand = (st.hand + 1) % n;
+            let frame = &mut st.frames[slot];
+            if frame.pins > 0 {
+                continue;
+            }
+            if frame.referenced {
+                frame.referenced = false;
+                continue;
+            }
+            return Some(slot);
+        }
+        None
+    }
+
+    /// Remove the frame at `slot`, writing it back if dirty, and keep the
+    /// slot map and clock hand consistent.
+    fn evict_slot(&self, st: &mut PoolState, slot: usize) -> Evicted {
+        let frame = st.frames.remove(slot);
+        st.map.remove(&frame.key);
+        for i in slot..st.frames.len() {
+            let moved = st.frames[i].key;
+            st.map.insert(moved, i);
+        }
+        if st.hand > slot {
+            st.hand -= 1;
+        }
+        if st.hand >= st.frames.len() {
+            st.hand = 0;
+        }
+        if frame.dirty {
+            match st.kinds[frame.key.file.0 as usize] {
+                FileKind::Heap => self.stats.heap_write(1),
+                FileKind::Index => self.stats.index_write(1),
+            }
+        }
+        self.stats.cache_eviction(1);
+        Evicted {
+            key: frame.key,
+            dirty: frame.dirty,
+        }
+    }
+
+    fn kind_of(st: &PoolState, file: FileId) -> FileKind {
+        st.kinds[file.0 as usize]
+    }
+
+    fn stats_logical_read(&self, st: &PoolState, file: FileId) {
+        match Self::kind_of(st, file) {
+            FileKind::Heap => self.stats.logical_heap_read(1),
+            FileKind::Index => self.stats.logical_index_read(1),
+        }
+    }
+
+    fn stats_logical_write(&self, st: &PoolState, file: FileId) {
+        match Self::kind_of(st, file) {
+            FileKind::Heap => self.stats.logical_heap_write(1),
+            FileKind::Index => self.stats.logical_index_write(1),
+        }
+    }
+
+    fn charge_physical_read(&self, st: &PoolState, file: FileId) {
+        match Self::kind_of(st, file) {
+            FileKind::Heap => self.stats.heap_read(1),
+            FileKind::Index => self.stats.index_read(1),
+        }
+    }
+
+    /// Capacity-0 fast paths resolve the file kind with one short lock.
+    fn file_kind(&self, file: FileId) -> FileKind {
+        let st = self.state.lock().expect("buffer pool poisoned");
+        Self::kind_of(&st, file)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(cap: usize) -> (Arc<BufferPool>, Arc<IoStats>, FileId, FileId) {
+        let stats = IoStats::new();
+        let pool = BufferPool::new(Arc::clone(&stats), cap);
+        let heap = pool.register_file(FileKind::Heap);
+        let index = pool.register_file(FileKind::Index);
+        (pool, stats, heap, index)
+    }
+
+    #[test]
+    fn capacity_zero_charges_like_uncached_engine() {
+        let (pool, stats, heap, index) = pool(0);
+        pool.read(heap, 1); // heap_read(1)
+        pool.write(heap, 1); // heap_read(1) + heap_write(1)
+        pool.alloc(heap, 2); // heap_write(1)
+        pool.read(index, 0); // index_read(1)
+        pool.mutate(index, 0); // index_write(1)
+        let s = stats.snapshot();
+        assert_eq!(s.heap_reads, 2);
+        assert_eq!(s.heap_writes, 2);
+        assert_eq!(s.index_reads, 1);
+        assert_eq!(s.index_writes, 1);
+        // Logical mirrors the request stream; cache counters stay silent.
+        assert_eq!(s.logical_heap_reads, 2);
+        assert_eq!(s.logical_heap_writes, 2);
+        assert_eq!(s.logical_index_reads, 1);
+        assert_eq!(s.logical_index_writes, 1);
+        assert_eq!(s.cache_hits + s.cache_misses + s.cache_evictions, 0);
+        assert_eq!(pool.resident(), 0);
+    }
+
+    #[test]
+    fn hits_suppress_physical_reads() {
+        let (pool, stats, heap, _) = pool(4);
+        assert!(!pool.read(heap, 1).hit);
+        assert!(pool.read(heap, 1).hit);
+        assert!(pool.read(heap, 1).hit);
+        let s = stats.snapshot();
+        assert_eq!(s.heap_reads, 1);
+        assert_eq!(s.logical_heap_reads, 3);
+        assert_eq!(s.cache_hits, 2);
+        assert_eq!(s.cache_misses, 1);
+    }
+
+    #[test]
+    fn clock_evicts_and_writes_back_dirty() {
+        let (pool, stats, heap, _) = pool(2);
+        pool.write(heap, 1); // miss: phys read, dirty
+        pool.read(heap, 2); // miss: phys read, clean
+                            // Third page: someone must go. Sweep clears both reference bits,
+                            // then evicts page 1 (dirty → write-back).
+        let access = pool.read(heap, 3);
+        assert_eq!(access.evicted.len(), 1);
+        let s = stats.snapshot();
+        assert_eq!(s.cache_evictions, 1);
+        if access.evicted[0].dirty {
+            assert_eq!(s.heap_writes, 1); // deferred write paid at write-back
+        }
+        assert_eq!(pool.resident(), 2);
+    }
+
+    #[test]
+    fn pinned_frames_survive_pressure() {
+        let (pool, _, heap, _) = pool(2);
+        pool.read(heap, 1);
+        assert!(pool.pin(heap, 1));
+        pool.read(heap, 2);
+        for p in 3..10 {
+            pool.read(heap, p);
+            assert!(pool.contains(heap, 1), "pinned page evicted at p={p}");
+        }
+        pool.unpin(heap, 1);
+        for p in 10..20 {
+            pool.read(heap, p);
+        }
+        assert!(!pool.contains(heap, 1), "unpinned page never evicted");
+    }
+
+    #[test]
+    fn all_pinned_over_allocates_then_recovers() {
+        let (pool, _, heap, _) = pool(2);
+        pool.read(heap, 1);
+        pool.read(heap, 2);
+        pool.pin(heap, 1);
+        pool.pin(heap, 2);
+        pool.read(heap, 3); // nothing evictable: over-allocate
+        assert_eq!(pool.resident(), 3);
+        pool.unpin(heap, 1);
+        pool.unpin(heap, 2);
+        pool.read(heap, 4); // shrinks back under capacity
+        assert_eq!(pool.resident(), 2);
+    }
+
+    #[test]
+    fn flush_all_writes_dirty_once() {
+        let (pool, stats, heap, index) = pool(8);
+        pool.write(heap, 1);
+        pool.mutate(index, 0);
+        pool.read(heap, 2);
+        let before = stats.snapshot();
+        let written = pool.flush_all();
+        assert_eq!(written.len(), 2);
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.heap_writes, 1);
+        assert_eq!(delta.index_writes, 1);
+        // Second flush is a no-op.
+        assert!(pool.flush_all().is_empty());
+        assert_eq!(pool.resident(), 3);
+    }
+
+    #[test]
+    fn set_capacity_zero_flushes_and_disables() {
+        let (pool, stats, heap, _) = pool(4);
+        pool.write(heap, 1);
+        pool.read(heap, 2);
+        pool.set_capacity(0);
+        assert_eq!(pool.resident(), 0);
+        let s = stats.snapshot();
+        assert_eq!(s.heap_writes, 1, "dirty page written back on disable");
+        let before = stats.snapshot();
+        pool.read(heap, 1);
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.heap_reads, 1, "disabled pool charges physically");
+        assert_eq!(delta.cache_misses, 0);
+    }
+
+    #[test]
+    fn mutate_refetches_if_evicted() {
+        let (pool, stats, heap, _) = pool(1);
+        pool.read(heap, 1);
+        pool.read(heap, 2); // evicts 1
+        let before = stats.snapshot();
+        pool.mutate(heap, 1); // not resident: honest re-read
+        let delta = stats.snapshot().since(&before);
+        assert_eq!(delta.heap_reads, 1);
+        assert_eq!(delta.cache_misses, 1);
+        assert_eq!(delta.logical_heap_writes, 1);
+        assert_eq!(delta.logical_heap_reads, 0);
+    }
+
+    #[test]
+    fn alloc_is_writeonly_and_bypasses_hit_miss() {
+        let (pool, stats, heap, _) = pool(4);
+        pool.alloc(heap, 1);
+        let s = stats.snapshot();
+        assert_eq!(s.heap_reads, 0);
+        assert_eq!(s.heap_writes, 0, "write deferred until eviction/flush");
+        assert_eq!(s.logical_heap_writes, 1);
+        assert_eq!(s.cache_hits + s.cache_misses, 0);
+        assert!(pool.contains(heap, 1));
+        pool.flush_all();
+        assert_eq!(stats.snapshot().heap_writes, 1);
+    }
+}

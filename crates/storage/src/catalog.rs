@@ -7,6 +7,7 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use crate::buffer::BufferPool;
 use crate::error::StorageError;
 use crate::io::IoStats;
 use crate::table::Table;
@@ -22,22 +23,32 @@ pub struct TableId(pub u32);
 pub struct Catalog {
     tables: Vec<Table>,
     by_name: HashMap<String, TableId>,
-    stats: Arc<IoStats>,
+    pool: Arc<BufferPool>,
 }
 
 impl Catalog {
-    /// Create an empty catalog charging I/O to `stats`.
+    /// Create an empty catalog charging I/O to `stats` directly (no caching).
     pub fn new(stats: Arc<IoStats>) -> Self {
+        Self::with_pool(BufferPool::disabled(stats))
+    }
+
+    /// Create an empty catalog whose tables share the buffer pool `pool`.
+    pub fn with_pool(pool: Arc<BufferPool>) -> Self {
         Self {
             tables: Vec::new(),
             by_name: HashMap::new(),
-            stats,
+            pool,
         }
     }
 
     /// The shared I/O counters.
     pub fn stats(&self) -> &Arc<IoStats> {
-        &self.stats
+        self.pool.stats()
+    }
+
+    /// The buffer pool shared by this catalog's tables.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
     }
 
     /// Create a table, failing if the name is taken.
@@ -47,7 +58,7 @@ impl Catalog {
         }
         let id = TableId(self.tables.len() as u32);
         self.tables
-            .push(Table::new(name, schema, Arc::clone(&self.stats)));
+            .push(Table::with_pool(name, schema, Arc::clone(&self.pool)));
         self.by_name.insert(name.to_string(), id);
         Ok(id)
     }

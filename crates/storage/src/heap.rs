@@ -8,6 +8,7 @@
 
 use std::sync::Arc;
 
+use crate::buffer::BufferPool;
 use crate::error::StorageError;
 use crate::io::IoStats;
 use crate::page::{Page, PageId, RecordId};
@@ -33,10 +34,16 @@ pub struct HeapFile {
 }
 
 impl HeapFile {
-    /// Create an empty heap file charging I/O to `stats`.
+    /// Create an empty heap file charging I/O to `stats` directly
+    /// (no caching).
     pub fn new(stats: Arc<IoStats>) -> Self {
+        Self::with_pool(BufferPool::disabled(stats))
+    }
+
+    /// Create an empty heap file whose pages are cached by `pool`.
+    pub fn with_pool(pool: Arc<BufferPool>) -> Self {
         Self {
-            pager: Pager::new(stats),
+            pager: Pager::with_pool(pool),
             insert_hint: None,
             record_count: 0,
         }
@@ -45,6 +52,11 @@ impl HeapFile {
     /// The shared I/O counters.
     pub fn stats(&self) -> &Arc<IoStats> {
         self.pager.stats()
+    }
+
+    /// The buffer pool this file charges.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        self.pager.pool()
     }
 
     /// Number of live records.
@@ -186,16 +198,24 @@ impl HeapFile {
         match framed.first() {
             Some(&TAG_SIMPLE) => Ok(framed[1..].to_vec()),
             Some(&TAG_DIRECTORY) => {
-                let (total, chunks) = Self::directory_chunks(&framed)?;
-                let mut out = Vec::with_capacity(total as usize);
-                for c in chunks {
-                    let chunk = self.read_framed(c)?;
-                    if chunk.first() != Some(&TAG_CHUNK) {
-                        return Err(StorageError::Corrupt("expected chunk record".into()));
+                // Pin the directory's page for the duration of chunk
+                // assembly: the chunk reads must not evict the anchor of the
+                // multi-page operation in progress.
+                self.pager.pin(rid.page);
+                let assembled = (|| {
+                    let (total, chunks) = Self::directory_chunks(&framed)?;
+                    let mut out = Vec::with_capacity(total as usize);
+                    for c in chunks {
+                        let chunk = self.read_framed(c)?;
+                        if chunk.first() != Some(&TAG_CHUNK) {
+                            return Err(StorageError::Corrupt("expected chunk record".into()));
+                        }
+                        out.extend_from_slice(&chunk[1..]);
                     }
-                    out.extend_from_slice(&chunk[1..]);
-                }
-                Ok(out)
+                    Ok(out)
+                })();
+                self.pager.unpin(rid.page);
+                assembled
             }
             Some(&TAG_CHUNK) => Err(StorageError::RecordNotFound {
                 page: rid.page.0,
@@ -397,5 +417,68 @@ mod tests {
         let _ = h.scan().count();
         let delta = stats.snapshot().since(&before);
         assert_eq!(delta.heap_reads, pages as u64);
+    }
+
+    #[test]
+    fn pooled_scan_cold_pays_page_count_warm_pays_zero() {
+        let stats = IoStats::new();
+        let pool = BufferPool::new(Arc::clone(&stats), 64);
+        let mut h = HeapFile::with_pool(Arc::clone(&pool));
+        for _ in 0..6 {
+            h.insert(&vec![0u8; 3000]).unwrap();
+        }
+        let pages = h.page_count() as u64;
+        assert!(pages <= 64, "working set must fit the pool");
+        // Cold: drop everything the inserts left resident.
+        pool.set_capacity(0);
+        pool.set_capacity(64);
+        stats.reset();
+        let _ = h.scan().count();
+        let cold = stats.snapshot();
+        assert_eq!(cold.heap_reads, pages, "cold scan faults every page once");
+        assert_eq!(cold.logical_heap_reads, pages);
+        // Warm: the whole file is now resident.
+        stats.reset();
+        let _ = h.scan().count();
+        let warm = stats.snapshot();
+        assert_eq!(warm.heap_reads, 0, "warm scan is free of physical I/O");
+        assert_eq!(warm.logical_heap_reads, pages);
+        assert_eq!(warm.cache_hits, pages);
+    }
+
+    #[test]
+    fn pooled_chunked_record_faults_each_chunk_page_once() {
+        let stats = IoStats::new();
+        let pool = BufferPool::new(Arc::clone(&stats), 64);
+        let mut h = HeapFile::with_pool(Arc::clone(&pool));
+        let big = vec![1u8; 40_000]; // ~5 chunks of ~8 KiB
+        let rid = h.insert(&big).unwrap();
+        let pages = h.page_count() as u64;
+        pool.set_capacity(0);
+        pool.set_capacity(64);
+        stats.reset();
+        h.get(rid).unwrap();
+        let cold = stats.snapshot();
+        assert!(cold.heap_reads >= 5, "cold chunked read faults every chunk");
+        assert!(cold.heap_reads <= pages, "but each page at most once");
+        stats.reset();
+        h.get(rid).unwrap();
+        let warm = stats.snapshot();
+        assert_eq!(warm.heap_reads, 0, "resident chunks are not re-fetched");
+        assert_eq!(warm.logical_heap_reads, cold.logical_heap_reads);
+    }
+
+    #[test]
+    fn chunk_assembly_pins_directory_page_under_pressure() {
+        let stats = IoStats::new();
+        // Pool smaller than the chunk count: assembly evicts chunks as it
+        // goes, but the pinned directory page must survive.
+        let pool = BufferPool::new(Arc::clone(&stats), 2);
+        let mut h = HeapFile::with_pool(Arc::clone(&pool));
+        let big = vec![3u8; 40_000];
+        let rid = h.insert(&big).unwrap();
+        assert_eq!(h.get(rid).unwrap(), big);
+        // The pin was released afterwards: pressure can now evict it.
+        assert!(!h.pool().is_pinned(h.pager.file_id(), u64::from(rid.page.0)));
     }
 }

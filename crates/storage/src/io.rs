@@ -4,6 +4,19 @@
 //! charged to a shared [`IoStats`]. The benchmark harness snapshots these
 //! counters around each measured query so the paper's figures can be
 //! regenerated in terms of simulated I/O as well as wall time.
+//!
+//! Counters come in two flavours:
+//!
+//! * **Physical** (`heap_reads`, `heap_writes`, `index_reads`,
+//!   `index_writes`) — page transfers that would actually hit the disk. With
+//!   the buffer pool disabled (capacity 0) every logical access is also a
+//!   physical one, which keeps these counters bit-identical to the original
+//!   uncached engine.
+//! * **Logical** (`logical_*`) — page accesses requested by the engine,
+//!   regardless of whether the buffer pool satisfied them from memory.
+//!
+//! The `cache_*` counters track buffer-pool behaviour itself (hits, misses,
+//! evictions). See [`crate::buffer::BufferPool`] for the charging rules.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -19,6 +32,13 @@ pub struct IoStats {
     heap_writes: AtomicU64,
     index_reads: AtomicU64,
     index_writes: AtomicU64,
+    logical_heap_reads: AtomicU64,
+    logical_heap_writes: AtomicU64,
+    logical_index_reads: AtomicU64,
+    logical_index_writes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
 }
 
 impl IoStats {
@@ -27,28 +47,70 @@ impl IoStats {
         Arc::new(Self::default())
     }
 
-    /// Record `n` heap page reads.
+    /// Record `n` physical heap page reads.
     #[inline]
     pub fn heap_read(&self, n: u64) {
         self.heap_reads.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Record `n` heap page writes.
+    /// Record `n` physical heap page writes.
     #[inline]
     pub fn heap_write(&self, n: u64) {
         self.heap_writes.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Record `n` index node reads.
+    /// Record `n` physical index node reads.
     #[inline]
     pub fn index_read(&self, n: u64) {
         self.index_reads.fetch_add(n, Ordering::Relaxed);
     }
 
-    /// Record `n` index node writes.
+    /// Record `n` physical index node writes.
     #[inline]
     pub fn index_write(&self, n: u64) {
         self.index_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` logical heap page reads.
+    #[inline]
+    pub fn logical_heap_read(&self, n: u64) {
+        self.logical_heap_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` logical heap page writes.
+    #[inline]
+    pub fn logical_heap_write(&self, n: u64) {
+        self.logical_heap_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` logical index node reads.
+    #[inline]
+    pub fn logical_index_read(&self, n: u64) {
+        self.logical_index_reads.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` logical index node writes.
+    #[inline]
+    pub fn logical_index_write(&self, n: u64) {
+        self.logical_index_writes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` buffer-pool hits.
+    #[inline]
+    pub fn cache_hit(&self, n: u64) {
+        self.cache_hits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` buffer-pool misses.
+    #[inline]
+    pub fn cache_miss(&self, n: u64) {
+        self.cache_misses.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` buffer-pool evictions.
+    #[inline]
+    pub fn cache_eviction(&self, n: u64) {
+        self.cache_evictions.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Capture the current counter values.
@@ -58,6 +120,13 @@ impl IoStats {
             heap_writes: self.heap_writes.load(Ordering::Relaxed),
             index_reads: self.index_reads.load(Ordering::Relaxed),
             index_writes: self.index_writes.load(Ordering::Relaxed),
+            logical_heap_reads: self.logical_heap_reads.load(Ordering::Relaxed),
+            logical_heap_writes: self.logical_heap_writes.load(Ordering::Relaxed),
+            logical_index_reads: self.logical_index_reads.load(Ordering::Relaxed),
+            logical_index_writes: self.logical_index_writes.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
+            cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -67,6 +136,13 @@ impl IoStats {
         self.heap_writes.store(0, Ordering::Relaxed);
         self.index_reads.store(0, Ordering::Relaxed);
         self.index_writes.store(0, Ordering::Relaxed);
+        self.logical_heap_reads.store(0, Ordering::Relaxed);
+        self.logical_heap_writes.store(0, Ordering::Relaxed);
+        self.logical_index_reads.store(0, Ordering::Relaxed);
+        self.logical_index_writes.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.cache_misses.store(0, Ordering::Relaxed);
+        self.cache_evictions.store(0, Ordering::Relaxed);
     }
 }
 
@@ -74,30 +150,74 @@ impl IoStats {
 /// "I/O performed between two snapshots".
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoSnapshot {
-    /// Heap page reads.
+    /// Physical heap page reads.
     pub heap_reads: u64,
-    /// Heap page writes.
+    /// Physical heap page writes.
     pub heap_writes: u64,
-    /// Index node reads.
+    /// Physical index node reads.
     pub index_reads: u64,
-    /// Index node writes.
+    /// Physical index node writes.
     pub index_writes: u64,
+    /// Logical heap page reads (including buffer-pool hits).
+    pub logical_heap_reads: u64,
+    /// Logical heap page writes (including buffer-pool hits).
+    pub logical_heap_writes: u64,
+    /// Logical index node reads (including buffer-pool hits).
+    pub logical_index_reads: u64,
+    /// Logical index node writes (including buffer-pool hits).
+    pub logical_index_writes: u64,
+    /// Buffer-pool hits.
+    pub cache_hits: u64,
+    /// Buffer-pool misses.
+    pub cache_misses: u64,
+    /// Buffer-pool evictions.
+    pub cache_evictions: u64,
 }
 
 impl IoSnapshot {
-    /// Total of all four counters.
+    /// Total of the four physical counters. Logical and cache counters are
+    /// deliberately excluded so pre-buffer-pool figures keep their meaning.
     pub fn total(&self) -> u64 {
         self.heap_reads + self.heap_writes + self.index_reads + self.index_writes
     }
 
-    /// Total reads (heap + index).
+    /// Total physical reads (heap + index).
     pub fn reads(&self) -> u64 {
         self.heap_reads + self.index_reads
     }
 
-    /// Total writes (heap + index).
+    /// Total physical writes (heap + index).
     pub fn writes(&self) -> u64 {
         self.heap_writes + self.index_writes
+    }
+
+    /// Total logical accesses (heap + index, reads + writes).
+    pub fn logical_total(&self) -> u64 {
+        self.logical_heap_reads
+            + self.logical_heap_writes
+            + self.logical_index_reads
+            + self.logical_index_writes
+    }
+
+    /// Total logical reads (heap + index).
+    pub fn logical_reads(&self) -> u64 {
+        self.logical_heap_reads + self.logical_index_reads
+    }
+
+    /// Total logical writes (heap + index).
+    pub fn logical_writes(&self) -> u64 {
+        self.logical_heap_writes + self.logical_index_writes
+    }
+
+    /// Buffer-pool hit ratio in `[0, 1]`; `0.0` when the pool saw no traffic
+    /// (e.g. capacity 0, where every access bypasses the pool).
+    pub fn hit_ratio(&self) -> f64 {
+        let looked_up = self.cache_hits + self.cache_misses;
+        if looked_up == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / looked_up as f64
+        }
     }
 
     /// Counter-wise difference `self - earlier` (saturating).
@@ -107,6 +227,21 @@ impl IoSnapshot {
             heap_writes: self.heap_writes.saturating_sub(earlier.heap_writes),
             index_reads: self.index_reads.saturating_sub(earlier.index_reads),
             index_writes: self.index_writes.saturating_sub(earlier.index_writes),
+            logical_heap_reads: self
+                .logical_heap_reads
+                .saturating_sub(earlier.logical_heap_reads),
+            logical_heap_writes: self
+                .logical_heap_writes
+                .saturating_sub(earlier.logical_heap_writes),
+            logical_index_reads: self
+                .logical_index_reads
+                .saturating_sub(earlier.logical_index_reads),
+            logical_index_writes: self
+                .logical_index_writes
+                .saturating_sub(earlier.logical_index_writes),
+            cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
+            cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
+            cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
         }
     }
 }
@@ -165,8 +300,12 @@ mod tests {
     fn reset_zeroes() {
         let s = IoStats::new();
         s.heap_read(10);
+        s.logical_heap_read(10);
+        s.cache_hit(3);
         s.reset();
         assert_eq!(s.snapshot().total(), 0);
+        assert_eq!(s.snapshot().logical_total(), 0);
+        assert_eq!(s.snapshot().cache_hits, 0);
     }
 
     #[test]
@@ -191,5 +330,29 @@ mod tests {
         assert_eq!(snap.reads(), 4);
         assert_eq!(snap.writes(), 6);
         assert_eq!(snap.total(), 10);
+    }
+
+    #[test]
+    fn logical_and_cache_counters_are_separate() {
+        let s = IoStats::new();
+        s.logical_heap_read(4);
+        s.logical_index_write(2);
+        s.cache_hit(3);
+        s.cache_miss(1);
+        s.cache_eviction(1);
+        let snap = s.snapshot();
+        // Physical counters untouched.
+        assert_eq!(snap.total(), 0);
+        assert_eq!(snap.logical_total(), 6);
+        assert_eq!(snap.logical_reads(), 4);
+        assert_eq!(snap.logical_writes(), 2);
+        assert!((snap.hit_ratio() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hit_ratio_zero_without_traffic() {
+        let s = IoStats::new();
+        s.heap_read(10);
+        assert_eq!(s.snapshot().hit_ratio(), 0.0);
     }
 }

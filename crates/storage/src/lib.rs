@@ -11,6 +11,10 @@
 //! * [`page`] — slotted 8 KiB pages holding variable-length records,
 //! * [`pager`] — a page arena with an [`io::IoStats`] accounting layer that
 //!   counts every logical page read and write,
+//! * [`buffer`] — a fixed-capacity CLOCK buffer pool shared by all heap
+//!   files and B-Trees of a database, splitting accounting into logical
+//!   accesses vs physical transfers (capacity 0 reproduces the uncached
+//!   engine's counters exactly),
 //! * [`heap`] — heap files (unordered record storage) built on the pager,
 //! * [`btree`] — an order-B multi-map B-Tree with byte-string keys whose node
 //!   visits are charged to the same I/O accounting,
@@ -24,6 +28,7 @@
 //! time so the paper's relative speedups can be checked against both metrics.
 
 pub mod btree;
+pub mod buffer;
 pub mod catalog;
 pub mod error;
 pub mod heap;
@@ -34,6 +39,7 @@ pub mod table;
 pub mod tuple;
 
 pub use btree::BTree;
+pub use buffer::{Access, BufferPool, Evicted, FileId, FileKind, FrameKey};
 pub use catalog::{Catalog, TableId};
 pub use error::StorageError;
 pub use heap::HeapFile;

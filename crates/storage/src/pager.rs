@@ -2,35 +2,56 @@
 //!
 //! A [`Pager`] owns the pages of one storage object (heap file). Every page
 //! access goes through [`Pager::read`] / [`Pager::write`], which charge the
-//! shared [`IoStats`]. This is the single funnel through which the benchmark
-//! harness observes "disk" traffic.
+//! shared [`crate::buffer::BufferPool`] — a disabled (capacity 0) pool
+//! charges every access as a physical transfer, reproducing the original
+//! direct-to-[`IoStats`] accounting bit for bit. This is the single funnel
+//! through which the benchmark harness observes "disk" traffic.
 
 use std::sync::Arc;
 
+use crate::buffer::{BufferPool, FileId, FileKind};
 use crate::error::StorageError;
 use crate::io::IoStats;
 use crate::page::{Page, PageId};
 use crate::Result;
 
-/// The arena of pages backing one heap file, plus the shared I/O counters.
+/// The arena of pages backing one heap file, plus its buffer-pool handle.
 #[derive(Debug)]
 pub struct Pager {
     pages: Vec<Page>,
-    stats: Arc<IoStats>,
+    pool: Arc<BufferPool>,
+    file: FileId,
 }
 
 impl Pager {
-    /// Create an empty pager charging I/O to `stats`.
+    /// Create an empty pager charging I/O to `stats` directly (no caching).
     pub fn new(stats: Arc<IoStats>) -> Self {
+        Self::with_pool(BufferPool::disabled(stats))
+    }
+
+    /// Create an empty pager registered with `pool`.
+    pub fn with_pool(pool: Arc<BufferPool>) -> Self {
+        let file = pool.register_file(FileKind::Heap);
         Self {
             pages: Vec::new(),
-            stats,
+            pool,
+            file,
         }
     }
 
     /// The shared I/O counters.
     pub fn stats(&self) -> &Arc<IoStats> {
-        &self.stats
+        self.pool.stats()
+    }
+
+    /// The buffer pool this pager charges.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// This pager's file handle within the buffer pool.
+    pub fn file_id(&self) -> FileId {
+        self.file
     }
 
     /// Number of allocated pages.
@@ -43,29 +64,42 @@ impl Pager {
         self.pages.iter().map(|p| p.used_bytes()).sum()
     }
 
-    /// Allocate a fresh page; charged as one write.
+    /// Allocate a fresh page; charged as one logical write (physical when
+    /// uncached, deferred to write-back when pooled).
     pub fn allocate(&mut self) -> PageId {
         self.pages.push(Page::new());
-        self.stats.heap_write(1);
-        PageId((self.pages.len() - 1) as u32)
+        let id = (self.pages.len() - 1) as u32;
+        self.pool.alloc(self.file, u64::from(id));
+        PageId(id)
     }
 
-    /// Read access to a page; charged as one read.
+    /// Read access to a page; charged as one logical read.
     pub fn read(&self, id: PageId) -> Result<&Page> {
-        self.stats.heap_read(1);
+        self.pool.read(self.file, u64::from(id.0));
         self.pages
             .get(id.0 as usize)
             .ok_or(StorageError::PageNotFound(id.0))
     }
 
-    /// Write access to a page; charged as one read + one write
-    /// (a page must be fetched before it can be modified).
+    /// Write access to a page; charged as one logical read + one logical
+    /// write (a page must be fetched before it can be modified).
     pub fn write(&mut self, id: PageId) -> Result<&mut Page> {
-        self.stats.heap_read(1);
-        self.stats.heap_write(1);
+        self.pool.write(self.file, u64::from(id.0));
         self.pages
             .get_mut(id.0 as usize)
             .ok_or(StorageError::PageNotFound(id.0))
+    }
+
+    /// Pin `id` in the buffer pool so a multi-page operation (e.g. chunked
+    /// record assembly) cannot have its anchor page evicted under it. No-op
+    /// when the page is not resident. Pair with [`Pager::unpin`].
+    pub fn pin(&self, id: PageId) -> bool {
+        self.pool.pin(self.file, u64::from(id.0))
+    }
+
+    /// Release one pin taken by [`Pager::pin`].
+    pub fn unpin(&self, id: PageId) {
+        self.pool.unpin(self.file, u64::from(id.0));
     }
 
     /// Peek at a page without charging I/O.
@@ -118,5 +152,20 @@ mod tests {
         let before = stats.snapshot();
         assert!(pager.peek(pid).is_some());
         assert_eq!(stats.snapshot(), before);
+    }
+
+    #[test]
+    fn pooled_pager_reads_hit_after_first_fetch() {
+        let stats = IoStats::new();
+        let pool = BufferPool::new(Arc::clone(&stats), 8);
+        let mut pager = Pager::with_pool(Arc::clone(&pool));
+        let pid = pager.allocate();
+        pager.read(pid).unwrap();
+        pager.read(pid).unwrap();
+        let snap = stats.snapshot();
+        // Page was born in the pool by allocate(); both reads hit.
+        assert_eq!(snap.heap_reads, 0);
+        assert_eq!(snap.logical_heap_reads, 2);
+        assert_eq!(snap.cache_hits, 2);
     }
 }

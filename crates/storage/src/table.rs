@@ -9,6 +9,7 @@
 use std::sync::Arc;
 
 use crate::btree::BTree;
+use crate::buffer::BufferPool;
 use crate::error::StorageError;
 use crate::heap::HeapFile;
 use crate::io::IoStats;
@@ -44,13 +45,18 @@ pub struct Table {
 }
 
 impl Table {
-    /// Create an empty table.
+    /// Create an empty table charging I/O to `stats` directly (no caching).
     pub fn new(name: impl Into<String>, schema: Schema, stats: Arc<IoStats>) -> Self {
+        Self::with_pool(name, schema, BufferPool::disabled(stats))
+    }
+
+    /// Create an empty table whose heap and OID index are cached by `pool`.
+    pub fn with_pool(name: impl Into<String>, schema: Schema, pool: Arc<BufferPool>) -> Self {
         Self {
             name: name.into(),
             schema,
-            heap: HeapFile::new(Arc::clone(&stats)),
-            oid_index: BTree::new(stats),
+            heap: HeapFile::with_pool(Arc::clone(&pool)),
+            oid_index: BTree::new_in(pool),
             next_oid: 1,
             tuple_count: 0,
         }

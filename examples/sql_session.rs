@@ -84,6 +84,13 @@ fn main() {
                 println!("     plan:\n{}", text.trim_end());
                 println!();
             }
+            Ok(SqlOutcome::ExplainAnalyzed(analysis)) => {
+                println!(
+                    "     {}",
+                    format!("{analysis}").trim_end().replace('\n', "\n     ")
+                );
+                println!();
+            }
             Ok(SqlOutcome::Zoom(annots)) => {
                 println!("     {} raw annotations:", annots.len());
                 for a in annots.iter().take(3) {
@@ -129,6 +136,11 @@ fn main() {
     run("EXPLAIN SELECT common_name FROM Birds r WHERE \
          r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 3 \
          ORDER BY r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') DESC;");
+
+    // 6b. EXPLAIN ANALYZE also executes the plan and reports the observed
+    //     physical/logical I/O and the buffer-pool hit ratio.
+    run("EXPLAIN ANALYZE SELECT common_name FROM Birds r WHERE \
+         r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 3;");
 
     // 7. Zoom-in: from a summary back to the raw annotations.
     run("ZOOM IN ON ClassBird1 OF Birds TUPLE 12 LABEL 'Disease';");

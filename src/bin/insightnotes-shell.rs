@@ -8,7 +8,8 @@
 //! The shell boots a small demo database (Birds + synonyms, two summary
 //! instances, a Summary-BTree) and reads one statement per line:
 //! `SELECT` (with `$` method chains, `DISTINCT`, `ORDER BY`, `LIMIT`),
-//! `EXPLAIN SELECT`, `ANALYZE`, `ALTER TABLE … ADD [INDEXABLE] <Instance>`,
+//! `EXPLAIN [ANALYZE] SELECT`, `ANALYZE`, `ALTER TABLE … ADD [INDEXABLE]
+//! <Instance>`,
 //! `ALTER TABLE … DROP <Instance>`, and
 //! `ZOOM IN ON <Instance> OF <Table> TUPLE <oid> [LABEL 'x' | REP i]`.
 
@@ -106,6 +107,7 @@ fn main() {
         println!("Statements end at end-of-line. Try:");
         println!("  SELECT * FROM Birds r WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 2;");
         println!("  EXPLAIN SELECT id FROM Birds ORDER BY $.getSummaryObject('ClassBird1').getLabelValue('Disease') DESC;");
+        println!("  EXPLAIN ANALYZE SELECT * FROM Birds r WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 2;");
         println!("  ZOOM IN ON ClassBird1 OF Birds TUPLE 8 LABEL 'Disease';");
         println!("  \\save <file> / \\load <file> to persist, \\q to quit.");
     }
@@ -181,6 +183,7 @@ fn main() {
                 Err(e) => eprintln!("planning error: {e}"),
             },
             Ok(SqlOutcome::Explain(text)) => print!("{text}"),
+            Ok(SqlOutcome::ExplainAnalyzed(analysis)) => print!("{analysis}"),
             Ok(SqlOutcome::Analyzed(_)) => println!("statistics collected"),
             Ok(SqlOutcome::Altered {
                 instance,

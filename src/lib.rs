@@ -89,7 +89,7 @@ pub mod prelude {
     pub use instn_query::lower::lower_naive;
     pub use instn_query::plan::{JoinPredicate, LogicalPlan, SortKey};
     pub use instn_query::ColumnIndex;
-    pub use instn_sql::lower::{execute_statement, lower_select, SqlOutcome};
+    pub use instn_sql::lower::{execute_statement, lower_select, ExplainAnalysis, SqlOutcome};
     pub use instn_sql::parse;
     pub use instn_storage::{ColumnType, IoStats, Oid, Schema, TableId, Value};
 }

@@ -138,7 +138,8 @@ fn core_error_display() {
     ];
     for e in errs {
         assert!(!format!("{e}").is_empty());
-        assert!(std::error::Error::source(&e).is_none() || true);
+        // source() is part of the surface; any answer is acceptable.
+        let _ = std::error::Error::source(&e);
     }
 }
 

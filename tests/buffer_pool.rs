@@ -1,0 +1,194 @@
+//! Property-based tests for the storage buffer pool: CLOCK eviction,
+//! pinning, and dirty-page write-back checked against simple models, plus
+//! a pooled-vs-uncached HeapFile oracle under eviction pressure.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use insightnotes::storage::buffer::{BufferPool, FileKind};
+use insightnotes::storage::io::IoStats;
+use insightnotes::storage::HeapFile;
+
+// --------------------------------------------------------------------
+// Raw pool ops vs a pin/dirty model.
+// --------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum PoolOp {
+    Read(u8),
+    Write(u8),
+    Pin(u8),
+    Unpin(u8),
+}
+
+fn pool_op() -> impl Strategy<Value = PoolOp> {
+    prop_oneof![
+        any::<u8>().prop_map(|p| PoolOp::Read(p % 32)),
+        any::<u8>().prop_map(|p| PoolOp::Write(p % 32)),
+        any::<u8>().prop_map(|p| PoolOp::Pin(p % 32)),
+        any::<u8>().prop_map(|p| PoolOp::Unpin(p % 32)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under arbitrary interleavings of reads, writes, pins, and unpins
+    /// against a small pool:
+    ///
+    /// * a pinned page is never chosen as an eviction victim,
+    /// * an eviction reports `dirty` exactly when the model says the page
+    ///   had unflushed writes (so the pool charged its write-back),
+    /// * `flush_all` returns exactly the resident dirty pages,
+    /// * total physical writes equal dirty evictions + final flushes —
+    ///   dirty pages are written back exactly once, never lost.
+    #[test]
+    fn evictions_respect_pins_and_write_back_dirty_pages(
+        ops in prop::collection::vec(pool_op(), 1..300),
+        cap in 1usize..8,
+    ) {
+        let stats = IoStats::new();
+        let pool = BufferPool::new(Arc::clone(&stats), cap);
+        let file = pool.register_file(FileKind::Heap);
+        let mut pins: HashMap<u64, usize> = HashMap::new();
+        let mut dirty: HashSet<u64> = HashSet::new();
+        let mut dirty_evictions = 0u64;
+        for op in ops {
+            let evicted = match op {
+                PoolOp::Read(p) => pool.read(file, u64::from(p)).evicted,
+                PoolOp::Write(p) => {
+                    let access = pool.write(file, u64::from(p));
+                    dirty.insert(u64::from(p));
+                    access.evicted
+                }
+                PoolOp::Pin(p) => {
+                    // Pinning only sticks when the page is resident.
+                    if pool.pin(file, u64::from(p)) {
+                        *pins.entry(u64::from(p)).or_default() += 1;
+                        prop_assert!(pool.is_pinned(file, u64::from(p)));
+                    }
+                    Vec::new()
+                }
+                PoolOp::Unpin(p) => {
+                    if let Some(n) = pins.get_mut(&u64::from(p)) {
+                        pool.unpin(file, u64::from(p));
+                        *n -= 1;
+                        if *n == 0 {
+                            pins.remove(&u64::from(p));
+                        }
+                    }
+                    Vec::new()
+                }
+            };
+            for e in evicted {
+                prop_assert!(
+                    !pins.contains_key(&e.key.page),
+                    "pinned page {} was evicted", e.key.page
+                );
+                prop_assert_eq!(
+                    e.dirty,
+                    dirty.contains(&e.key.page),
+                    "eviction dirty flag disagrees with the model for page {}",
+                    e.key.page
+                );
+                if e.dirty {
+                    dirty_evictions += 1;
+                }
+                dirty.remove(&e.key.page);
+            }
+        }
+        let flushed: HashSet<u64> = pool.flush_all().into_iter().map(|k| k.page).collect();
+        prop_assert_eq!(&flushed, &dirty, "flush_all returns exactly the resident dirty pages");
+        // Every dirty page was physically written exactly once: at eviction
+        // or at the final flush. Clean pages never cost a write.
+        let snap = stats.snapshot();
+        prop_assert_eq!(snap.heap_writes, dirty_evictions + flushed.len() as u64);
+        // Physical reads are exactly the misses the pool reported.
+        prop_assert_eq!(snap.heap_reads, snap.cache_misses);
+    }
+
+    // ----------------------------------------------------------------
+    // HeapFile over a tiny pool vs the uncached oracle: eviction
+    // pressure must never change what the file stores, and caching must
+    // never change the logical work done.
+    // ----------------------------------------------------------------
+
+    #[test]
+    fn pooled_heap_file_agrees_with_uncached_oracle(
+        ops in prop::collection::vec(heap_op(), 1..80),
+        cap in 1usize..6,
+    ) {
+        let pooled_stats = IoStats::new();
+        let mut pooled =
+            HeapFile::with_pool(BufferPool::new(Arc::clone(&pooled_stats), cap));
+        let oracle_stats = IoStats::new();
+        let mut oracle = HeapFile::new(Arc::clone(&oracle_stats));
+        let mut records = Vec::new();
+        for op in ops {
+            match op {
+                HeapOp::Insert(size) => {
+                    let payload = vec![(records.len() % 251) as u8; size];
+                    let rid_p = pooled.insert(&payload).unwrap();
+                    let rid_o = oracle.insert(&payload).unwrap();
+                    prop_assert_eq!(rid_p, rid_o, "placement must not depend on caching");
+                    records.push((rid_p, payload));
+                }
+                HeapOp::Get(i) => {
+                    if records.is_empty() {
+                        continue;
+                    }
+                    let (rid, payload) = &records[i % records.len()];
+                    prop_assert_eq!(&pooled.get(*rid).unwrap(), payload);
+                    prop_assert_eq!(&oracle.get(*rid).unwrap(), payload);
+                }
+                HeapOp::Update(i, size) => {
+                    if records.is_empty() {
+                        continue;
+                    }
+                    let slot = i % records.len();
+                    let payload = vec![(size % 249) as u8; size];
+                    let (rid, stored) = &mut records[slot];
+                    let new_p = pooled.update(*rid, &payload).unwrap();
+                    let new_o = oracle.update(*rid, &payload).unwrap();
+                    prop_assert_eq!(new_p, new_o);
+                    *rid = new_p;
+                    *stored = payload;
+                }
+            }
+        }
+        // No record was lost or corrupted by evictions.
+        for (rid, payload) in &records {
+            prop_assert_eq!(&pooled.get(*rid).unwrap(), payload);
+            prop_assert_eq!(&oracle.get(*rid).unwrap(), payload);
+        }
+        // The pool may only change *physical* traffic, never logical.
+        let p = pooled_stats.snapshot();
+        let o = oracle_stats.snapshot();
+        prop_assert_eq!(p.logical_heap_reads, o.logical_heap_reads);
+        prop_assert_eq!(p.logical_heap_writes, o.logical_heap_writes);
+        // The uncached oracle pays physically for every logical access.
+        prop_assert_eq!(o.heap_reads, o.logical_heap_reads);
+        prop_assert_eq!(o.heap_writes, o.logical_heap_writes);
+        prop_assert!(p.heap_reads <= o.heap_reads, "caching never adds reads");
+    }
+}
+
+#[derive(Debug, Clone)]
+enum HeapOp {
+    /// Insert a fresh record of the given size (spans pages past ~8 KB).
+    Insert(usize),
+    /// Re-read a previously stored record.
+    Get(usize),
+    /// Overwrite a record, possibly relocating it.
+    Update(usize, usize),
+}
+
+fn heap_op() -> impl Strategy<Value = HeapOp> {
+    prop_oneof![
+        (0usize..20_000).prop_map(HeapOp::Insert),
+        any::<usize>().prop_map(HeapOp::Get),
+        (any::<usize>(), 0usize..20_000).prop_map(|(i, s)| HeapOp::Update(i, s)),
+    ]
+}

@@ -1,0 +1,360 @@
+//! Value-generation strategies.
+//!
+//! A [`Strategy`] deterministically maps an RNG stream to values. Unlike real
+//! proptest there is no shrinking tree — `generate` returns plain values.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred` (bounded retries; panics if the
+    /// predicate is never satisfied, as real proptest gives up too).
+    fn prop_filter<F>(self, reason: &'static str, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason,
+            pred,
+        }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_filter`].
+#[derive(Debug, Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter gave up: {}", self.reason);
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build from a non-empty list of options.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let idx = rng.random_range(0..self.options.len());
+        self.options[idx].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ranges as strategies.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    fn generate(&self, rng: &mut StdRng) -> f32 {
+        rng.random_range(self.clone())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tuples of strategies.
+// ---------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(S0 0, S1 1);
+impl_tuple_strategy!(S0 0, S1 1, S2 2);
+impl_tuple_strategy!(S0 0, S1 1, S2 2, S3 3);
+impl_tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4);
+impl_tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+impl_tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6);
+impl_tuple_strategy!(S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7);
+
+// ---------------------------------------------------------------------
+// String patterns: the character-class subset of regex syntax.
+// ---------------------------------------------------------------------
+
+/// A `&str` is a strategy generating strings matching it as a simple regex:
+/// sequences of literals or character classes, each with an optional
+/// `{n}` / `{m,n}` / `?` / `*` / `+` quantifier.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+impl Strategy for String {
+    type Value = String;
+    fn generate(&self, rng: &mut StdRng) -> String {
+        generate_pattern(self, rng)
+    }
+}
+
+fn generate_pattern(pattern: &str, rng: &mut StdRng) -> String {
+    let mut out = String::new();
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices: Vec<char> = match chars[i] {
+            '[' => {
+                let (set, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                set
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                match c {
+                    'd' => ('0'..='9').collect(),
+                    'w' => ('a'..='z')
+                        .chain('A'..='Z')
+                        .chain('0'..='9')
+                        .chain(std::iter::once('_'))
+                        .collect(),
+                    's' => vec![' '],
+                    other => vec![other],
+                }
+            }
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            literal => {
+                i += 1;
+                vec![literal]
+            }
+        };
+        let (lo, hi) = parse_quantifier(&chars, &mut i, pattern);
+        let count = if lo == hi {
+            lo
+        } else {
+            rng.random_range(lo..=hi)
+        };
+        for _ in 0..count {
+            out.push(choices[rng.random_range(0..choices.len())]);
+        }
+    }
+    out
+}
+
+/// Parse a `[...]` class starting just after the `[`; returns the member
+/// characters and the index just past the `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let c = chars[i];
+        // `a-z` range (a `-` just before `]` is a literal).
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let end = chars[i + 2];
+            assert!(c <= end, "inverted range in pattern {pattern:?}");
+            set.extend(c..=end);
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+    assert!(!set.is_empty(), "empty class in pattern {pattern:?}");
+    (set, i + 1) // skip ']'
+}
+
+/// Parse an optional quantifier at `*i`; advances past it. Defaults to {1}.
+fn parse_quantifier(chars: &[char], i: &mut usize, pattern: &str) -> (usize, usize) {
+    match chars.get(*i) {
+        Some('?') => {
+            *i += 1;
+            (0, 1)
+        }
+        Some('*') => {
+            *i += 1;
+            (0, 8)
+        }
+        Some('+') => {
+            *i += 1;
+            (1, 8)
+        }
+        Some('{') => {
+            let close = chars[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pattern:?}"))
+                + *i;
+            let body: String = chars[*i + 1..close].iter().collect();
+            *i = close + 1;
+            if let Some((lo, hi)) = body.split_once(',') {
+                let lo = lo.trim().parse().expect("quantifier lower bound");
+                let hi = hi.trim().parse().expect("quantifier upper bound");
+                (lo, hi)
+            } else {
+                let n = body.trim().parse().expect("quantifier count");
+                (n, n)
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn pattern_identifier_shape() {
+        let strat = "[A-Za-z][A-Za-z0-9_]{0,10}";
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = strat.generate(&mut r);
+            assert!(!s.is_empty() && s.len() <= 11, "{s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_alphabetic(), "{s:?}");
+            assert!(
+                s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn pattern_printable_ascii_range() {
+        let strat = "[ -~]{0,120}";
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = strat.generate(&mut r);
+            assert!(s.len() <= 120);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_branches() {
+        let strat: Union<u8> = crate::prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[strat.generate(&mut r) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    #[test]
+    fn map_and_tuples_compose() {
+        let strat = (0u8..10, 0u64..5).prop_map(|(a, b)| a as u64 + b);
+        let mut r = rng();
+        for _ in 0..100 {
+            assert!(strat.generate(&mut r) < 14);
+        }
+    }
+}
