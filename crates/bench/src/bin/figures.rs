@@ -9,7 +9,7 @@
 //! ```
 //!
 //! Experiments: fig2, fig7, fig8, fig9, fig10, fig11, fig12, fig13, fig14,
-//! fig15, fig16, bounds, rules-ablation, cache-sweep, all.
+//! fig15, fig16, bounds, rules-ablation, cache-sweep, limit-sweep, all.
 //!
 //! Every experiment prints wall time *and* simulated I/O (page/node
 //! accesses) — the substitution for the paper's disk-bound testbed; the
@@ -130,6 +130,9 @@ fn main() {
     }
     if run_all || exp == "cache-sweep" {
         cache_sweep(scale);
+    }
+    if run_all || exp == "limit-sweep" {
+        limit_sweep(scale);
     }
 }
 
@@ -1405,6 +1408,121 @@ fn cache_sweep(scale: usize) {
     match std::fs::write("BENCH_cache.json", &json) {
         Ok(()) => println!("wrote BENCH_cache.json"),
         Err(e) => eprintln!("could not write BENCH_cache.json: {e}"),
+    }
+    println!();
+}
+
+// ====================================================================
+// Extension — LIMIT sweep over the top-k query. Not in the paper; it
+// quantifies what the streaming executor buys: `ORDER BY disease count
+// DESC LIMIT k` through the reversed Summary-BTree scan stops pulling
+// after k tuples, so physical I/O scales with k, while the sort-based
+// plan pays the full table regardless of k.
+// ====================================================================
+fn limit_sweep(scale: usize) {
+    header("Extension — limit sweep: top-k via streamed index scan vs full sort");
+    let cfg = BenchConfig {
+        scale_down: scale,
+        annots_per_tuple: 50,
+        ..Default::default()
+    };
+    let b = bench_db(&cfg);
+    let (sb, _) = build_indexes(&b);
+    let mut ctx = ExecContext::new(&b.db);
+    ctx.register_summary_index("sb", sb);
+    let n = b.db.table(b.birds).unwrap().len();
+    let sort_key = SortKey::Summary(SummaryExpr::label_value("ClassBird1", "Disease"));
+    let streamed = |k: usize| PhysicalPlan::Limit {
+        input: Box::new(PhysicalPlan::SummaryIndexScan {
+            index: "sb".into(),
+            label: "Disease".into(),
+            lo: None,
+            hi: None,
+            propagate: true,
+            reverse: true,
+        }),
+        n: k,
+    };
+    let sorted = |k: usize| PhysicalPlan::Limit {
+        input: Box::new(PhysicalPlan::Sort {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: b.birds,
+                with_summaries: true,
+            }),
+            key: sort_key.clone(),
+            desc: true,
+            disk: false,
+        }),
+        n: k,
+    };
+    let mut ks: Vec<usize> = [1usize, 5, 10, 50, n]
+        .into_iter()
+        .filter(|&k| k <= n)
+        .collect();
+    ks.dedup();
+    println!("birds: {n} tuples");
+    println!(
+        "{:>6} {:>6} {:>12} {:>10} {:>12} {:>10} {:>8}",
+        "k", "rows", "stream phys", "heap rd", "sort phys", "heap rd", "saved"
+    );
+    let mut json_rows = Vec::new();
+    let mut stream_at_k = Vec::new();
+    for &k in &ks {
+        let (t_s, io_s, rows) = measure(&b.db, || ctx.execute(&streamed(k)).unwrap().len());
+        let (t_f, io_f, rows2) = measure(&b.db, || ctx.execute(&sorted(k)).unwrap().len());
+        assert_eq!(rows, rows2, "both plans return k rows");
+        assert_eq!(rows, k.min(n));
+        stream_at_k.push((k, io_s.total()));
+        println!(
+            "{:>6} {:>6} {:>12} {:>10} {:>12} {:>10} {:>7.1}x",
+            k,
+            rows,
+            io_s.total(),
+            io_s.heap_reads,
+            io_f.total(),
+            io_f.heap_reads,
+            io_f.total() as f64 / io_s.total().max(1) as f64
+        );
+        json_rows.push(format!(
+            "  {{\"k\": {}, \"rows\": {}, \"stream_physical\": {}, \"stream_heap_reads\": {}, \
+             \"stream_logical\": {}, \"sort_physical\": {}, \"sort_heap_reads\": {}, \
+             \"stream_ms\": {:.3}, \"sort_ms\": {:.3}}}",
+            k,
+            rows,
+            io_s.total(),
+            io_s.heap_reads,
+            io_s.logical_total(),
+            io_f.total(),
+            io_f.heap_reads,
+            t_s.as_secs_f64() * 1e3,
+            t_f.as_secs_f64() * 1e3
+        ));
+    }
+    // The streaming claim, checked: I/O at the smallest k must be a small
+    // fraction of the full-table walk, and grow monotonically with k.
+    let (k0, io0) = stream_at_k[0];
+    let (_, io_full) = *stream_at_k.last().expect("non-empty sweep");
+    if n >= 50 {
+        assert!(
+            io0 * 5 <= io_full,
+            "LIMIT {k0} must read far less than the full scan ({io0} vs {io_full})"
+        );
+    }
+    for pair in stream_at_k.windows(2) {
+        assert!(
+            pair[0].1 <= pair[1].1,
+            "physical I/O must be monotone in k: {pair:?}"
+        );
+    }
+    let json = format!(
+        "{{\"experiment\": \"limit-sweep\", \"scale\": {scale}, \
+         \"annots_per_tuple\": {}, \"tuples\": {n}, \"rows\": [\n{}\n]}}\n",
+        cfg.annots_per_tuple,
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_limit.json", &json) {
+        Ok(()) => println!("wrote BENCH_limit.json"),
+        Err(e) => eprintln!("could not write BENCH_limit.json: {e}"),
     }
     println!();
 }

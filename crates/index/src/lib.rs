@@ -28,4 +28,4 @@ pub mod summary_btree;
 pub use baseline::BaselineIndex;
 pub use itemize::{itemize_key, max_key, min_key, ItemizeWidth};
 pub use keyword::KeywordIndex;
-pub use summary_btree::{IndexEntry, PointerMode, SummaryBTree};
+pub use summary_btree::{EntryCursor, IndexEntry, PointerMode, SummaryBTree};

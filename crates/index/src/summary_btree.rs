@@ -332,20 +332,47 @@ impl SummaryBTree {
         lo: Option<u64>,
         hi: Option<u64>,
     ) -> Vec<IndexEntry> {
+        let mut cur = self.open_range_cursor(label, lo, hi, false);
+        std::iter::from_fn(|| self.cursor_next(&mut cur)).collect()
+    }
+
+    /// Open a resumable range cursor: the same probe as
+    /// [`SummaryBTree::search_range`], but leaf entries are pulled one at a
+    /// time so an early-terminating consumer (top-k under LIMIT) pays only
+    /// for the leaves it visits. `reverse` walks the range in descending
+    /// count order. Charges the descent now and counts one search; the
+    /// index must not be mutated while the cursor is live.
+    pub fn open_range_cursor(
+        &mut self,
+        label: &str,
+        lo: Option<u64>,
+        hi: Option<u64>,
+        reverse: bool,
+    ) -> EntryCursor {
         self.ops.searches += 1;
         let lo_key = match lo {
             Some(v) if self.width.fits(v) => itemize_key(label, v, self.width),
-            Some(_) => return Vec::new(),
+            Some(_) => return EntryCursor::Empty,
             None => min_key(label, self.width),
         };
         let hi_key = match hi {
             Some(v) => itemize_key(label, v.min(self.width.max_count()), self.width),
             None => max_key(label, self.width),
         };
-        self.tree
-            .range(Some(&lo_key), Some(&hi_key))
-            .map(|(_, e)| e)
-            .collect()
+        if reverse {
+            EntryCursor::Desc(self.tree.cursor_desc(Some(&lo_key), Some(&hi_key)))
+        } else {
+            EntryCursor::Asc(self.tree.cursor(Some(&lo_key), Some(&hi_key)))
+        }
+    }
+
+    /// Advance a range cursor, returning the next qualifying entry.
+    pub fn cursor_next(&self, cur: &mut EntryCursor) -> Option<IndexEntry> {
+        match cur {
+            EntryCursor::Empty => None,
+            EntryCursor::Asc(c) => self.tree.cursor_next(c).map(|(_, e)| e),
+            EntryCursor::Desc(c) => self.tree.cursor_desc_next(c).map(|(_, e)| e),
+        }
     }
 
     /// All entries of a label in ascending count order (for summary-based
@@ -383,6 +410,17 @@ impl SummaryBTree {
     pub fn stats(&self) -> &Arc<IoStats> {
         &self.stats
     }
+}
+
+/// Resumable position of a [`SummaryBTree::open_range_cursor`] scan.
+#[derive(Debug, Clone)]
+pub enum EntryCursor {
+    /// Degenerate cursor for ranges outside the key width.
+    Empty,
+    /// Ascending count order.
+    Asc(instn_storage::Cursor),
+    /// Descending count order.
+    Desc(instn_storage::CursorDesc),
 }
 
 /// Resolve the pointer target for a tuple under a mode.

@@ -27,7 +27,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use instn_query::exec::{PhysicalPlan, NL_BLOCK_SIZE};
+use instn_query::exec::{PhysicalPlan, DEFAULT_SORT_MEM, NL_BLOCK_SIZE};
 use instn_query::expr::Expr;
 use instn_query::plan::JoinPredicate;
 use instn_storage::TableId;
@@ -147,27 +147,54 @@ impl<'a> CostModel<'a> {
 
     /// Estimate the full plan.
     pub fn cost(&self, plan: &PhysicalPlan) -> PlanCost {
-        self.cost_inner(plan).0
+        self.cost_capped(plan, None).0
+    }
+
+    /// Estimate the plan assuming at most `limit` rows will be pulled from
+    /// it (a LIMIT the planner knows sits above this subtree). Streaming
+    /// operators get credited — a lazy index scan under a small limit only
+    /// pays for the tuples it produces — while pipeline breakers (sort,
+    /// group-by, the NL build side) still pay in full.
+    pub fn cost_with_limit(&self, plan: &PhysicalPlan, limit: Option<usize>) -> PlanCost {
+        self.cost_capped(plan, limit.map(|n| n as f64)).0
+    }
+
+    /// `rows` clipped to a pushed-down row cap. `None` returns `rows`
+    /// unchanged, keeping the uncapped model bit-identical.
+    fn cap_rows(rows: f64, cap: Option<f64>) -> f64 {
+        match cap {
+            None => rows,
+            Some(c) => rows.min(c.max(0.0)),
+        }
     }
 
     /// Returns `(cost, base_table)` — the base table when the subtree is
-    /// still single-sourced, for predicate selectivity lookups.
-    fn cost_inner(&self, plan: &PhysicalPlan) -> (PlanCost, Option<TableId>) {
+    /// still single-sourced, for predicate selectivity lookups. `cap` is the
+    /// maximum number of rows a LIMIT above will ever pull from this node
+    /// (`None` = unbounded); streaming operators scale their per-row costs
+    /// by it, blocking operators consume their input in full regardless.
+    fn cost_capped(&self, plan: &PhysicalPlan, cap: Option<f64>) -> (PlanCost, Option<TableId>) {
         match plan {
             PhysicalPlan::SeqScan {
                 table,
                 with_summaries,
             } => {
                 let rows = self.stats.rows(*table);
+                let rows_eff = Self::cap_rows(rows, cap);
                 let mut io = self.stats.pages(*table).max(1.0);
                 if *with_summaries {
                     io += self.stats.summary_pages(*table);
                 }
+                // A capped scan stops after the cap'th tuple: charge the
+                // corresponding fraction of the pages.
+                if cap.is_some() && rows > 0.0 {
+                    io = (io * (rows_eff / rows)).max(1.0);
+                }
                 (
                     PlanCost {
                         io,
-                        cpu: rows,
-                        rows,
+                        cpu: rows_eff,
+                        rows: rows_eff,
                     },
                     Some(*table),
                 )
@@ -197,20 +224,23 @@ impl<'a> CostModel<'a> {
                     .map(|ls| ls.selectivity(*lo, *hi))
                     .unwrap_or(DEFAULT_SEL);
                 let rows = (n * sel).max(0.0);
+                // The scan is fully lazy: under a row cap only the first
+                // `cap` entries are walked and fetched.
+                let rows_eff = Self::cap_rows(rows, cap);
                 let keys = n * (*k as f64).max(1.0);
                 // Descent + leaf walk + one heap page per result
                 // (+ one SummaryStorage row read when propagating). The
                 // descent is discounted by cached upper levels: index roots
                 // stay hot across queries.
-                let mut io = self.probe_height(keys) + (rows / BTREE_FANOUT).ceil() + rows;
+                let mut io = self.probe_height(keys) + (rows_eff / BTREE_FANOUT).ceil() + rows_eff;
                 if *propagate {
-                    io += rows;
+                    io += rows_eff;
                 }
                 (
                     PlanCost {
                         io,
-                        cpu: rows,
-                        rows,
+                        cpu: rows_eff,
+                        rows: rows_eff,
                     },
                     Some(*table),
                 )
@@ -240,45 +270,55 @@ impl<'a> CostModel<'a> {
                     .map(|ls| ls.selectivity(*lo, *hi))
                     .unwrap_or(DEFAULT_SEL);
                 let rows = n * sel;
+                // The per-OID indirection is walked lazily too.
+                let rows_eff = Self::cap_rows(rows, cap);
                 let keys = n * (*k as f64).max(1.0);
                 // Descent + per result: normalized row read + OID-index
                 // probe + data heap read — the extra join levels. The
                 // per-result OID probes repeat through the same tree, so
                 // their descents get the cached-level discount.
                 let mut io = self.probe_height(keys)
-                    + (rows / BTREE_FANOUT).ceil()
-                    + rows * (1.0 + self.probe_height(n) + 1.0);
+                    + (rows_eff / BTREE_FANOUT).ceil()
+                    + rows_eff * (1.0 + self.probe_height(n) + 1.0);
                 if *propagate {
                     io += if *from_normalized {
                         // k normalized rows re-read per object rebuild.
-                        rows * (self.probe_height(keys) + *k as f64)
+                        rows_eff * (self.probe_height(keys) + *k as f64)
                     } else {
-                        rows
+                        rows_eff
                     };
                 }
                 (
                     PlanCost {
                         io,
-                        cpu: rows,
-                        rows,
+                        cpu: rows_eff,
+                        rows: rows_eff,
                     },
                     Some(*table),
                 )
             }
             PhysicalPlan::Filter { input, pred } => {
-                let (c, base) = self.cost_inner(input);
+                // A capped filter needs ~cap/sel input rows before it has
+                // produced cap survivors; pass the inflated cap down (the
+                // selectivity needs the base table, resolved by a cheap
+                // uncapped pre-pass).
+                let inner_cap = cap.map(|c| {
+                    let (_, base) = self.cost_capped(input, None);
+                    c / self.predicate_selectivity(pred, base).max(1e-6)
+                });
+                let (c, base) = self.cost_capped(input, inner_cap);
                 let sel = self.predicate_selectivity(pred, base);
                 (
                     PlanCost {
                         io: c.io,
                         cpu: c.cpu + c.rows,
-                        rows: (c.rows * sel).max(0.0),
+                        rows: Self::cap_rows((c.rows * sel).max(0.0), cap),
                     },
                     base,
                 )
             }
             PhysicalPlan::SummaryObjectFilter { input, .. } => {
-                let (c, base) = self.cost_inner(input);
+                let (c, base) = self.cost_capped(input, cap);
                 (
                     PlanCost {
                         io: c.io,
@@ -289,7 +329,7 @@ impl<'a> CostModel<'a> {
                 )
             }
             PhysicalPlan::Project { input, .. } => {
-                let (c, base) = self.cost_inner(input);
+                let (c, base) = self.cost_capped(input, cap);
                 (
                     PlanCost {
                         io: c.io,
@@ -300,16 +340,25 @@ impl<'a> CostModel<'a> {
                 )
             }
             PhysicalPlan::NestedLoopJoin { left, right, pred } => {
-                let (cl, _) = self.cost_inner(left);
-                let (cr, _) = self.cost_inner(right);
+                // The build side is a pipeline breaker and the outer must be
+                // consumed block by block: no cap reaches the children.
+                let (cl, _) = self.cost_capped(left, None);
+                let (cr, _) = self.cost_capped(right, None);
                 let blocks = (cl.rows / NL_BLOCK_SIZE as f64).ceil().max(1.0);
+                // An inner that fits the sort budget is materialized once
+                // and cached across blocks (the executor keeps it).
+                let rescans = if cr.rows <= DEFAULT_SORT_MEM as f64 {
+                    1.0
+                } else {
+                    blocks
+                };
                 let cross = cl.rows * cr.rows;
                 let rows = cross * self.join_selectivity(pred, cl.rows, cr.rows);
                 (
                     PlanCost {
-                        io: cl.io + blocks * cr.io,
-                        cpu: cl.cpu + blocks * cr.cpu + cross,
-                        rows,
+                        io: cl.io + rescans * cr.io,
+                        cpu: cl.cpu + rescans * cr.cpu + cross,
+                        rows: Self::cap_rows(rows, cap),
                     },
                     None,
                 )
@@ -320,9 +369,12 @@ impl<'a> CostModel<'a> {
                 with_summaries,
                 ..
             } => {
-                let (cl, _) = self.cost_inner(left);
                 let n_r = self.stats.rows(*right_table);
                 let matches = 1.0f64.max(n_r * DEFAULT_EQ_SEL / 2.0).min(n_r);
+                // The outer is streamed: with a cap, only ~cap/matches
+                // outer rows are pulled before the limit is satisfied.
+                let inner_cap = cap.map(|c| (c / matches.max(1e-6)).max(1.0));
+                let (cl, _) = self.cost_capped(left, inner_cap);
                 // One probe per outer row: the inner tree's upper levels
                 // stay resident between probes.
                 let probe = self.probe_height(n_r)
@@ -332,7 +384,7 @@ impl<'a> CostModel<'a> {
                     PlanCost {
                         io: cl.io + cl.rows * probe,
                         cpu: cl.cpu + cl.rows * (1.0 + matches),
-                        rows: cl.rows * matches,
+                        rows: Self::cap_rows(cl.rows * matches, cap),
                     },
                     None,
                 )
@@ -344,7 +396,6 @@ impl<'a> CostModel<'a> {
                 with_summaries,
                 ..
             } => {
-                let (cl, _) = self.cost_inner(left);
                 let Some((table, instance, k)) = self.indexes.summary.get(index) else {
                     return (
                         PlanCost {
@@ -364,6 +415,9 @@ impl<'a> CostModel<'a> {
                     .map(|ls| ls.num_distinct.max(1) as f64)
                     .unwrap_or(1.0);
                 let matches = (n_r / nd).max(0.0);
+                // Streamed outer: a cap translates to fewer probes.
+                let inner_cap = cap.map(|c| (c / matches.max(1e-6)).max(1.0));
+                let (cl, _) = self.cost_capped(left, inner_cap);
                 // One probe per outer row: the inner Summary-BTree's upper
                 // levels stay resident between probes.
                 let probe = self.probe_height(keys)
@@ -372,13 +426,15 @@ impl<'a> CostModel<'a> {
                     PlanCost {
                         io: cl.io + cl.rows * probe,
                         cpu: cl.cpu + cl.rows * (1.0 + matches),
-                        rows: cl.rows * matches,
+                        rows: Self::cap_rows(cl.rows * matches, cap),
                     },
                     None,
                 )
             }
             PhysicalPlan::Sort { input, disk, .. } => {
-                let (c, base) = self.cost_inner(input);
+                // Pipeline breaker: every input row is consumed before the
+                // first output row, so a downstream limit buys nothing.
+                let (c, base) = self.cost_capped(input, None);
                 let n = c.rows.max(1.0);
                 let sort_cpu = n * n.ln().max(1.0);
                 let io = if *disk {
@@ -391,35 +447,43 @@ impl<'a> CostModel<'a> {
                     PlanCost {
                         io,
                         cpu: c.cpu + sort_cpu,
-                        rows: c.rows,
+                        rows: Self::cap_rows(c.rows, cap),
                     },
                     base,
                 )
             }
             PhysicalPlan::GroupBy { input, .. } => {
-                let (c, _) = self.cost_inner(input);
+                // Pipeline breaker: the hash table sees all input rows.
+                let (c, _) = self.cost_capped(input, None);
                 (
                     PlanCost {
                         io: c.io,
                         cpu: c.cpu + c.rows,
-                        rows: (c.rows / 10.0).max(1.0),
+                        rows: Self::cap_rows((c.rows / 10.0).max(1.0), cap),
                     },
                     None,
                 )
             }
             PhysicalPlan::Distinct { input } => {
-                let (c, _) = self.cost_inner(input);
+                // Pipeline breaker (set-building), same as GroupBy.
+                let (c, _) = self.cost_capped(input, None);
                 (
                     PlanCost {
                         io: c.io,
                         cpu: c.cpu + c.rows,
-                        rows: (c.rows * 0.9).max(1.0),
+                        rows: Self::cap_rows((c.rows * 0.9).max(1.0), cap),
                     },
                     None,
                 )
             }
             PhysicalPlan::Limit { input, n } => {
-                let (c, base) = self.cost_inner(input);
+                // The limit itself is the cap source: tighten whatever cap
+                // is already in force and push it into the input.
+                let inner_cap = Some(match cap {
+                    None => *n as f64,
+                    Some(c) => c.min(*n as f64),
+                });
+                let (c, base) = self.cost_capped(input, inner_cap);
                 (
                     PlanCost {
                         io: c.io,
@@ -768,5 +832,140 @@ mod tests {
             ),
         };
         assert!(model.cost(&double).rows < model.cost(&single).rows);
+    }
+
+    #[test]
+    fn limit_pushdown_credits_lazy_index_scan() {
+        let (db, t) = setup(200);
+        let stats = Statistics::analyze(&db).unwrap();
+        let info = index_info(t);
+        let model = CostModel::new(&stats, &info);
+        let scan = PhysicalPlan::SummaryIndexScan {
+            index: "idx".into(),
+            label: "Disease".into(),
+            lo: None,
+            hi: None,
+            propagate: true,
+            reverse: true,
+        };
+        let full = model.cost(&scan);
+        // Cap via the explicit entry point …
+        let capped = model.cost_with_limit(&scan, Some(5));
+        assert!(
+            capped.io < full.io / 2.0,
+            "capped {} vs full {}",
+            capped.io,
+            full.io
+        );
+        assert!(capped.rows <= 5.0);
+        // … and via a Limit node, which pushes its own cap down.
+        let lim = PhysicalPlan::Limit {
+            input: Box::new(scan.clone()),
+            n: 5,
+        };
+        let via_node = model.cost(&lim);
+        assert!(
+            via_node.io < full.io / 2.0,
+            "limit node {} vs full {}",
+            via_node.io,
+            full.io
+        );
+        // No cap requested → identical to the plain cost.
+        let uncapped = model.cost_with_limit(&scan, None);
+        assert_eq!(uncapped.io.to_bits(), full.io.to_bits());
+        assert_eq!(uncapped.rows.to_bits(), full.rows.to_bits());
+    }
+
+    #[test]
+    fn blocking_sort_denies_limit_credit_to_its_input() {
+        let (db, t) = setup(100);
+        let stats = Statistics::analyze(&db).unwrap();
+        let info = index_info(t);
+        let model = CostModel::new(&stats, &info);
+        let seq = PhysicalPlan::SeqScan {
+            table: t,
+            with_summaries: true,
+        };
+        let sort = PhysicalPlan::Sort {
+            input: Box::new(seq.clone()),
+            key: instn_query::plan::SortKey::Column(0),
+            desc: true,
+            disk: false,
+        };
+        // A limit above a sort cannot shrink the sort's input: the sort
+        // consumes everything before emitting its first row.
+        let lim_sort = PhysicalPlan::Limit {
+            input: Box::new(sort.clone()),
+            n: 3,
+        };
+        assert_eq!(
+            model.cost(&lim_sort).io.to_bits(),
+            model.cost(&sort).io.to_bits()
+        );
+        // The same limit directly over the pipelined scan is credited.
+        let lim_scan = PhysicalPlan::Limit {
+            input: Box::new(seq.clone()),
+            n: 3,
+        };
+        assert!(model.cost(&lim_scan).io < model.cost(&seq).io);
+    }
+
+    #[test]
+    fn small_inner_nested_loop_charges_single_inner_scan() {
+        let mut db = Database::new();
+        let outer = db
+            .create_table("Outer", Schema::of(&[("a", ColumnType::Int)]))
+            .unwrap();
+        let small = db
+            .create_table("Small", Schema::of(&[("a", ColumnType::Int)]))
+            .unwrap();
+        let big = db
+            .create_table("Big", Schema::of(&[("a", ColumnType::Int)]))
+            .unwrap();
+        for i in 0..(3 * NL_BLOCK_SIZE) {
+            db.insert_tuple(outer, vec![Value::Int(i as i64)]).unwrap();
+        }
+        for i in 0..7 {
+            db.insert_tuple(small, vec![Value::Int(i)]).unwrap();
+        }
+        for i in 0..(DEFAULT_SORT_MEM + 50) {
+            db.insert_tuple(big, vec![Value::Int(i as i64)]).unwrap();
+        }
+        let stats = Statistics::analyze(&db).unwrap();
+        let info = IndexInfo::default();
+        let model = CostModel::new(&stats, &info);
+        let scan = |t| PhysicalPlan::SeqScan {
+            table: t,
+            with_summaries: false,
+        };
+        let join = |inner| PhysicalPlan::NestedLoopJoin {
+            left: Box::new(scan(outer)),
+            right: Box::new(scan(inner)),
+            pred: JoinPredicate::DataEq {
+                left_col: 0,
+                right_col: 0,
+            },
+        };
+        let io_outer = model.cost(&scan(outer)).io;
+        let io_small = model.cost(&scan(small)).io;
+        let io_big = model.cost(&scan(big)).io;
+        // Small inner (fits the sort budget): cached after the first
+        // block, so exactly one inner scan despite a 3-block outer.
+        let c_small = model.cost(&join(small));
+        assert!(
+            (c_small.io - (io_outer + io_small)).abs() < 1e-9,
+            "cached inner: {} vs {}",
+            c_small.io,
+            io_outer + io_small
+        );
+        // Oversized inner: re-scanned once per outer block.
+        let c_big = model.cost(&join(big));
+        assert!(
+            c_big.io >= io_outer + 2.5 * io_big,
+            "rescanned inner: {} vs outer {} + 3×{}",
+            c_big.io,
+            io_outer,
+            io_big
+        );
     }
 }

@@ -161,7 +161,7 @@ impl<'a> Optimizer<'a> {
         let uses_summaries = self.config.propagate_output || plan_uses_summaries(logical);
         let mut best: Option<(PhysicalPlan, PlanCost, String)> = None;
         for alt in &alternatives {
-            let physical = self.lower_opt(alt, uses_summaries)?;
+            let physical = self.lower_opt(alt, uses_summaries, None)?;
             let cost = model.cost(&physical);
             let better = match &best {
                 None => true,
@@ -182,7 +182,18 @@ impl<'a> Optimizer<'a> {
     }
 
     /// Cost-aware lowering of one logical alternative.
-    fn lower_opt(&self, plan: &LogicalPlan, summaries: bool) -> Result<PhysicalPlan> {
+    ///
+    /// `limit` is the tightest LIMIT known to sit above this subtree with
+    /// only pipelined operators in between — access-path decisions below a
+    /// top-k can then credit early termination (the streaming executor
+    /// stops pulling once the limit is satisfied). Pipeline breakers
+    /// (GroupBy, Distinct, join inputs) clear it; LIMIT nodes tighten it.
+    fn lower_opt(
+        &self,
+        plan: &LogicalPlan,
+        summaries: bool,
+        limit: Option<usize>,
+    ) -> Result<PhysicalPlan> {
         Ok(match plan {
             LogicalPlan::Scan { table } => PhysicalPlan::SeqScan {
                 table: self.db.table_id(table)?,
@@ -190,7 +201,7 @@ impl<'a> Optimizer<'a> {
             },
             LogicalPlan::Select { input, pred } | LogicalPlan::SummarySelect { input, pred } => {
                 let seq = PhysicalPlan::Filter {
-                    input: Box::new(self.lower_opt(input, summaries)?),
+                    input: Box::new(self.lower_opt(input, summaries, limit)?),
                     pred: pred.clone(),
                 };
                 // Index path: predicate conjunct answerable by a
@@ -206,25 +217,28 @@ impl<'a> Optimizer<'a> {
                             },
                             None => scan,
                         };
-                        return Ok(self.cheaper(indexed, seq));
+                        return Ok(self.cheaper_under(indexed, seq, limit));
                     }
                 }
                 seq
             }
             LogicalPlan::SummaryFilter { input, pred } => PhysicalPlan::SummaryObjectFilter {
-                input: Box::new(self.lower_opt(input, summaries)?),
+                input: Box::new(self.lower_opt(input, summaries, limit)?),
                 pred: pred.clone(),
             },
             LogicalPlan::Project { input, cols } => PhysicalPlan::Project {
-                input: Box::new(self.lower_opt(input, summaries)?),
+                input: Box::new(self.lower_opt(input, summaries, limit)?),
                 cols: cols.clone(),
                 eliminate: is_base_shape(input),
             },
             LogicalPlan::Join { left, right, pred }
             | LogicalPlan::SummaryJoin { left, right, pred } => {
+                // A limit above a join doesn't bound either input directly
+                // (match multiplicity is unknown at lowering time); the
+                // whole-join candidates are still compared under it.
                 let nl = PhysicalPlan::NestedLoopJoin {
-                    left: Box::new(self.lower_opt(left, summaries)?),
-                    right: Box::new(self.lower_opt(right, summaries)?),
+                    left: Box::new(self.lower_opt(left, summaries, None)?),
+                    right: Box::new(self.lower_opt(right, summaries, None)?),
                     pred: pred.clone(),
                 };
                 // Index join when the inner is a base scan with an index on
@@ -236,14 +250,14 @@ impl<'a> Optimizer<'a> {
                     if self.config.column_indexes.contains(&(rt, rc)) {
                         let residual = strip_data_eq(pred);
                         let indexed = PhysicalPlan::IndexJoin {
-                            left: Box::new(self.lower_opt(left, summaries)?),
+                            left: Box::new(self.lower_opt(left, summaries, None)?),
                             right_table: rt,
                             left_col: lc,
                             right_col: rc,
                             residual,
                             with_summaries: summaries,
                         };
-                        return Ok(self.cheaper(indexed, nl));
+                        return Ok(self.cheaper_under(indexed, nl, limit));
                     }
                 }
                 // Index-based summary join (the second J implementation of
@@ -255,23 +269,27 @@ impl<'a> Optimizer<'a> {
                     let rt = self.db.table_id(table)?;
                     if let Some(index) = self.config.summary_index_on(rt, &inst) {
                         let indexed = PhysicalPlan::SummaryIndexJoin {
-                            left: Box::new(self.lower_opt(left, summaries)?),
+                            left: Box::new(self.lower_opt(left, summaries, None)?),
                             left_key: lk,
                             index: index.to_string(),
                             label,
                             residual: strip_summary_eq(pred),
                             with_summaries: summaries,
                         };
-                        return Ok(self.cheaper(indexed, nl));
+                        return Ok(self.cheaper_under(indexed, nl, limit));
                     }
                 }
                 nl
             }
             LogicalPlan::Sort { input, key, desc } => {
-                let lowered = self.lower_opt(input, summaries)?;
-                // Rules 3–6: sort elimination on an interesting order.
                 if let SortKey::Summary(se) = key {
                     if let Some((instance, label)) = summary_sort_target(se) {
+                        // Rules 3–6: sort elimination on an interesting
+                        // order. The limit stays visible below: when
+                        // elimination fires, the order-providing index scan
+                        // IS the streamed subtree the limit terminates
+                        // early.
+                        let lowered = self.lower_opt(input, summaries, limit)?;
                         if let Some(order) =
                             provided_order(&lowered, self.db, &self.config.summary_indexes)
                         {
@@ -283,41 +301,117 @@ impl<'a> Optimizer<'a> {
                                 });
                             }
                         }
+                        // The lowering didn't come out ordered, but an
+                        // ordered access path may still exist (full-range
+                        // Summary-BTree scan in the requested direction).
+                        // Under a top-k limit the streamed, early-
+                        // terminating scan often beats sorting everything;
+                        // cost both under the limit and keep the winner.
+                        if let Some(ordered) =
+                            self.order_path(input, &instance, &label, *desc, summaries)?
+                        {
+                            let sorted = self.blocking_sort(
+                                self.lower_opt(input, summaries, None)?,
+                                key,
+                                *desc,
+                            );
+                            return Ok(self.cheaper_under(ordered, sorted, limit));
+                        }
                     }
                 }
-                let info = self.config.index_info();
-                let model = self.model(&info);
-                let rows = model.cost(&lowered).rows;
-                PhysicalPlan::Sort {
-                    input: Box::new(lowered),
-                    key: key.clone(),
-                    desc: *desc,
-                    disk: rows > self.config.sort_mem_tuples as f64,
-                }
+                // A limit above a blocking sort cannot shrink its input.
+                self.blocking_sort(self.lower_opt(input, summaries, None)?, key, *desc)
             }
             LogicalPlan::GroupBy { input, cols } => PhysicalPlan::GroupBy {
-                input: Box::new(self.lower_opt(input, summaries)?),
+                input: Box::new(self.lower_opt(input, summaries, None)?),
                 cols: cols.clone(),
             },
             LogicalPlan::Distinct { input } => PhysicalPlan::Distinct {
-                input: Box::new(self.lower_opt(input, summaries)?),
+                input: Box::new(self.lower_opt(input, summaries, None)?),
             },
             LogicalPlan::Limit { input, n } => PhysicalPlan::Limit {
-                input: Box::new(self.lower_opt(input, summaries)?),
+                input: Box::new(self.lower_opt(
+                    input,
+                    summaries,
+                    Some(limit.map_or(*n, |l| l.min(*n))),
+                )?),
                 n: *n,
             },
         })
     }
 
-    /// Pick the cheaper of two physical alternatives.
-    fn cheaper(&self, a: PhysicalPlan, b: PhysicalPlan) -> PhysicalPlan {
+    /// Pick the cheaper of two physical alternatives, costing both under
+    /// the LIMIT (if any) known to terminate them early.
+    fn cheaper_under(
+        &self,
+        a: PhysicalPlan,
+        b: PhysicalPlan,
+        limit: Option<usize>,
+    ) -> PhysicalPlan {
         let info = self.config.index_info();
         let model = self.model(&info);
-        if model.cost(&a).total() <= model.cost(&b).total() {
+        if model.cost_with_limit(&a, limit).total() <= model.cost_with_limit(&b, limit).total() {
             a
         } else {
             b
         }
+    }
+
+    /// Wrap a lowered subtree in the blocking sort operator, spilling to
+    /// disk when the estimated input exceeds the in-memory budget.
+    fn blocking_sort(&self, lowered: PhysicalPlan, key: &SortKey, desc: bool) -> PhysicalPlan {
+        let info = self.config.index_info();
+        let model = self.model(&info);
+        let rows = model.cost(&lowered).rows;
+        PhysicalPlan::Sort {
+            input: Box::new(lowered),
+            key: key.clone(),
+            desc,
+            disk: rows > self.config.sort_mem_tuples as f64,
+        }
+    }
+
+    /// An order-providing access path for `ORDER BY getLabelValue(instance,
+    /// label)`: a full-range Summary-BTree scan in the requested direction,
+    /// with any selection re-applied on top. Only recognized directly above
+    /// a base scan (joins keep their own order-propagation analysis).
+    fn order_path(
+        &self,
+        input: &LogicalPlan,
+        instance: &str,
+        label: &str,
+        desc: bool,
+        summaries: bool,
+    ) -> Result<Option<PhysicalPlan>> {
+        let (table, pred) = match input {
+            LogicalPlan::Scan { table } => (table, None),
+            LogicalPlan::Select { input, pred } | LogicalPlan::SummarySelect { input, pred } => {
+                match input.as_ref() {
+                    LogicalPlan::Scan { table } => (table, Some(pred)),
+                    _ => return Ok(None),
+                }
+            }
+            _ => return Ok(None),
+        };
+        let tid = self.db.table_id(table)?;
+        let Some(index) = self.config.summary_index_on(tid, instance) else {
+            return Ok(None);
+        };
+        let scan = PhysicalPlan::SummaryIndexScan {
+            index: index.to_string(),
+            label: label.to_string(),
+            lo: None,
+            hi: None,
+            propagate: summaries,
+            reverse: desc,
+        };
+        Ok(Some(match pred {
+            Some(p) => PhysicalPlan::Filter {
+                input: Box::new(scan),
+                pred: p.clone(),
+            },
+            None => scan,
+        }))
     }
 
     /// Try to answer (part of) a predicate with a Summary-BTree scan.
@@ -916,6 +1010,37 @@ mod tests {
         let ka: Vec<i64> = a.iter().map(key).collect();
         let kb: Vec<i64> = b.iter().map(key).collect();
         assert_eq!(ka, kb, "identical order");
+    }
+
+    #[test]
+    fn top_k_prefers_limited_reverse_index_scan_over_sort() {
+        let (db, birds, _, _) = setup(200);
+        let config = PlannerConfig::default().with_summary_index("idx", birds, "ClassBird1", 2);
+        let opt = Optimizer::new(&db, config).unwrap();
+        let key = SortKey::Summary(SummaryExpr::label_value("ClassBird1", "Disease"));
+        // Top-5 most-annotated birds, no predicate: a full sort would read
+        // and order all 200 fat tuples; the reversed index scan streams
+        // straight into the limit and stops after 5.
+        let logical = LogicalPlan::scan("Birds").top_k(key.clone(), true, 5);
+        let plan = opt.optimize(&logical).unwrap();
+        assert!(
+            !contains_sort(&plan.physical),
+            "top-k should use the ordered scan: {:?}",
+            plan.physical
+        );
+        assert!(matches!(plan.physical, PhysicalPlan::Limit { .. }));
+        assert!(scan_reversed(&plan.physical), "{:?}", plan.physical);
+        assert!(plan.cost.rows <= 5.0, "cost rows {}", plan.cost.rows);
+
+        // Without the limit, sorting the sequential scan is cheaper than
+        // walking the whole index with per-tuple heap fetches.
+        let unlimited = LogicalPlan::scan("Birds").sort(key, true);
+        let plan = opt.optimize(&unlimited).unwrap();
+        assert!(
+            contains_sort(&plan.physical),
+            "full ordering should still sort: {:?}",
+            plan.physical
+        );
     }
 
     #[test]

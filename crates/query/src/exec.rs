@@ -189,15 +189,15 @@ pub enum PhysicalPlan {
 }
 
 impl PhysicalPlan {
-    fn fmt_indent(&self, f: &mut std::fmt::Formatter<'_>, indent: usize) -> std::fmt::Result {
-        let pad = "  ".repeat(indent);
+    /// One-line description of this node alone (no children) — the line
+    /// EXPLAIN prints for it, and the label [`OpMetrics`] reports under.
+    pub fn head(&self) -> String {
         match self {
             PhysicalPlan::SeqScan {
                 table,
                 with_summaries,
-            } => writeln!(
-                f,
-                "{pad}SeqScan(table#{}{})",
+            } => format!(
+                "SeqScan(table#{}{})",
                 table.0,
                 if *with_summaries { ", +summaries" } else { "" }
             ),
@@ -208,9 +208,8 @@ impl PhysicalPlan {
                 hi,
                 reverse,
                 ..
-            } => writeln!(
-                f,
-                "{pad}SummaryIndexScan({index}, {label} in [{}, {}]{})",
+            } => format!(
+                "SummaryIndexScan({index}, {label} in [{}, {}]{})",
                 lo.map(|v| v.to_string()).unwrap_or_else(|| "-∞".into()),
                 hi.map(|v| v.to_string()).unwrap_or_else(|| "+∞".into()),
                 if *reverse { ", desc" } else { "" }
@@ -220,83 +219,71 @@ impl PhysicalPlan {
                 label,
                 from_normalized,
                 ..
-            } => writeln!(
-                f,
-                "{pad}BaselineIndexScan({index}, {label}{})",
+            } => format!(
+                "BaselineIndexScan({index}, {label}{})",
                 if *from_normalized {
                     ", propagate-from-normalized"
                 } else {
                     ""
                 }
             ),
-            PhysicalPlan::Filter { input, .. } => {
-                writeln!(f, "{pad}Filter(σ/S)")?;
-                input.fmt_indent(f, indent + 1)
-            }
-            PhysicalPlan::SummaryObjectFilter { input, .. } => {
-                writeln!(f, "{pad}SummaryObjectFilter(F)")?;
-                input.fmt_indent(f, indent + 1)
-            }
+            PhysicalPlan::Filter { .. } => "Filter(σ/S)".into(),
+            PhysicalPlan::SummaryObjectFilter { .. } => "SummaryObjectFilter(F)".into(),
             PhysicalPlan::Project {
-                input,
-                cols,
-                eliminate,
-            } => {
-                writeln!(
-                    f,
-                    "{pad}Project(π {cols:?}{})",
-                    if *eliminate { ", eliminate" } else { "" }
-                )?;
-                input.fmt_indent(f, indent + 1)
-            }
-            PhysicalPlan::NestedLoopJoin { left, right, .. } => {
-                writeln!(f, "{pad}NestedLoopJoin(block)")?;
-                left.fmt_indent(f, indent + 1)?;
-                right.fmt_indent(f, indent + 1)
-            }
+                cols, eliminate, ..
+            } => format!(
+                "Project(π {cols:?}{})",
+                if *eliminate { ", eliminate" } else { "" }
+            ),
+            PhysicalPlan::NestedLoopJoin { .. } => "NestedLoopJoin(block)".into(),
             PhysicalPlan::IndexJoin {
-                left,
                 right_table,
                 right_col,
                 ..
-            } => {
-                writeln!(f, "{pad}IndexJoin(table#{}.col{right_col})", right_table.0)?;
-                left.fmt_indent(f, indent + 1)
-            }
-            PhysicalPlan::SummaryIndexJoin {
-                left, index, label, ..
-            } => {
-                writeln!(f, "{pad}SummaryIndexJoin(J via {index} on {label})")?;
-                left.fmt_indent(f, indent + 1)
+            } => format!("IndexJoin(table#{}.col{right_col})", right_table.0),
+            PhysicalPlan::SummaryIndexJoin { index, label, .. } => {
+                format!("SummaryIndexJoin(J via {index} on {label})")
             }
             PhysicalPlan::Sort {
-                input,
-                key,
-                desc,
-                disk,
-            } => {
-                writeln!(
-                    f,
-                    "{pad}Sort({}{}{})",
-                    if key.is_summary() { "O" } else { "data" },
-                    if *desc { ", desc" } else { "" },
-                    if *disk { ", external" } else { ", in-memory" }
-                )?;
-                input.fmt_indent(f, indent + 1)
-            }
-            PhysicalPlan::GroupBy { input, cols } => {
-                writeln!(f, "{pad}GroupBy({cols:?})")?;
-                input.fmt_indent(f, indent + 1)
-            }
-            PhysicalPlan::Distinct { input } => {
-                writeln!(f, "{pad}Distinct(δ)")?;
-                input.fmt_indent(f, indent + 1)
-            }
-            PhysicalPlan::Limit { input, n } => {
-                writeln!(f, "{pad}Limit({n})")?;
-                input.fmt_indent(f, indent + 1)
+                key, desc, disk, ..
+            } => format!(
+                "Sort({}{}{})",
+                if key.is_summary() { "O" } else { "data" },
+                if *desc { ", desc" } else { "" },
+                if *disk { ", external" } else { ", in-memory" }
+            ),
+            PhysicalPlan::GroupBy { cols, .. } => format!("GroupBy({cols:?})"),
+            PhysicalPlan::Distinct { .. } => "Distinct(δ)".into(),
+            PhysicalPlan::Limit { n, .. } => format!("Limit({n})"),
+        }
+    }
+
+    /// Child subtrees in display order (outer before inner).
+    pub fn children(&self) -> Vec<&PhysicalPlan> {
+        match self {
+            PhysicalPlan::SeqScan { .. }
+            | PhysicalPlan::SummaryIndexScan { .. }
+            | PhysicalPlan::BaselineIndexScan { .. } => Vec::new(),
+            PhysicalPlan::Filter { input, .. }
+            | PhysicalPlan::SummaryObjectFilter { input, .. }
+            | PhysicalPlan::Project { input, .. }
+            | PhysicalPlan::Sort { input, .. }
+            | PhysicalPlan::GroupBy { input, .. }
+            | PhysicalPlan::Distinct { input }
+            | PhysicalPlan::Limit { input, .. } => vec![input],
+            PhysicalPlan::NestedLoopJoin { left, right, .. } => vec![left, right],
+            PhysicalPlan::IndexJoin { left, .. } | PhysicalPlan::SummaryIndexJoin { left, .. } => {
+                vec![left]
             }
         }
+    }
+
+    fn fmt_indent(&self, f: &mut std::fmt::Formatter<'_>, indent: usize) -> std::fmt::Result {
+        writeln!(f, "{}{}", "  ".repeat(indent), self.head())?;
+        for child in self.children() {
+            child.fmt_indent(f, indent + 1)?;
+        }
+        Ok(())
     }
 }
 
@@ -361,198 +348,41 @@ impl<'a> ExecContext<'a> {
         self.summary_indexes.get(name)
     }
 
-    /// Execute a physical plan to completion.
+    /// Execute a physical plan to completion, materializing its output.
+    ///
+    /// Runs the pull-based pipeline underneath: the plan is compiled to a
+    /// tree of operators which is opened, drained, and closed.
     pub fn execute(&mut self, plan: &PhysicalPlan) -> Result<Vec<AnnotatedTuple>> {
-        match plan {
-            PhysicalPlan::SeqScan {
-                table,
-                with_summaries,
-            } => self.seq_scan(*table, *with_summaries),
-            PhysicalPlan::SummaryIndexScan {
-                index,
-                label,
-                lo,
-                hi,
-                propagate,
-                reverse,
-            } => self.summary_index_scan(index, label, *lo, *hi, *propagate, *reverse),
-            PhysicalPlan::BaselineIndexScan {
-                index,
-                label,
-                lo,
-                hi,
-                propagate,
-                from_normalized,
-            } => self.baseline_index_scan(index, label, *lo, *hi, *propagate, *from_normalized),
-            PhysicalPlan::Filter { input, pred } => {
-                let rows = self.execute(input)?;
-                let mut out = Vec::new();
-                for t in rows {
-                    if pred.eval_bool(&t)? {
-                        out.push(t);
-                    }
-                }
-                Ok(out)
-            }
-            PhysicalPlan::SummaryObjectFilter { input, pred } => {
-                let mut rows = self.execute(input)?;
-                for t in &mut rows {
-                    t.summaries.retain(|o| pred.matches(o));
-                }
-                Ok(rows)
-            }
-            PhysicalPlan::Project {
-                input,
-                cols,
-                eliminate,
-            } => self.project(input, cols, *eliminate),
-            PhysicalPlan::NestedLoopJoin { left, right, pred } => {
-                self.nested_loop_join(left, right, pred)
-            }
-            PhysicalPlan::IndexJoin {
-                left,
-                right_table,
-                left_col,
-                right_col,
-                residual,
-                with_summaries,
-            } => self.index_join(
-                left,
-                *right_table,
-                *left_col,
-                *right_col,
-                residual.as_ref(),
-                *with_summaries,
-            ),
-            PhysicalPlan::SummaryIndexJoin {
-                left,
-                left_key,
-                index,
-                label,
-                residual,
-                with_summaries,
-            } => self.summary_index_join(
-                left,
-                left_key,
-                index,
-                label,
-                residual.as_ref(),
-                *with_summaries,
-            ),
-            PhysicalPlan::Sort {
-                input,
-                key,
-                desc,
-                disk,
-            } => {
-                let rows = self.execute(input)?;
-                if *disk || rows.len() > self.sort_mem {
-                    self.external_sort(rows, key, *desc)
-                } else {
-                    Ok(mem_sort(rows, key, *desc))
-                }
-            }
-            PhysicalPlan::GroupBy { input, cols } => self.group_by(input, cols),
-            PhysicalPlan::Distinct { input } => self.distinct(input),
-            PhysicalPlan::Limit { input, n } => {
-                let mut rows = self.execute(input)?;
-                rows.truncate(*n);
-                Ok(rows)
-            }
-        }
+        Ok(self.execute_with_metrics(plan)?.0)
     }
 
-    fn seq_scan(&mut self, table: TableId, with_summaries: bool) -> Result<Vec<AnnotatedTuple>> {
-        if with_summaries {
-            Ok(self.db.scan_annotated(table)?)
-        } else {
-            let t = self.db.table(table)?;
-            Ok(t.scan()
-                .map(|(oid, values)| AnnotatedTuple::bare(table, oid, values))
-                .collect())
-        }
-    }
-
-    fn summary_index_scan(
+    /// Execute a plan and also return per-operator runtime counters (rows
+    /// emitted, open count, I/O charged) — the EXPLAIN ANALYZE payload.
+    pub fn execute_with_metrics(
         &mut self,
-        index: &str,
-        label: &str,
-        lo: Option<u64>,
-        hi: Option<u64>,
-        propagate: bool,
-        reverse: bool,
-    ) -> Result<Vec<AnnotatedTuple>> {
-        let idx = self
-            .summary_indexes
-            .get_mut(index)
-            .ok_or_else(|| QueryError::UnknownIndex(index.to_string()))?;
-        let table = idx.table();
-        let mut entries = idx.search_range(label, lo, hi);
-        if reverse {
-            entries.reverse();
+        plan: &PhysicalPlan,
+    ) -> Result<(Vec<AnnotatedTuple>, OpMetrics)> {
+        let mut root = compile(plan);
+        root.open(self)?;
+        let mut out = Vec::new();
+        while let Some(t) = root.next(self)? {
+            out.push(t);
         }
-        let mut out = Vec::with_capacity(entries.len());
-        for e in entries {
-            let values = idx.fetch_data_tuple(self.db, &e)?;
-            let summaries = if propagate {
-                idx.fetch_summaries(self.db, &e)?
-            } else {
-                Vec::new()
-            };
-            out.push(AnnotatedTuple {
-                source: Some((table, e.oid)),
-                values,
-                summaries,
-            });
-        }
-        Ok(out)
+        root.close(self)?;
+        Ok((out, root.metrics()))
     }
 
-    fn baseline_index_scan(
-        &mut self,
-        index: &str,
-        label: &str,
-        lo: Option<u64>,
-        hi: Option<u64>,
-        propagate: bool,
-        from_normalized: bool,
-    ) -> Result<Vec<AnnotatedTuple>> {
-        let idx = self
-            .baseline_indexes
-            .get(index)
-            .ok_or_else(|| QueryError::UnknownIndex(index.to_string()))?;
-        // The baseline index only knows OIDs; find the table through the
-        // instance it was built on.
-        let oids = idx.search_range(label, lo, hi);
-        let mut out = Vec::with_capacity(oids.len());
-        for oid in oids {
-            // Locate the owning table: baseline indexes are registered per
-            // instance, and rebuild_object knows the table internally; here
-            // we resolve through the first table having this instance name.
-            let table = self.table_of_baseline(index)?;
-            // Extra indirection: OID-index probe + heap read.
-            let values = self.db.table(table)?.get(oid)?;
-            let summaries = if propagate {
-                if from_normalized {
-                    // Re-assemble the classifier object from normalized rows
-                    // (plus the remaining objects are unavailable in this
-                    // mode — the paper's Fig. 12 measures exactly this).
-                    idx.rebuild_object(self.db, oid)?
-                        .map(|o| vec![o])
-                        .unwrap_or_default()
-                } else {
-                    self.db.summaries_of(table, oid)?
-                }
-            } else {
-                Vec::new()
-            };
-            out.push(AnnotatedTuple {
-                source: Some((table, oid)),
-                values,
-                summaries,
-            });
-        }
-        Ok(out)
+    /// Open a plan as a pull stream without draining it. The caller pulls
+    /// tuples one at a time with [`TupleStream::next_tuple`] and may stop
+    /// early; no I/O happens beyond what the pulled tuples require.
+    pub fn open_stream<'c>(&'c mut self, plan: &PhysicalPlan) -> Result<TupleStream<'c, 'a>> {
+        let mut root = compile(plan);
+        root.open(self)?;
+        Ok(TupleStream {
+            ctx: self,
+            root,
+            done: false,
+        })
     }
 
     fn table_of_baseline(&self, index: &str) -> Result<TableId> {
@@ -579,310 +409,1117 @@ impl<'a> ExecContext<'a> {
         }
         out
     }
+}
 
-    fn project(
-        &mut self,
-        input: &PhysicalPlan,
-        cols: &[usize],
-        eliminate: bool,
-    ) -> Result<Vec<AnnotatedTuple>> {
-        let rows = self.execute(input)?;
-        let resolver = self.db.text_resolver();
-        let mut out = Vec::with_capacity(rows.len());
-        for mut t in rows {
-            if eliminate {
-                if let Some((table, oid)) = t.source {
-                    let (_kept, removed) = self
-                        .db
-                        .annotation_store(table)
-                        .partition_by_projection(oid, cols);
-                    if !removed.is_empty() {
-                        project_eliminate(&mut t.summaries, &removed, &resolver);
-                    }
-                }
-            }
-            t.values = cols
-                .iter()
-                .map(|&i| t.values.get(i).cloned().unwrap_or(Value::Null))
-                .collect();
-            out.push(t);
+/// A live, pull-based execution of a plan (see [`ExecContext::open_stream`]).
+pub struct TupleStream<'c, 'a> {
+    ctx: &'c mut ExecContext<'a>,
+    root: OpNode,
+    done: bool,
+}
+
+impl TupleStream<'_, '_> {
+    /// Pull the next output tuple, or `None` once the plan is exhausted.
+    pub fn next_tuple(&mut self) -> Result<Option<AnnotatedTuple>> {
+        if self.done {
+            return Ok(None);
         }
-        Ok(out)
+        let t = self.root.next(self.ctx)?;
+        if t.is_none() {
+            self.done = true;
+        }
+        Ok(t)
     }
 
-    fn merge_pair(&self, l: &AnnotatedTuple, r: &AnnotatedTuple) -> AnnotatedTuple {
-        let common: std::collections::HashSet<instn_annot::AnnotId> = match (l.source, r.source) {
-            (Some((tl, ol)), Some((tr, or))) => self
-                .db
-                .common_annotations(tl, ol, tr, or)
-                .into_iter()
-                .collect(),
-            _ => Default::default(),
+    /// Snapshot of the per-operator counters accumulated so far.
+    pub fn metrics(&self) -> OpMetrics {
+        self.root.metrics()
+    }
+
+    /// Close the pipeline, releasing operator state, and return the final
+    /// counters.
+    pub fn close(mut self) -> Result<OpMetrics> {
+        self.root.close(self.ctx)?;
+        Ok(self.root.metrics())
+    }
+}
+
+/// Per-operator runtime counters, mirroring the plan tree.
+///
+/// I/O counters are *inclusive* of children (like PostgreSQL's
+/// `EXPLAIN (ANALYZE, BUFFERS)`): a parent's pulls charge everything its
+/// subtree did while producing those tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpMetrics {
+    /// Operator label (the plan node's EXPLAIN line).
+    pub label: String,
+    /// Tuples this operator emitted.
+    pub rows: u64,
+    /// Times the operator was opened (the block NL join re-opens its inner).
+    pub opens: u64,
+    /// Physical page transfers charged while this subtree ran.
+    pub physical_io: u64,
+    /// Logical page accesses charged while this subtree ran.
+    pub logical_io: u64,
+    /// Child operators in display order.
+    pub children: Vec<OpMetrics>,
+}
+
+impl OpMetrics {
+    /// Indented per-operator report for EXPLAIN ANALYZE.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_into(&mut out, 0);
+        out
+    }
+
+    fn render_into(&self, out: &mut String, indent: usize) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(indent);
+        let loops = if self.opens > 1 {
+            format!(", loops={}", self.opens)
+        } else {
+            String::new()
         };
-        let resolver = self.db.text_resolver();
-        let mut values = l.values.clone();
-        values.extend(r.values.iter().cloned());
-        AnnotatedTuple {
-            source: None,
-            values,
-            summaries: merge_summary_sets(&l.summaries, &r.summaries, &common, &resolver),
+        let _ = writeln!(
+            out,
+            "{pad}{} (rows={}{loops}, io={} physical / {} logical)",
+            self.label, self.rows, self.physical_io, self.logical_io
+        );
+        for c in &self.children {
+            c.render_into(out, indent + 1);
+        }
+    }
+}
+
+/// A pull-based physical operator (Volcano style).
+///
+/// `open` acquires cursors or materializes pipeline-breaker state, `next`
+/// yields one tuple at a time, `close` releases state. Operators receive the
+/// [`ExecContext`] on every call instead of borrowing it, so the compiled
+/// tree carries no lifetimes.
+trait Operator {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()>;
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<AnnotatedTuple>>;
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()>;
+    fn children(&self) -> Vec<&OpNode>;
+}
+
+/// An operator plus its runtime counters. All pulls go through the node so
+/// rows, opens, and I/O are metered uniformly.
+struct OpNode {
+    label: String,
+    op: Box<dyn Operator>,
+    rows: u64,
+    opens: u64,
+    physical_io: u64,
+    logical_io: u64,
+}
+
+impl OpNode {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.opens += 1;
+        let before = ctx.db.stats().snapshot();
+        let r = self.op.open(ctx);
+        self.charge(&before, ctx);
+        r
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<AnnotatedTuple>> {
+        let before = ctx.db.stats().snapshot();
+        let r = self.op.next(ctx);
+        self.charge(&before, ctx);
+        if let Ok(Some(_)) = &r {
+            self.rows += 1;
+        }
+        r
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.op.close(ctx)
+    }
+
+    fn charge(&mut self, before: &instn_storage::IoSnapshot, ctx: &ExecContext<'_>) {
+        let delta = ctx.db.stats().snapshot().since(before);
+        self.physical_io += delta.total();
+        self.logical_io += delta.logical_total();
+    }
+
+    fn metrics(&self) -> OpMetrics {
+        OpMetrics {
+            label: self.label.clone(),
+            rows: self.rows,
+            opens: self.opens,
+            physical_io: self.physical_io,
+            logical_io: self.logical_io,
+            children: self.op.children().iter().map(|c| c.metrics()).collect(),
+        }
+    }
+}
+
+/// Compile a plan tree into an operator tree. Plan parameters are cloned
+/// into the operators (plans are small), keeping the tree `'static`.
+fn compile(plan: &PhysicalPlan) -> OpNode {
+    let op: Box<dyn Operator> = match plan {
+        PhysicalPlan::SeqScan {
+            table,
+            with_summaries,
+        } => Box::new(SeqScanOp {
+            table: *table,
+            with_summaries: *with_summaries,
+            cursor: None,
+        }),
+        PhysicalPlan::SummaryIndexScan {
+            index,
+            label,
+            lo,
+            hi,
+            propagate,
+            reverse,
+        } => Box::new(SummaryIndexScanOp {
+            index: index.clone(),
+            label: label.clone(),
+            lo: *lo,
+            hi: *hi,
+            propagate: *propagate,
+            reverse: *reverse,
+            table: None,
+            cursor: None,
+        }),
+        PhysicalPlan::BaselineIndexScan {
+            index,
+            label,
+            lo,
+            hi,
+            propagate,
+            from_normalized,
+        } => Box::new(BaselineIndexScanOp {
+            index: index.clone(),
+            label: label.clone(),
+            lo: *lo,
+            hi: *hi,
+            propagate: *propagate,
+            from_normalized: *from_normalized,
+            table: None,
+            oids: Vec::new(),
+            pos: 0,
+        }),
+        PhysicalPlan::Filter { input, pred } => Box::new(FilterOp {
+            child: compile(input),
+            pred: pred.clone(),
+        }),
+        PhysicalPlan::SummaryObjectFilter { input, pred } => Box::new(SummaryObjectFilterOp {
+            child: compile(input),
+            pred: pred.clone(),
+        }),
+        PhysicalPlan::Project {
+            input,
+            cols,
+            eliminate,
+        } => Box::new(ProjectOp {
+            child: compile(input),
+            cols: cols.clone(),
+            eliminate: *eliminate,
+        }),
+        PhysicalPlan::NestedLoopJoin { left, right, pred } => Box::new(NestedLoopJoinOp {
+            left: compile(left),
+            right: compile(right),
+            pred: pred.clone(),
+            block: Vec::new(),
+            inner: Vec::new(),
+            inner_cached: false,
+            li: 0,
+            ri: 0,
+            outer_done: false,
+        }),
+        PhysicalPlan::IndexJoin {
+            left,
+            right_table,
+            left_col,
+            right_col,
+            residual,
+            with_summaries,
+        } => Box::new(IndexJoinOp {
+            left: compile(left),
+            right_table: *right_table,
+            left_col: *left_col,
+            right_col: *right_col,
+            residual: residual.clone(),
+            with_summaries: *with_summaries,
+            current: None,
+        }),
+        PhysicalPlan::SummaryIndexJoin {
+            left,
+            left_key,
+            index,
+            label,
+            residual,
+            with_summaries,
+        } => Box::new(SummaryIndexJoinOp {
+            left: compile(left),
+            left_key: left_key.clone(),
+            index: index.clone(),
+            label: label.clone(),
+            residual: residual.clone(),
+            with_summaries: *with_summaries,
+            right_table: None,
+            current: None,
+        }),
+        PhysicalPlan::Sort {
+            input,
+            key,
+            desc,
+            disk,
+        } => Box::new(SortOp {
+            child: compile(input),
+            key: key.clone(),
+            desc: *desc,
+            disk: *disk,
+            out: None,
+        }),
+        PhysicalPlan::GroupBy { input, cols } => Box::new(GroupByOp {
+            child: compile(input),
+            cols: cols.clone(),
+            out: None,
+        }),
+        PhysicalPlan::Distinct { input } => Box::new(DistinctOp {
+            child: compile(input),
+            out: None,
+        }),
+        PhysicalPlan::Limit { input, n } => Box::new(LimitOp {
+            child: compile(input),
+            n: *n,
+            emitted: 0,
+        }),
+    };
+    OpNode {
+        label: plan.head(),
+        op,
+        rows: 0,
+        opens: 0,
+        physical_io: 0,
+        logical_io: 0,
+    }
+}
+
+/// Streaming sequential scan (OID order).
+struct SeqScanOp {
+    table: TableId,
+    with_summaries: bool,
+    cursor: Option<instn_storage::ScanCursor>,
+}
+
+impl Operator for SeqScanOp {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.cursor = Some(ctx.db.table(self.table)?.scan_open());
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<AnnotatedTuple>> {
+        let cur = self.cursor.as_mut().expect("open() before next()");
+        let Some((oid, values)) = ctx.db.table(self.table)?.scan_next(cur) else {
+            return Ok(None);
+        };
+        if self.with_summaries {
+            let summaries = ctx.db.summary_storage(self.table).read(oid)?;
+            Ok(Some(AnnotatedTuple {
+                source: Some((self.table, oid)),
+                values,
+                summaries,
+            }))
+        } else {
+            Ok(Some(AnnotatedTuple::bare(self.table, oid, values)))
         }
     }
 
-    fn nested_loop_join(
-        &mut self,
-        left: &PhysicalPlan,
-        right: &PhysicalPlan,
-        pred: &JoinPredicate,
-    ) -> Result<Vec<AnnotatedTuple>> {
-        let outer = self.execute(left)?;
-        let mut out = Vec::new();
-        for block in outer.chunks(NL_BLOCK_SIZE.max(1)) {
-            // Block NL: the inner is re-executed (re-read) once per block.
-            let inner = self.execute(right)?;
-            for l in block {
-                for r in &inner {
-                    if pred.matches(l, r) {
-                        out.push(self.merge_pair(l, r));
-                    }
+    fn close(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.cursor = None;
+        Ok(())
+    }
+
+    fn children(&self) -> Vec<&OpNode> {
+        Vec::new()
+    }
+}
+
+/// Streaming Summary-BTree scan: a cursor is opened over the count range and
+/// entries are fetched lazily, so a LIMIT above stops both the leaf walk and
+/// the per-entry heap reads after k tuples.
+struct SummaryIndexScanOp {
+    index: String,
+    label: String,
+    lo: Option<u64>,
+    hi: Option<u64>,
+    propagate: bool,
+    reverse: bool,
+    table: Option<TableId>,
+    cursor: Option<instn_index::EntryCursor>,
+}
+
+impl Operator for SummaryIndexScanOp {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        let idx = ctx
+            .summary_indexes
+            .get_mut(&self.index)
+            .ok_or_else(|| QueryError::UnknownIndex(self.index.clone()))?;
+        self.table = Some(idx.table());
+        self.cursor = Some(idx.open_range_cursor(&self.label, self.lo, self.hi, self.reverse));
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<AnnotatedTuple>> {
+        let idx = ctx
+            .summary_indexes
+            .get(&self.index)
+            .ok_or_else(|| QueryError::UnknownIndex(self.index.clone()))?;
+        let cur = self.cursor.as_mut().expect("open() before next()");
+        let Some(e) = idx.cursor_next(cur) else {
+            return Ok(None);
+        };
+        let values = idx.fetch_data_tuple(ctx.db, &e)?;
+        let summaries = if self.propagate {
+            idx.fetch_summaries(ctx.db, &e)?
+        } else {
+            Vec::new()
+        };
+        Ok(Some(AnnotatedTuple {
+            source: Some((self.table.expect("set in open"), e.oid)),
+            values,
+            summaries,
+        }))
+    }
+
+    fn close(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.cursor = None;
+        Ok(())
+    }
+
+    fn children(&self) -> Vec<&OpNode> {
+        Vec::new()
+    }
+}
+
+/// Baseline-scheme index scan: the matching OID list is materialized at open
+/// (the baseline index keeps it in memory anyway); the expensive part — the
+/// per-OID probe + heap read indirection — happens lazily per pull.
+struct BaselineIndexScanOp {
+    index: String,
+    label: String,
+    lo: Option<u64>,
+    hi: Option<u64>,
+    propagate: bool,
+    from_normalized: bool,
+    table: Option<TableId>,
+    oids: Vec<instn_storage::Oid>,
+    pos: usize,
+}
+
+impl Operator for BaselineIndexScanOp {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        let idx = ctx
+            .baseline_indexes
+            .get(&self.index)
+            .ok_or_else(|| QueryError::UnknownIndex(self.index.clone()))?;
+        // The baseline index only knows OIDs; the owning table is resolved
+        // through the instance the index was built on.
+        self.oids = idx.search_range(&self.label, self.lo, self.hi);
+        self.pos = 0;
+        self.table = if self.oids.is_empty() {
+            None
+        } else {
+            Some(ctx.table_of_baseline(&self.index)?)
+        };
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<AnnotatedTuple>> {
+        let Some(&oid) = self.oids.get(self.pos) else {
+            return Ok(None);
+        };
+        self.pos += 1;
+        let table = self.table.expect("resolved in open");
+        // Extra indirection: OID-index probe + heap read.
+        let values = ctx.db.table(table)?.get(oid)?;
+        let summaries = if self.propagate {
+            if self.from_normalized {
+                // Re-assemble the classifier object from normalized rows
+                // (the paper's Fig. 12 measures exactly this).
+                let idx = ctx
+                    .baseline_indexes
+                    .get(&self.index)
+                    .ok_or_else(|| QueryError::UnknownIndex(self.index.clone()))?;
+                idx.rebuild_object(ctx.db, oid)?
+                    .map(|o| vec![o])
+                    .unwrap_or_default()
+            } else {
+                ctx.db.summaries_of(table, oid)?
+            }
+        } else {
+            Vec::new()
+        };
+        Ok(Some(AnnotatedTuple {
+            source: Some((table, oid)),
+            values,
+            summaries,
+        }))
+    }
+
+    fn close(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.oids = Vec::new();
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn children(&self) -> Vec<&OpNode> {
+        Vec::new()
+    }
+}
+
+/// Tuple filter σ / summary selection `S` — fully pipelined.
+struct FilterOp {
+    child: OpNode,
+    pred: Expr,
+}
+
+impl Operator for FilterOp {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.child.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<AnnotatedTuple>> {
+        loop {
+            let Some(t) = self.child.next(ctx)? else {
+                return Ok(None);
+            };
+            if self.pred.eval_bool(&t)? {
+                return Ok(Some(t));
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.child.close(ctx)
+    }
+
+    fn children(&self) -> Vec<&OpNode> {
+        vec![&self.child]
+    }
+}
+
+/// Summary object filter `F` — fully pipelined.
+struct SummaryObjectFilterOp {
+    child: OpNode,
+    pred: ObjectPred,
+}
+
+impl Operator for SummaryObjectFilterOp {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.child.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<AnnotatedTuple>> {
+        let t = self.child.next(ctx)?;
+        Ok(t.map(|mut t| {
+            t.summaries.retain(|o| self.pred.matches(o));
+            t
+        }))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.child.close(ctx)
+    }
+
+    fn children(&self) -> Vec<&OpNode> {
+        vec![&self.child]
+    }
+}
+
+/// Projection with annotation-effect elimination — fully pipelined.
+struct ProjectOp {
+    child: OpNode,
+    cols: Vec<usize>,
+    eliminate: bool,
+}
+
+impl Operator for ProjectOp {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.child.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<AnnotatedTuple>> {
+        let Some(mut t) = self.child.next(ctx)? else {
+            return Ok(None);
+        };
+        if self.eliminate {
+            if let Some((table, oid)) = t.source {
+                let (_kept, removed) = ctx
+                    .db
+                    .annotation_store(table)
+                    .partition_by_projection(oid, &self.cols);
+                if !removed.is_empty() {
+                    let resolver = ctx.db.text_resolver();
+                    project_eliminate(&mut t.summaries, &removed, &resolver);
                 }
             }
         }
-        Ok(out)
+        t.values = self
+            .cols
+            .iter()
+            .map(|&i| t.values.get(i).cloned().unwrap_or(Value::Null))
+            .collect();
+        Ok(Some(t))
     }
 
-    fn index_join(
-        &mut self,
-        left: &PhysicalPlan,
-        right_table: TableId,
-        left_col: usize,
-        right_col: usize,
-        residual: Option<&JoinPredicate>,
-        with_summaries: bool,
-    ) -> Result<Vec<AnnotatedTuple>> {
-        if !self.has_column_index(right_table, right_col) {
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.child.close(ctx)
+    }
+
+    fn children(&self) -> Vec<&OpNode> {
+        vec![&self.child]
+    }
+}
+
+/// Block nested-loop join. The outer side is pulled in blocks of
+/// [`NL_BLOCK_SIZE`]; the inner build side is a pipeline breaker,
+/// materialized once per block. When the first materialization fits the
+/// sort budget the inner is cached and later blocks skip the re-scan.
+struct NestedLoopJoinOp {
+    left: OpNode,
+    right: OpNode,
+    pred: JoinPredicate,
+    block: Vec<AnnotatedTuple>,
+    inner: Vec<AnnotatedTuple>,
+    inner_cached: bool,
+    li: usize,
+    ri: usize,
+    outer_done: bool,
+}
+
+impl Operator for NestedLoopJoinOp {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.block.clear();
+        self.inner.clear();
+        self.inner_cached = false;
+        self.li = 0;
+        self.ri = 0;
+        self.outer_done = false;
+        self.left.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<AnnotatedTuple>> {
+        loop {
+            // Emit pending matches of the current block × inner.
+            while self.li < self.block.len() {
+                let l = &self.block[self.li];
+                while self.ri < self.inner.len() {
+                    let r = &self.inner[self.ri];
+                    self.ri += 1;
+                    if self.pred.matches(l, r) {
+                        return Ok(Some(merge_pair(ctx.db, l, r)));
+                    }
+                }
+                self.li += 1;
+                self.ri = 0;
+            }
+            if self.outer_done {
+                return Ok(None);
+            }
+            // Pull the next outer block.
+            self.block.clear();
+            self.li = 0;
+            self.ri = 0;
+            while self.block.len() < NL_BLOCK_SIZE.max(1) {
+                match self.left.next(ctx)? {
+                    Some(t) => self.block.push(t),
+                    None => {
+                        self.outer_done = true;
+                        break;
+                    }
+                }
+            }
+            if self.block.is_empty() {
+                return Ok(None);
+            }
+            // Block NL: the inner is re-executed (re-read) once per block —
+            // unless an earlier materialization fit in memory and was kept.
+            if !self.inner_cached {
+                self.right.open(ctx)?;
+                self.inner.clear();
+                while let Some(t) = self.right.next(ctx)? {
+                    self.inner.push(t);
+                }
+                self.right.close(ctx)?;
+                self.inner_cached = self.inner.len() <= ctx.sort_mem;
+            }
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.block = Vec::new();
+        self.inner = Vec::new();
+        self.inner_cached = false;
+        self.left.close(ctx)?;
+        self.right.close(ctx)
+    }
+
+    fn children(&self) -> Vec<&OpNode> {
+        vec![&self.left, &self.right]
+    }
+}
+
+/// Index join: streams the outer, probing a column index on the inner table
+/// per outer tuple.
+struct IndexJoinOp {
+    left: OpNode,
+    right_table: TableId,
+    left_col: usize,
+    right_col: usize,
+    residual: Option<JoinPredicate>,
+    with_summaries: bool,
+    current: Option<(AnnotatedTuple, Vec<instn_storage::Oid>, usize)>,
+}
+
+impl Operator for IndexJoinOp {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        if !ctx.has_column_index(self.right_table, self.right_col) {
             return Err(QueryError::BadPlan(format!(
-                "index join requires a column index on table {right_table:?} col {right_col}"
+                "index join requires a column index on table {:?} col {}",
+                self.right_table, self.right_col
             )));
         }
-        let outer = self.execute(left)?;
-        let mut out = Vec::new();
-        for l in &outer {
-            let Some(key) = l.values.get(left_col) else {
-                continue;
-            };
-            let oids = self.column_indexes[&(right_table, right_col)].lookup(key);
-            for oid in oids {
-                let r = if with_summaries {
-                    self.db.annotated_tuple(right_table, oid)?
-                } else {
-                    let values = self.db.table(right_table)?.get(oid)?;
-                    AnnotatedTuple::bare(right_table, oid, values)
-                };
-                if let Some(p) = residual {
-                    if !p.matches(l, &r) {
-                        continue;
-                    }
-                }
-                out.push(self.merge_pair(l, &r));
-            }
-        }
-        Ok(out)
+        self.current = None;
+        self.left.open(ctx)
     }
 
-    fn summary_index_join(
-        &mut self,
-        left: &PhysicalPlan,
-        left_key: &crate::expr::SummaryExpr,
-        index: &str,
-        label: &str,
-        residual: Option<&JoinPredicate>,
-        with_summaries: bool,
-    ) -> Result<Vec<AnnotatedTuple>> {
-        let outer = self.execute(left)?;
-        let mut out = Vec::new();
-        for l in &outer {
-            let Some(count) = left_key.eval(l).as_int() else {
-                continue;
-            };
-            if count < 0 {
-                continue;
-            }
-            let idx = self
-                .summary_indexes
-                .get_mut(index)
-                .ok_or_else(|| QueryError::UnknownIndex(index.to_string()))?;
-            let right_table = idx.table();
-            let entries = idx.search_eq(label, count as u64);
-            for e in entries {
-                let values = {
-                    let idx = self.summary_indexes.get(index).expect("checked above");
-                    idx.fetch_data_tuple(self.db, &e)?
-                };
-                let summaries = if with_summaries {
-                    let idx = self.summary_indexes.get(index).expect("checked above");
-                    idx.fetch_summaries(self.db, &e)?
-                } else {
-                    Vec::new()
-                };
-                let r = AnnotatedTuple {
-                    source: Some((right_table, e.oid)),
-                    values,
-                    summaries,
-                };
-                if let Some(p) = residual {
-                    if !p.matches(l, &r) {
-                        continue;
-                    }
-                }
-                out.push(self.merge_pair(l, &r));
-            }
-        }
-        Ok(out)
-    }
-
-    /// External merge sort: spill sorted runs to a heap file, then k-way
-    /// merge reading them back (every spilled tuple is written and re-read,
-    /// charging I/O — the "Disk" sort of Figure 14).
-    fn external_sort(
-        &mut self,
-        rows: Vec<AnnotatedTuple>,
-        key: &SortKey,
-        desc: bool,
-    ) -> Result<Vec<AnnotatedTuple>> {
-        let stats: Arc<IoStats> = Arc::clone(self.db.stats());
-        let mut spill = HeapFile::new(stats);
-        let run_size = self.sort_mem.max(2);
-        let mut runs: Vec<Vec<instn_storage::page::RecordId>> = Vec::new();
-        let mut total = 0usize;
-        for chunk in rows.chunks(run_size) {
-            let sorted = mem_sort(chunk.to_vec(), key, desc);
-            let mut run = Vec::with_capacity(sorted.len());
-            for t in &sorted {
-                run.push(spill.insert(&encode_annotated(t))?);
-            }
-            total += run.len();
-            runs.push(run);
-        }
-        // K-way merge over run heads.
-        let mut heads: Vec<usize> = vec![0; runs.len()];
-        let mut out = Vec::with_capacity(total);
-        let mut head_vals: Vec<Option<(Value, AnnotatedTuple)>> = Vec::with_capacity(runs.len());
-        for (ri, run) in runs.iter().enumerate() {
-            head_vals.push(read_head(&spill, run, heads[ri], key)?);
-        }
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<AnnotatedTuple>> {
         loop {
-            let mut best: Option<usize> = None;
-            for (ri, hv) in head_vals.iter().enumerate() {
-                let Some((v, _)) = hv else { continue };
-                let better = match &best {
-                    None => true,
-                    Some(b) => {
-                        let (bv, _) = head_vals[*b].as_ref().unwrap();
-                        let ord = v.cmp_sql(bv);
-                        if desc {
-                            ord == std::cmp::Ordering::Greater
-                        } else {
-                            ord == std::cmp::Ordering::Less
+            if self.current.is_some() {
+                let (l, oids, pos) = self.current.as_mut().expect("checked above");
+                while *pos < oids.len() {
+                    let oid = oids[*pos];
+                    *pos += 1;
+                    let r = if self.with_summaries {
+                        ctx.db.annotated_tuple(self.right_table, oid)?
+                    } else {
+                        let values = ctx.db.table(self.right_table)?.get(oid)?;
+                        AnnotatedTuple::bare(self.right_table, oid, values)
+                    };
+                    if let Some(p) = &self.residual {
+                        if !p.matches(l, &r) {
+                            continue;
                         }
                     }
-                };
-                if better {
-                    best = Some(ri);
+                    return Ok(Some(merge_pair(ctx.db, l, &r)));
                 }
+                self.current = None;
             }
-            let Some(ri) = best else { break };
-            let (_, t) = head_vals[ri].take().unwrap();
-            out.push(t);
-            heads[ri] += 1;
-            head_vals[ri] = read_head(&spill, &runs[ri], heads[ri], key)?;
+            match self.left.next(ctx)? {
+                Some(l) => {
+                    let Some(key) = l.values.get(self.left_col) else {
+                        continue;
+                    };
+                    let oids = ctx.column_indexes[&(self.right_table, self.right_col)].lookup(key);
+                    self.current = Some((l, oids, 0));
+                }
+                None => return Ok(None),
+            }
         }
-        Ok(out)
     }
 
-    /// Duplicate elimination with summary merging: equal data values
-    /// collapse; their summary sets merge with common-annotation dedup.
-    fn distinct(&mut self, input: &PhysicalPlan) -> Result<Vec<AnnotatedTuple>> {
-        let rows = self.execute(input)?;
-        let resolver = self.db.text_resolver();
-        let mut order: Vec<String> = Vec::new();
-        let mut seen: HashMap<String, AnnotatedTuple> = HashMap::new();
-        for t in rows {
-            let key: String = t.values.iter().map(|v| format!("{v}\u{1}")).collect();
-            match seen.get_mut(&key) {
-                None => {
-                    order.push(key.clone());
-                    seen.insert(key, t);
-                }
-                Some(acc) => {
-                    let common: std::collections::HashSet<instn_annot::AnnotId> =
-                        match (acc.source, t.source) {
-                            (Some((ta, oa)), Some((tb, ob))) => self
-                                .db
-                                .common_annotations(ta, oa, tb, ob)
-                                .into_iter()
-                                .collect(),
-                            _ => Default::default(),
-                        };
-                    acc.summaries =
-                        merge_summary_sets(&acc.summaries, &t.summaries, &common, &resolver);
-                    acc.source = None;
-                }
-            }
-        }
-        Ok(order
-            .into_iter()
-            .map(|k| seen.remove(&k).expect("inserted above"))
-            .collect())
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.current = None;
+        self.left.close(ctx)
     }
 
-    fn group_by(&mut self, input: &PhysicalPlan, cols: &[usize]) -> Result<Vec<AnnotatedTuple>> {
-        let rows = self.execute(input)?;
-        // Group keys must hash; render values to a canonical string key while
-        // keeping the first occurrence's values for output.
-        let mut order: Vec<String> = Vec::new();
-        let mut groups: HashMap<String, (Vec<Value>, u64, AnnotatedTuple)> = HashMap::new();
-        let resolver = self.db.text_resolver();
-        for t in rows {
-            let key_vals: Vec<Value> = cols
-                .iter()
-                .map(|&i| t.values.get(i).cloned().unwrap_or(Value::Null))
-                .collect();
-            let key: String = key_vals.iter().map(|v| format!("{v}\u{1}")).collect();
-            match groups.get_mut(&key) {
-                None => {
-                    order.push(key.clone());
-                    groups.insert(key, (key_vals, 1, t));
+    fn children(&self) -> Vec<&OpNode> {
+        vec![&self.left]
+    }
+}
+
+/// Index-based summary join (§5.2): streams the outer, probing a
+/// Summary-BTree on the inner table per outer tuple.
+struct SummaryIndexJoinOp {
+    left: OpNode,
+    left_key: crate::expr::SummaryExpr,
+    index: String,
+    label: String,
+    residual: Option<JoinPredicate>,
+    with_summaries: bool,
+    right_table: Option<TableId>,
+    current: Option<(AnnotatedTuple, Vec<instn_index::IndexEntry>, usize)>,
+}
+
+impl Operator for SummaryIndexJoinOp {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        let idx = ctx
+            .summary_indexes
+            .get(&self.index)
+            .ok_or_else(|| QueryError::UnknownIndex(self.index.clone()))?;
+        self.right_table = Some(idx.table());
+        self.current = None;
+        self.left.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<AnnotatedTuple>> {
+        loop {
+            if self.current.is_some() {
+                let right_table = self.right_table.expect("set in open");
+                let (l, entries, pos) = self.current.as_mut().expect("checked above");
+                while *pos < entries.len() {
+                    let e = &entries[*pos];
+                    *pos += 1;
+                    let idx = ctx
+                        .summary_indexes
+                        .get(&self.index)
+                        .expect("checked in open");
+                    let values = idx.fetch_data_tuple(ctx.db, e)?;
+                    let summaries = if self.with_summaries {
+                        idx.fetch_summaries(ctx.db, e)?
+                    } else {
+                        Vec::new()
+                    };
+                    let r = AnnotatedTuple {
+                        source: Some((right_table, e.oid)),
+                        values,
+                        summaries,
+                    };
+                    if let Some(p) = &self.residual {
+                        if !p.matches(l, &r) {
+                            continue;
+                        }
+                    }
+                    return Ok(Some(merge_pair(ctx.db, l, &r)));
                 }
-                Some((_, count, acc)) => {
-                    *count += 1;
-                    let common: std::collections::HashSet<instn_annot::AnnotId> =
-                        match (acc.source, t.source) {
-                            (Some((ta, oa)), Some((tb, ob))) => self
-                                .db
-                                .common_annotations(ta, oa, tb, ob)
-                                .into_iter()
-                                .collect(),
-                            _ => Default::default(),
-                        };
-                    acc.summaries =
-                        merge_summary_sets(&acc.summaries, &t.summaries, &common, &resolver);
-                    acc.source = None;
+                self.current = None;
+            }
+            match self.left.next(ctx)? {
+                Some(l) => {
+                    let Some(count) = self.left_key.eval(&l).as_int() else {
+                        continue;
+                    };
+                    if count < 0 {
+                        continue;
+                    }
+                    let idx = ctx
+                        .summary_indexes
+                        .get_mut(&self.index)
+                        .ok_or_else(|| QueryError::UnknownIndex(self.index.clone()))?;
+                    let entries = idx.search_eq(&self.label, count as u64);
+                    self.current = Some((l, entries, 0));
                 }
+                None => return Ok(None),
             }
         }
-        let mut out = Vec::with_capacity(order.len());
-        for key in order {
-            let (mut key_vals, count, acc) = groups.remove(&key).expect("inserted above");
-            key_vals.push(Value::Int(count as i64));
-            out.push(AnnotatedTuple {
-                source: None,
-                values: key_vals,
-                summaries: acc.summaries,
-            });
-        }
-        Ok(out)
     }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.current = None;
+        self.left.close(ctx)
+    }
+
+    fn children(&self) -> Vec<&OpNode> {
+        vec![&self.left]
+    }
+}
+
+/// Sort — a pipeline breaker: the input is drained at open, sorted (spilling
+/// when over budget), and replayed.
+struct SortOp {
+    child: OpNode,
+    key: SortKey,
+    desc: bool,
+    disk: bool,
+    out: Option<std::vec::IntoIter<AnnotatedTuple>>,
+}
+
+impl Operator for SortOp {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.child.open(ctx)?;
+        let mut rows = Vec::new();
+        while let Some(t) = self.child.next(ctx)? {
+            rows.push(t);
+        }
+        let sorted = if self.disk || rows.len() > ctx.sort_mem {
+            external_sort(ctx.db, ctx.sort_mem, rows, &self.key, self.desc)?
+        } else {
+            mem_sort(rows, &self.key, self.desc)
+        };
+        self.out = Some(sorted.into_iter());
+        Ok(())
+    }
+
+    fn next(&mut self, _ctx: &mut ExecContext<'_>) -> Result<Option<AnnotatedTuple>> {
+        Ok(self.out.as_mut().and_then(|it| it.next()))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.out = None;
+        self.child.close(ctx)
+    }
+
+    fn children(&self) -> Vec<&OpNode> {
+        vec![&self.child]
+    }
+}
+
+/// Group-by — a pipeline breaker: drains its input at open, then replays
+/// the groups in first-occurrence order.
+struct GroupByOp {
+    child: OpNode,
+    cols: Vec<usize>,
+    out: Option<std::vec::IntoIter<AnnotatedTuple>>,
+}
+
+impl Operator for GroupByOp {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.child.open(ctx)?;
+        let mut rows = Vec::new();
+        while let Some(t) = self.child.next(ctx)? {
+            rows.push(t);
+        }
+        self.out = Some(group_rows(ctx.db, rows, &self.cols).into_iter());
+        Ok(())
+    }
+
+    fn next(&mut self, _ctx: &mut ExecContext<'_>) -> Result<Option<AnnotatedTuple>> {
+        Ok(self.out.as_mut().and_then(|it| it.next()))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.out = None;
+        self.child.close(ctx)
+    }
+
+    fn children(&self) -> Vec<&OpNode> {
+        vec![&self.child]
+    }
+}
+
+/// DISTINCT — a pipeline breaker: drains its input at open, then replays the
+/// survivors in first-occurrence order.
+struct DistinctOp {
+    child: OpNode,
+    out: Option<std::vec::IntoIter<AnnotatedTuple>>,
+}
+
+impl Operator for DistinctOp {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.child.open(ctx)?;
+        let mut rows = Vec::new();
+        while let Some(t) = self.child.next(ctx)? {
+            rows.push(t);
+        }
+        self.out = Some(distinct_rows(ctx.db, rows).into_iter());
+        Ok(())
+    }
+
+    fn next(&mut self, _ctx: &mut ExecContext<'_>) -> Result<Option<AnnotatedTuple>> {
+        Ok(self.out.as_mut().and_then(|it| it.next()))
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.out = None;
+        self.child.close(ctx)
+    }
+
+    fn children(&self) -> Vec<&OpNode> {
+        vec![&self.child]
+    }
+}
+
+/// LIMIT — stops pulling its child after `n` rows, so lazy upstream scans
+/// never pay for tuples beyond the cap. This is the early-termination point
+/// of the pipeline.
+struct LimitOp {
+    child: OpNode,
+    n: usize,
+    emitted: usize,
+}
+
+impl Operator for LimitOp {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.emitted = 0;
+        self.child.open(ctx)
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<AnnotatedTuple>> {
+        if self.emitted >= self.n {
+            return Ok(None);
+        }
+        match self.child.next(ctx)? {
+            Some(t) => {
+                self.emitted += 1;
+                Ok(Some(t))
+            }
+            None => Ok(None),
+        }
+    }
+
+    fn close(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.child.close(ctx)
+    }
+
+    fn children(&self) -> Vec<&OpNode> {
+        vec![&self.child]
+    }
+}
+
+/// Merge a joined pair: concatenate values; merge the summary sets with
+/// common-annotation de-duplication.
+fn merge_pair(db: &Database, l: &AnnotatedTuple, r: &AnnotatedTuple) -> AnnotatedTuple {
+    let common: std::collections::HashSet<instn_annot::AnnotId> = match (l.source, r.source) {
+        (Some((tl, ol)), Some((tr, or))) => {
+            db.common_annotations(tl, ol, tr, or).into_iter().collect()
+        }
+        _ => Default::default(),
+    };
+    let resolver = db.text_resolver();
+    let mut values = l.values.clone();
+    values.extend(r.values.iter().cloned());
+    AnnotatedTuple {
+        source: None,
+        values,
+        summaries: merge_summary_sets(&l.summaries, &r.summaries, &common, &resolver),
+    }
+}
+
+/// Duplicate elimination with summary merging: equal data values collapse;
+/// their summary sets merge with common-annotation dedup.
+fn distinct_rows(db: &Database, rows: Vec<AnnotatedTuple>) -> Vec<AnnotatedTuple> {
+    let resolver = db.text_resolver();
+    let mut order: Vec<String> = Vec::new();
+    let mut seen: HashMap<String, AnnotatedTuple> = HashMap::new();
+    for t in rows {
+        let key: String = t.values.iter().map(|v| format!("{v}\u{1}")).collect();
+        match seen.get_mut(&key) {
+            None => {
+                order.push(key.clone());
+                seen.insert(key, t);
+            }
+            Some(acc) => {
+                let common: std::collections::HashSet<instn_annot::AnnotId> =
+                    match (acc.source, t.source) {
+                        (Some((ta, oa)), Some((tb, ob))) => {
+                            db.common_annotations(ta, oa, tb, ob).into_iter().collect()
+                        }
+                        _ => Default::default(),
+                    };
+                acc.summaries =
+                    merge_summary_sets(&acc.summaries, &t.summaries, &common, &resolver);
+                acc.source = None;
+            }
+        }
+    }
+    order
+        .into_iter()
+        .map(|k| seen.remove(&k).expect("inserted above"))
+        .collect()
+}
+
+/// Group-by with COUNT(*) and summary merging, in first-occurrence order.
+fn group_rows(db: &Database, rows: Vec<AnnotatedTuple>, cols: &[usize]) -> Vec<AnnotatedTuple> {
+    // Group keys must hash; render values to a canonical string key while
+    // keeping the first occurrence's values for output.
+    let mut order: Vec<String> = Vec::new();
+    let mut groups: HashMap<String, (Vec<Value>, u64, AnnotatedTuple)> = HashMap::new();
+    let resolver = db.text_resolver();
+    for t in rows {
+        let key_vals: Vec<Value> = cols
+            .iter()
+            .map(|&i| t.values.get(i).cloned().unwrap_or(Value::Null))
+            .collect();
+        let key: String = key_vals.iter().map(|v| format!("{v}\u{1}")).collect();
+        match groups.get_mut(&key) {
+            None => {
+                order.push(key.clone());
+                groups.insert(key, (key_vals, 1, t));
+            }
+            Some((_, count, acc)) => {
+                *count += 1;
+                let common: std::collections::HashSet<instn_annot::AnnotId> =
+                    match (acc.source, t.source) {
+                        (Some((ta, oa)), Some((tb, ob))) => {
+                            db.common_annotations(ta, oa, tb, ob).into_iter().collect()
+                        }
+                        _ => Default::default(),
+                    };
+                acc.summaries =
+                    merge_summary_sets(&acc.summaries, &t.summaries, &common, &resolver);
+                acc.source = None;
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(order.len());
+    for key in order {
+        let (mut key_vals, count, acc) = groups.remove(&key).expect("inserted above");
+        key_vals.push(Value::Int(count as i64));
+        out.push(AnnotatedTuple {
+            source: None,
+            values: key_vals,
+            summaries: acc.summaries,
+        });
+    }
+    out
+}
+
+/// External merge sort: spill sorted runs to a heap file, then k-way
+/// merge reading them back (every spilled tuple is written and re-read,
+/// charging I/O — the "Disk" sort of Figure 14).
+fn external_sort(
+    db: &Database,
+    sort_mem: usize,
+    rows: Vec<AnnotatedTuple>,
+    key: &SortKey,
+    desc: bool,
+) -> Result<Vec<AnnotatedTuple>> {
+    let stats: Arc<IoStats> = Arc::clone(db.stats());
+    let mut spill = HeapFile::new(stats);
+    let run_size = sort_mem.max(2);
+    let mut runs: Vec<Vec<instn_storage::page::RecordId>> = Vec::new();
+    let mut total = 0usize;
+    for chunk in rows.chunks(run_size) {
+        let sorted = mem_sort(chunk.to_vec(), key, desc);
+        let mut run = Vec::with_capacity(sorted.len());
+        for t in &sorted {
+            run.push(spill.insert(&encode_annotated(t))?);
+        }
+        total += run.len();
+        runs.push(run);
+    }
+    // K-way merge over run heads.
+    let mut heads: Vec<usize> = vec![0; runs.len()];
+    let mut out = Vec::with_capacity(total);
+    let mut head_vals: Vec<Option<(Value, AnnotatedTuple)>> = Vec::with_capacity(runs.len());
+    for (ri, run) in runs.iter().enumerate() {
+        head_vals.push(read_head(&spill, run, heads[ri], key)?);
+    }
+    loop {
+        let mut best: Option<usize> = None;
+        for (ri, hv) in head_vals.iter().enumerate() {
+            let Some((v, _)) = hv else { continue };
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    let (bv, _) = head_vals[*b].as_ref().unwrap();
+                    let ord = v.cmp_sql(bv);
+                    if desc {
+                        ord == std::cmp::Ordering::Greater
+                    } else {
+                        ord == std::cmp::Ordering::Less
+                    }
+                }
+            };
+            if better {
+                best = Some(ri);
+            }
+        }
+        let Some(ri) = best else { break };
+        let (_, t) = head_vals[ri].take().unwrap();
+        out.push(t);
+        heads[ri] += 1;
+        head_vals[ri] = read_head(&spill, &runs[ri], heads[ri], key)?;
+    }
+    Ok(out)
 }
 
 fn read_head(
@@ -1792,5 +2429,172 @@ mod tests {
             let back = decode_annotated(&encode_annotated(r)).unwrap();
             assert_eq!(&back, r);
         }
+    }
+
+    /// The tentpole regression: LIMIT k over a (backward-pointer) summary
+    /// index scan must read k heap pages, not table-size many — the pull
+    /// pipeline stops the scan as soon as the cap is reached.
+    #[test]
+    fn limit_over_summary_index_scan_reads_proportional_to_k() {
+        let (db, t, _) = setup(30);
+        let idx = SummaryBTree::bulk_build(&db, t, "ClassBird1", PointerMode::Backward).unwrap();
+        let mut ctx = ExecContext::new(&db);
+        ctx.register_summary_index("idx", idx);
+        let limited = |k: usize| PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::SummaryIndexScan {
+                index: "idx".into(),
+                label: "Disease".into(),
+                lo: None,
+                hi: None,
+                propagate: false,
+                reverse: true,
+            }),
+            n: k,
+        };
+        let heap_reads = |plan: &PhysicalPlan, ctx: &mut ExecContext<'_>| {
+            db.stats().reset();
+            let rows = ctx.execute(plan).unwrap();
+            (rows.len(), db.stats().snapshot().heap_reads)
+        };
+        let (n3, io3) = heap_reads(&limited(3), &mut ctx);
+        let (n10, io10) = heap_reads(&limited(10), &mut ctx);
+        let (nall, io_all) = heap_reads(&limited(usize::MAX), &mut ctx);
+        assert_eq!((n3, n10, nall), (3, 10, 30));
+        // Backward pointers: exactly one heap read per produced tuple.
+        assert_eq!(io3, 3, "k=3 reads 3 heap pages");
+        assert_eq!(io10, 10, "k=10 reads 10 heap pages");
+        assert_eq!(io_all, 30, "unlimited scan reads every tuple");
+    }
+
+    /// Once LIMIT has produced its k tuples, further pulls charge no I/O at
+    /// all (the child is never pulled again).
+    #[test]
+    fn stream_stops_charging_io_after_limit_is_reached() {
+        let (db, t, _) = setup(12);
+        let idx = SummaryBTree::bulk_build(&db, t, "ClassBird1", PointerMode::Backward).unwrap();
+        let mut ctx = ExecContext::new(&db);
+        ctx.register_summary_index("idx", idx);
+        let plan = PhysicalPlan::Limit {
+            input: Box::new(PhysicalPlan::SummaryIndexScan {
+                index: "idx".into(),
+                label: "Disease".into(),
+                lo: None,
+                hi: None,
+                propagate: true,
+                reverse: true,
+            }),
+            n: 5,
+        };
+        let mut stream = ctx.open_stream(&plan).unwrap();
+        for _ in 0..5 {
+            assert!(stream.next_tuple().unwrap().is_some());
+        }
+        let at_cap = db.stats().snapshot();
+        assert!(stream.next_tuple().unwrap().is_none());
+        assert!(stream.next_tuple().unwrap().is_none());
+        let after = db.stats().snapshot();
+        assert_eq!(
+            after.since(&at_cap).total(),
+            0,
+            "exhausted LIMIT performs no physical I/O"
+        );
+        assert_eq!(
+            after.since(&at_cap).logical_total(),
+            0,
+            "exhausted LIMIT performs no logical I/O either"
+        );
+        let metrics = stream.close().unwrap();
+        assert_eq!(metrics.rows, 5);
+        assert_eq!(metrics.children[0].rows, 5, "scan produced only k tuples");
+    }
+
+    /// Block NL join: an inner that fits the sort budget is materialized
+    /// once and reused across outer blocks instead of being re-executed.
+    #[test]
+    fn nl_join_caches_small_inner_across_blocks() {
+        // Plain tables (no annotations): the outer spans three NL blocks.
+        let mut db = Database::new();
+        let outer = db
+            .create_table("Outer", Schema::of(&[("k", ColumnType::Int)]))
+            .unwrap();
+        let inner = db
+            .create_table("Inner", Schema::of(&[("k", ColumnType::Int)]))
+            .unwrap();
+        let n_outer = 2 * NL_BLOCK_SIZE + NL_BLOCK_SIZE / 2;
+        for i in 0..n_outer {
+            db.insert_tuple(outer, vec![Value::Int(i as i64 % 7)])
+                .unwrap();
+        }
+        for i in 0..7 {
+            db.insert_tuple(inner, vec![Value::Int(i)]).unwrap();
+        }
+        let plan = PhysicalPlan::NestedLoopJoin {
+            left: Box::new(PhysicalPlan::SeqScan {
+                table: outer,
+                with_summaries: false,
+            }),
+            right: Box::new(PhysicalPlan::SeqScan {
+                table: inner,
+                with_summaries: false,
+            }),
+            pred: JoinPredicate::DataEq {
+                left_col: 0,
+                right_col: 0,
+            },
+        };
+        // A: caching on (inner fits the default budget).
+        let mut ctx = ExecContext::new(&db);
+        db.stats().reset();
+        let (rows_cached, metrics_cached) = ctx.execute_with_metrics(&plan).unwrap();
+        let io_cached = db.stats().snapshot().total();
+        // B: caching off (budget 0 — nothing "fits in memory").
+        let mut ctx = ExecContext::new(&db);
+        ctx.sort_mem = 0;
+        db.stats().reset();
+        let (rows_rescan, metrics_rescan) = ctx.execute_with_metrics(&plan).unwrap();
+        let io_rescan = db.stats().snapshot().total();
+        assert_eq!(rows_cached, rows_rescan, "caching must not change results");
+        assert_eq!(rows_cached.len(), n_outer, "every outer row matches once");
+        assert_eq!(
+            metrics_cached.children[1].opens, 1,
+            "cached inner is executed once"
+        );
+        assert_eq!(
+            metrics_rescan.children[1].opens, 3,
+            "uncached inner re-executes once per outer block"
+        );
+        assert!(
+            io_rescan > io_cached,
+            "re-scanning the inner costs I/O: {io_rescan} <= {io_cached}"
+        );
+    }
+
+    /// execute_with_metrics reports rows emitted per operator, inclusively
+    /// metered I/O, and a renderable tree.
+    #[test]
+    fn metrics_report_rows_per_operator() {
+        let (db, t, _) = setup(6);
+        let mut ctx = ExecContext::new(&db);
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: true,
+            }),
+            pred: Expr::label_cmp("ClassBird1", "Disease", CmpOp::Ge, 4),
+        };
+        let (rows, metrics) = ctx.execute_with_metrics(&plan).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(metrics.label, "Filter(σ/S)");
+        assert_eq!(metrics.rows, 2);
+        assert_eq!(metrics.children.len(), 1);
+        assert_eq!(metrics.children[0].label, "SeqScan(table#0, +summaries)");
+        assert_eq!(metrics.children[0].rows, 6, "scan streamed all tuples");
+        assert!(
+            metrics.logical_io >= metrics.children[0].logical_io,
+            "parent I/O is inclusive of its subtree"
+        );
+        let report = metrics.render();
+        assert!(report.contains("Filter(σ/S) (rows=2"));
+        assert!(report.contains("SeqScan(table#0, +summaries) (rows=6"));
     }
 }

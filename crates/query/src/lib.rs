@@ -30,7 +30,7 @@ pub mod lower;
 pub mod plan;
 
 pub use dataindex::ColumnIndex;
-pub use exec::{ExecContext, PhysicalPlan};
+pub use exec::{ExecContext, OpMetrics, PhysicalPlan, TupleStream};
 pub use expr::{CmpOp, Expr, ObjFunc, ObjRef, ObjectPred, SummaryExpr};
 pub use plan::{JoinPredicate, LogicalPlan, SortKey};
 

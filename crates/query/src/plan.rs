@@ -360,6 +360,14 @@ impl LogicalPlan {
         }
     }
 
+    /// Top-k helper: `ORDER BY key [DESC] LIMIT n` in one call. The
+    /// optimizer recognizes the shape and, when an index provides the
+    /// order, turns it into a bounded index scan (Rules 3–6 + limit
+    /// pushdown) that touches O(n) pages.
+    pub fn top_k(self, key: SortKey, desc: bool, n: usize) -> LogicalPlan {
+        self.sort(key, desc).limit(n)
+    }
+
     /// Names of all base tables referenced.
     pub fn tables(&self) -> Vec<String> {
         let mut out = Vec::new();

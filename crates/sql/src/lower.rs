@@ -74,6 +74,9 @@ pub enum SqlOutcome {
 pub struct ExplainAnalysis {
     /// The executed physical plan, rendered.
     pub plan: String,
+    /// Per-operator runtime metrics (rows emitted, loops, inclusive I/O)
+    /// observed by the streaming executor, rendered as an annotated tree.
+    pub operators: instn_query::OpMetrics,
     /// Rows the query produced.
     pub rows: usize,
     /// Wall-clock execution time.
@@ -85,7 +88,7 @@ pub struct ExplainAnalysis {
 
 impl std::fmt::Display for ExplainAnalysis {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}", self.plan)?;
+        write!(f, "{}", self.operators.render())?;
         writeln!(
             f,
             "rows: {}  time: {:.3} ms",
@@ -144,13 +147,14 @@ pub fn execute_statement(
                 .map_err(|e| SqlError::Bind(e.to_string()))?;
             let before = db.stats().snapshot();
             let start = std::time::Instant::now();
-            let rows = instn_query::exec::ExecContext::new(db)
-                .execute(&physical)
+            let (rows, operators) = instn_query::exec::ExecContext::new(db)
+                .execute_with_metrics(&physical)
                 .map_err(|e| SqlError::Bind(e.to_string()))?;
             let elapsed = start.elapsed();
             let io = db.stats().snapshot().since(&before);
             Ok(SqlOutcome::ExplainAnalyzed(ExplainAnalysis {
                 plan: format!("{physical}"),
+                operators,
                 rows: rows.len(),
                 elapsed,
                 io,
@@ -918,6 +922,28 @@ mod tests {
         assert!(a.io.cache_hits > 0, "{:?}", a.io);
         assert_eq!(a.io.total(), 0, "warm run pays no physical I/O: {:?}", a.io);
         assert!((a.io.hit_ratio() - 1.0).abs() < f64::EPSILON, "{:?}", a.io);
+    }
+
+    #[test]
+    fn explain_analyze_reports_rows_per_operator() {
+        let mut db = setup();
+        let registry: HashMap<String, InstanceKind> = HashMap::new();
+        let sql = "EXPLAIN ANALYZE SELECT * FROM Birds r WHERE \
+                   r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 5";
+        let out = execute_statement(&mut db, &registry, sql).unwrap();
+        let SqlOutcome::ExplainAnalyzed(a) = out else {
+            panic!("{out:?}")
+        };
+        // The metrics tree mirrors the plan: a filter over the base scan,
+        // with per-operator row counts.
+        assert_eq!(a.operators.rows as usize, a.rows);
+        assert!(!a.operators.children.is_empty(), "{:?}", a.operators);
+        let text = format!("{a}");
+        assert!(text.contains("(rows=2"), "{text}");
+        assert!(text.contains("SeqScan"), "{text}");
+        // Root I/O is inclusive: it accounts for the whole execution.
+        assert_eq!(a.operators.logical_io, a.io.logical_total());
+        assert_eq!(a.operators.physical_io, a.io.total());
     }
 
     #[test]

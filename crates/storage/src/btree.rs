@@ -270,15 +270,141 @@ impl<V: Clone + PartialEq> BTree<V> {
         lo: Option<&[u8]>,
         hi: Option<&'a [u8]>,
     ) -> impl Iterator<Item = (Key, V)> + 'a {
+        let mut cur = self.cursor(lo, hi);
+        std::iter::from_fn(move || self.cursor_next(&mut cur))
+    }
+
+    /// Open a resumable ascending cursor over `lo <= key <= hi`. The
+    /// root-to-leaf descent is charged now; each leaf hop is charged as
+    /// [`BTree::cursor_next`] crosses it, so an early-terminating consumer
+    /// only pays for the leaves it actually visits. Positions are node
+    /// indices: the tree must not be mutated while the cursor is live.
+    pub fn cursor(&self, lo: Option<&[u8]>, hi: Option<&[u8]>) -> Cursor {
         let (leaf, pos) = match lo {
             Some(lo) => self.seek(lo),
             None => self.leftmost_leaf(),
         };
-        RangeIter {
-            tree: self,
+        Cursor {
             leaf: Some(leaf),
             pos,
             hi: hi.map(<[u8]>::to_vec),
+        }
+    }
+
+    /// Advance an ascending cursor, returning the next entry in key order.
+    pub fn cursor_next(&self, cur: &mut Cursor) -> Option<(Key, V)> {
+        loop {
+            let leaf = cur.leaf?;
+            let Node::Leaf { entries, next } = &self.nodes[leaf] else {
+                unreachable!()
+            };
+            if cur.pos < entries.len() {
+                let (k, v) = &entries[cur.pos];
+                if let Some(hi) = &cur.hi {
+                    if k > hi {
+                        cur.leaf = None;
+                        return None;
+                    }
+                }
+                cur.pos += 1;
+                return Some((k.clone(), v.clone()));
+            }
+            cur.leaf = *next;
+            cur.pos = 0;
+            if let Some(next_leaf) = cur.leaf {
+                self.pool.read(self.file, next_leaf as u64);
+            }
+        }
+    }
+
+    /// Open a resumable *descending* cursor over `lo <= key <= hi`,
+    /// yielding entries in reverse key order (duplicates come out in
+    /// reverse insertion order). Leaves are singly linked forward, so the
+    /// cursor keeps the root-to-leaf path and re-descends to reach each
+    /// previous leaf — a hop costs a couple of node reads instead of one,
+    /// the honest price of a B+Tree without back pointers. Like the
+    /// ascending cursor, I/O is charged as the cursor advances.
+    pub fn cursor_desc(&self, lo: Option<&[u8]>, hi: Option<&[u8]>) -> CursorDesc {
+        let mut stack = Vec::new();
+        let mut idx = self.root;
+        let (leaf, pos) = loop {
+            match self.read_node(idx) {
+                Node::Internal { keys, children } => {
+                    let ci = match hi {
+                        Some(h) => upper_bound_keys(keys, h),
+                        None => children.len() - 1,
+                    };
+                    stack.push((idx, ci));
+                    idx = children[ci];
+                }
+                Node::Leaf { entries, .. } => {
+                    let pos = match hi {
+                        Some(h) => entries.partition_point(|(k, _)| k.as_slice() <= h),
+                        None => entries.len(),
+                    };
+                    break (idx, pos);
+                }
+            }
+        };
+        CursorDesc {
+            stack,
+            leaf: Some(leaf),
+            pos,
+            lo: lo.map(<[u8]>::to_vec),
+        }
+    }
+
+    /// Advance a descending cursor, returning the next entry in reverse
+    /// key order.
+    pub fn cursor_desc_next(&self, cur: &mut CursorDesc) -> Option<(Key, V)> {
+        loop {
+            let leaf = cur.leaf?;
+            let Node::Leaf { entries, .. } = &self.nodes[leaf] else {
+                unreachable!()
+            };
+            if cur.pos > 0 {
+                let (k, v) = &entries[cur.pos - 1];
+                if let Some(lo) = &cur.lo {
+                    if k < lo {
+                        cur.leaf = None;
+                        return None;
+                    }
+                }
+                cur.pos -= 1;
+                return Some((k.clone(), v.clone()));
+            }
+            // Leaf exhausted: re-descend from the deepest ancestor that
+            // still has children to the left.
+            loop {
+                match cur.stack.pop() {
+                    None => {
+                        cur.leaf = None;
+                        return None;
+                    }
+                    Some((node, ci)) if ci > 0 => {
+                        cur.stack.push((node, ci - 1));
+                        let Node::Internal { children, .. } = self.read_node(node) else {
+                            unreachable!()
+                        };
+                        let mut idx = children[ci - 1];
+                        loop {
+                            match self.read_node(idx) {
+                                Node::Internal { children, .. } => {
+                                    cur.stack.push((idx, children.len() - 1));
+                                    idx = *children.last().expect("internal nodes have children");
+                                }
+                                Node::Leaf { entries, .. } => {
+                                    cur.leaf = Some(idx);
+                                    cur.pos = entries.len();
+                                    break;
+                                }
+                            }
+                        }
+                        break;
+                    }
+                    Some(_) => {}
+                }
+            }
         }
     }
 
@@ -396,40 +522,25 @@ impl<V: Clone + PartialEq> BTree<V> {
     }
 }
 
-struct RangeIter<'a, V> {
-    tree: &'a BTree<V>,
+/// Resumable ascending scan position (see [`BTree::cursor`]). Holds no
+/// borrow of the tree, so a pull-based operator can keep one across calls
+/// that also need mutable access to surrounding state.
+#[derive(Debug, Clone)]
+pub struct Cursor {
     leaf: Option<usize>,
     pos: usize,
     hi: Option<Vec<u8>>,
 }
 
-impl<V: Clone + PartialEq> Iterator for RangeIter<'_, V> {
-    type Item = (Key, V);
-
-    fn next(&mut self) -> Option<Self::Item> {
-        loop {
-            let leaf = self.leaf?;
-            let Node::Leaf { entries, next } = &self.tree.nodes[leaf] else {
-                unreachable!()
-            };
-            if self.pos < entries.len() {
-                let (k, v) = &entries[self.pos];
-                if let Some(hi) = &self.hi {
-                    if k > hi {
-                        self.leaf = None;
-                        return None;
-                    }
-                }
-                self.pos += 1;
-                return Some((k.clone(), v.clone()));
-            }
-            self.leaf = *next;
-            self.pos = 0;
-            if let Some(next_leaf) = self.leaf {
-                self.tree.pool.read(self.tree.file, next_leaf as u64);
-            }
-        }
-    }
+/// Resumable descending scan position (see [`BTree::cursor_desc`]).
+#[derive(Debug, Clone)]
+pub struct CursorDesc {
+    /// Root-to-current path: `(internal node, child index descended into)`.
+    stack: Vec<(usize, usize)>,
+    leaf: Option<usize>,
+    /// `entries[pos - 1]` is the next entry to return; 0 = leaf exhausted.
+    pos: usize,
+    lo: Option<Vec<u8>>,
 }
 
 /// Position of the first separator strictly greater than `key`
@@ -456,6 +567,63 @@ mod tests {
 
     fn tree() -> BTree<u64> {
         BTree::with_order(IoStats::new(), 8)
+    }
+
+    #[test]
+    fn desc_cursor_mirrors_range_with_duplicates() {
+        let mut t = tree();
+        for i in 0..300u64 {
+            // Heavy duplication so reverse order within equal keys matters.
+            t.insert(format!("k{:04}", i % 40).as_bytes(), i);
+        }
+        for (lo, hi) in [
+            (None, None),
+            (Some(b"k0005".as_slice()), Some(b"k0025".as_slice())),
+            (Some(b"k0039".as_slice()), None),
+            (None, Some(b"k0000".as_slice())),
+            (Some(b"k0050".as_slice()), Some(b"k0060".as_slice())), // empty
+        ] {
+            let mut fwd: Vec<(Key, u64)> = t.range(lo, hi).collect();
+            fwd.reverse();
+            let mut cur = t.cursor_desc(lo, hi);
+            let mut bwd = Vec::new();
+            while let Some(e) = t.cursor_desc_next(&mut cur) {
+                bwd.push(e);
+            }
+            assert_eq!(bwd, fwd, "bounds {lo:?}..{hi:?}");
+        }
+    }
+
+    #[test]
+    fn desc_cursor_on_empty_tree_yields_nothing() {
+        let t = tree();
+        let mut cur = t.cursor_desc(None, None);
+        assert!(t.cursor_desc_next(&mut cur).is_none());
+        let mut cur = t.cursor_desc(Some(b"a"), Some(b"z"));
+        assert!(t.cursor_desc_next(&mut cur).is_none());
+    }
+
+    #[test]
+    fn cursor_charges_io_lazily() {
+        let mut t = tree();
+        for i in 0..500u64 {
+            t.insert(format!("{i:06}").as_bytes(), i);
+        }
+        t.stats().reset();
+        let mut cur = t.cursor(None, None);
+        let after_open = t.stats().snapshot().index_reads;
+        // Opening pays only the descent, not the whole leaf chain.
+        assert!(after_open <= t.height() as u64 + 1);
+        for _ in 0..10 {
+            t.cursor_next(&mut cur);
+        }
+        let after_ten = t.stats().snapshot().index_reads;
+        while t.cursor_next(&mut cur).is_some() {}
+        let after_all = t.stats().snapshot().index_reads;
+        assert!(
+            after_ten < after_all,
+            "draining the cursor keeps charging leaf hops ({after_ten} vs {after_all})"
+        );
     }
 
     #[test]

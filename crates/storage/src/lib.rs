@@ -38,7 +38,7 @@ pub mod pager;
 pub mod table;
 pub mod tuple;
 
-pub use btree::BTree;
+pub use btree::{BTree, Cursor, CursorDesc};
 pub use buffer::{Access, BufferPool, Evicted, FileId, FileKind, FrameKey};
 pub use catalog::{Catalog, TableId};
 pub use error::StorageError;
@@ -46,7 +46,7 @@ pub use heap::HeapFile;
 pub use io::{IoScope, IoSnapshot, IoStats};
 pub use page::{PageId, RecordId, PAGE_SIZE};
 pub use pager::Pager;
-pub use table::{Oid, Table};
+pub use table::{Oid, ScanCursor, Table};
 pub use tuple::{ColumnType, Schema, Tuple, Value};
 
 /// Convenient crate-wide result alias.

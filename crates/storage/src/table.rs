@@ -179,7 +179,35 @@ impl Table {
             .filter_map(|(k, _)| Oid::from_key(&k))
             .collect()
     }
+
+    /// Open a resumable scan over the table (same order and I/O charging as
+    /// [`Table::scan`], but without borrowing the table between pulls — the
+    /// shape pull-based executors need). The table must not be mutated
+    /// while the cursor is live.
+    pub fn scan_open(&self) -> ScanCursor {
+        ScanCursor(self.oid_index.cursor(None, None))
+    }
+
+    /// Pull the next `(oid, tuple)` from a resumable scan.
+    pub fn scan_next(&self, cur: &mut ScanCursor) -> Option<(Oid, Tuple)> {
+        loop {
+            let (k, rid) = self.oid_index.cursor_next(&mut cur.0)?;
+            let Some(oid) = Oid::from_key(&k) else {
+                continue;
+            };
+            let Ok(bytes) = self.heap.get(rid) else {
+                continue;
+            };
+            if let Ok(t) = decode_tuple(&bytes) {
+                return Some((oid, t));
+            }
+        }
+    }
 }
+
+/// Resumable position of a [`Table::scan_open`] sequential scan.
+#[derive(Debug, Clone)]
+pub struct ScanCursor(crate::btree::Cursor);
 
 #[cfg(test)]
 mod tests {
