@@ -19,10 +19,11 @@ use std::sync::Arc;
 
 use instn_annot::{AnnotId, Annotation, AnnotationStore, Attachment, Category};
 use instn_storage::io::IoStats;
-use instn_storage::{BufferPool, Catalog, Oid, Schema, Table, TableId, Tuple};
+use instn_storage::{BufferPool, Catalog, Oid, Schema, Table, TableId, Tuple, Wal};
 
 use crate::instance::{InstanceKind, SummaryInstance};
 use crate::maintain::{LabelChange, SummaryDelta};
+use crate::recover::WalOp;
 use crate::storage::SummaryStorage;
 use crate::summary::{InstanceId, ObjId, SummaryObject};
 use crate::{AnnotatedTuple, CoreError, Result};
@@ -44,6 +45,8 @@ pub struct Database {
     pub(crate) next_instance: u32,
     pub(crate) next_obj: u64,
     pub(crate) revision: u64,
+    /// Write-ahead log, if durability was enabled (see [`crate::recover`]).
+    pub(crate) wal: Option<Arc<Wal>>,
 }
 
 impl Default for Database {
@@ -73,6 +76,7 @@ impl Database {
             next_instance: 1,
             next_obj: 1,
             revision: 1,
+            wal: None,
         }
     }
 
@@ -108,7 +112,12 @@ impl Database {
 
     /// Advance the revision counter (used by versioned workloads).
     pub fn bump_revision(&mut self) -> u64 {
+        self.wal_log(|| WalOp::BumpRevision);
         self.revision += 1;
+        // Keep the infallible signature: a failed commit force means a
+        // simulated crash already latched, and the very next fallible
+        // mutation surfaces it; recovery discards this uncommitted bump.
+        let _ = self.wal_finish(Ok(()));
         self.revision
     }
 
@@ -118,6 +127,15 @@ impl Database {
 
     /// Create a user relation.
     pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<TableId> {
+        self.wal_log(|| WalOp::CreateTable {
+            name: name.to_string(),
+            cols: schema.columns().to_vec(),
+        });
+        let res = self.create_table_inner(name, schema);
+        self.wal_finish(res)
+    }
+
+    fn create_table_inner(&mut self, name: &str, schema: Schema) -> Result<TableId> {
         let id = self.catalog.create_table(name, schema)?;
         self.annotations.insert(
             id,
@@ -149,7 +167,12 @@ impl Database {
 
     /// Insert a data tuple.
     pub fn insert_tuple(&mut self, table: TableId, tuple: Tuple) -> Result<Oid> {
-        Ok(self.catalog.table_mut(table)?.insert(tuple)?)
+        self.wal_log(|| WalOp::InsertTuple {
+            table,
+            tuple: tuple.clone(),
+        });
+        let res = (|| Ok(self.catalog.table_mut(table)?.insert(tuple)?))();
+        self.wal_finish(res)
     }
 
     /// Update a data tuple's values in place. Returns `true` when the tuple
@@ -157,6 +180,16 @@ impl Database {
     /// backward-pointer indexes must refresh that tuple's pointers then
     /// (see `SummaryBTree::refresh_tuple` in `instn-index`).
     pub fn update_tuple(&mut self, table: TableId, oid: Oid, tuple: Tuple) -> Result<bool> {
+        self.wal_log(|| WalOp::UpdateTuple {
+            table,
+            oid,
+            tuple: tuple.clone(),
+        });
+        let res = self.update_tuple_inner(table, oid, tuple);
+        self.wal_finish(res)
+    }
+
+    fn update_tuple_inner(&mut self, table: TableId, oid: Oid, tuple: Tuple) -> Result<bool> {
         let t = self.catalog.table_mut(table)?;
         let before = t.disk_tuple_loc(oid)?;
         t.update(oid, tuple)?;
@@ -167,6 +200,12 @@ impl Database {
     /// Delete a data tuple, its summary row, and its annotation postings.
     /// Returns the delta the indexes need to drop all of the tuple's keys.
     pub fn delete_tuple(&mut self, table: TableId, oid: Oid) -> Result<SummaryDelta> {
+        self.wal_log(|| WalOp::DeleteTuple { table, oid });
+        let res = self.delete_tuple_inner(table, oid);
+        self.wal_finish(res)
+    }
+
+    fn delete_tuple_inner(&mut self, table: TableId, oid: Oid) -> Result<SummaryDelta> {
         // Capture final label counts for index cleanup.
         let objects = self.summaries_of(table, oid)?;
         let mut changes = Vec::new();
@@ -234,6 +273,25 @@ impl Database {
     /// classifiers on one table can cover different annotation subsets
     /// (Fig. 1's ClassBird1 vs ClassBird2).
     pub fn link_instance_scoped(
+        &mut self,
+        table: TableId,
+        name: &str,
+        kind: InstanceKind,
+        indexable: bool,
+        scope: Option<crate::instance::InstanceScope>,
+    ) -> Result<(InstanceId, Vec<SummaryDelta>)> {
+        self.wal_log(|| WalOp::LinkInstance {
+            table,
+            name: name.to_string(),
+            kind: kind.clone(),
+            indexable,
+            scope: scope.clone().unwrap_or_default(),
+        });
+        let res = self.link_instance_scoped_inner(table, name, kind, indexable, scope);
+        self.wal_finish(res)
+    }
+
+    fn link_instance_scoped_inner(
         &mut self,
         table: TableId,
         name: &str,
@@ -311,6 +369,15 @@ impl Database {
     /// `Alter Table <table> Drop <InstanceName>`: unlink an instance and
     /// remove its objects from every summary row.
     pub fn drop_instance(&mut self, table: TableId, name: &str) -> Result<()> {
+        self.wal_log(|| WalOp::DropInstance {
+            table,
+            name: name.to_string(),
+        });
+        let res = self.drop_instance_inner(table, name);
+        self.wal_finish(res)
+    }
+
+    fn drop_instance_inner(&mut self, table: TableId, name: &str) -> Result<()> {
         let list = self.instances.get_mut(&table).expect("table exists");
         let Some(pos) = list.iter().position(|i| i.name == name) else {
             return Err(CoreError::InstanceNotFound(name.to_string()));
@@ -359,6 +426,25 @@ impl Database {
         author: &str,
         attachments: Vec<Attachment>,
     ) -> Result<(AnnotId, Vec<SummaryDelta>)> {
+        self.wal_log(|| WalOp::AddAnnotation {
+            table,
+            text: text.to_string(),
+            category,
+            author: author.to_string(),
+            attachments: attachments.clone(),
+        });
+        let res = self.add_annotation_inner(table, text, category, author, attachments);
+        self.wal_finish(res)
+    }
+
+    fn add_annotation_inner(
+        &mut self,
+        table: TableId,
+        text: &str,
+        category: Category,
+        author: &str,
+        attachments: Vec<Attachment>,
+    ) -> Result<(AnnotId, Vec<SummaryDelta>)> {
         let revision = self.revision;
         let mut oids: Vec<Oid> = attachments.iter().map(|a| a.oid).collect();
         oids.sort_unstable();
@@ -382,6 +468,21 @@ impl Database {
     /// of `table` — the cross-relation sharing the merge procedure must
     /// de-duplicate.
     pub fn attach_annotation(
+        &mut self,
+        table: TableId,
+        id: AnnotId,
+        attachments: Vec<Attachment>,
+    ) -> Result<Vec<SummaryDelta>> {
+        self.wal_log(|| WalOp::AttachAnnotation {
+            table,
+            id,
+            attachments: attachments.clone(),
+        });
+        let res = self.attach_annotation_inner(table, id, attachments);
+        self.wal_finish(res)
+    }
+
+    fn attach_annotation_inner(
         &mut self,
         table: TableId,
         id: AnnotId,
@@ -525,6 +626,12 @@ impl Database {
 
     /// Delete a raw annotation everywhere, reversing its summary effects.
     pub fn delete_annotation(&mut self, id: AnnotId) -> Result<Vec<SummaryDelta>> {
+        self.wal_log(|| WalOp::DeleteAnnotation { id });
+        let res = self.delete_annotation_inner(id);
+        self.wal_finish(res)
+    }
+
+    fn delete_annotation_inner(&mut self, id: AnnotId) -> Result<Vec<SummaryDelta>> {
         let tables = self
             .annot_tables
             .remove(&id)

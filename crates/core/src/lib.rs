@@ -28,6 +28,7 @@ pub mod db;
 pub mod instance;
 pub mod maintain;
 pub mod persist;
+pub mod recover;
 pub mod rollup;
 pub mod storage;
 pub mod summary;
@@ -37,6 +38,7 @@ pub use algebra::AnnotatedTuple;
 pub use db::Database;
 pub use instance::{InstanceKind, SummaryInstance};
 pub use maintain::{LabelChange, SummaryDelta};
+pub use recover::RecoveryReport;
 pub use rollup::TableRollup;
 pub use storage::SummaryStorage;
 pub use summary::{

@@ -12,8 +12,13 @@
 //! groups).
 //!
 //! The format is a versioned, length-prefixed binary layout with no external
-//! dependencies; it is a snapshot format, not a WAL — crash recovery between
-//! dumps is out of scope (as it is for the paper's prototype).
+//! dependencies, guarded by a CRC-32 trailer so truncated or bit-flipped
+//! snapshots are rejected as [`CoreError::Corrupt`] instead of being
+//! half-applied. A dump is the *checkpoint* half of the durability story:
+//! crashes between dumps are covered by the physical write-ahead log —
+//! [`Database::checkpoint`](crate::recover) binds a log generation to the
+//! snapshot it extends, and [`Database::recover`](crate::recover) replays
+//! the committed log tail over it.
 
 use std::collections::HashMap;
 
@@ -26,26 +31,29 @@ use crate::db::Database;
 use crate::instance::{InstanceKind, InstanceScope};
 use crate::{CoreError, Result};
 
-const MAGIC: &[u8; 8] = b"INSTNDB1";
+/// Format tag. Bumped to 2 when the id counters (annotation / instance /
+/// object) and the CRC-32 trailer were added — both are required for WAL
+/// replay to assign the same identifiers the original run did.
+const MAGIC: &[u8; 8] = b"INSTNDB2";
 
 // ---------------------------------------------------------------------
 // Primitive writers/readers.
 // ---------------------------------------------------------------------
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
-fn put_str(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
     put_u32(out, s.len() as u32);
     out.extend_from_slice(s.as_bytes());
 }
 
-fn get_arr<const N: usize>(bytes: &[u8], pos: &mut usize) -> Result<[u8; N]> {
+pub(crate) fn get_arr<const N: usize>(bytes: &[u8], pos: &mut usize) -> Result<[u8; N]> {
     let end = *pos + N;
     let s = bytes
         .get(*pos..end)
@@ -54,19 +62,19 @@ fn get_arr<const N: usize>(bytes: &[u8], pos: &mut usize) -> Result<[u8; N]> {
     Ok(s.try_into().expect("length checked"))
 }
 
-fn get_u8(bytes: &[u8], pos: &mut usize) -> Result<u8> {
+pub(crate) fn get_u8(bytes: &[u8], pos: &mut usize) -> Result<u8> {
     Ok(get_arr::<1>(bytes, pos)?[0])
 }
 
-fn get_u32(bytes: &[u8], pos: &mut usize) -> Result<u32> {
+pub(crate) fn get_u32(bytes: &[u8], pos: &mut usize) -> Result<u32> {
     Ok(u32::from_le_bytes(get_arr(bytes, pos)?))
 }
 
-fn get_u64(bytes: &[u8], pos: &mut usize) -> Result<u64> {
+pub(crate) fn get_u64(bytes: &[u8], pos: &mut usize) -> Result<u64> {
     Ok(u64::from_le_bytes(get_arr(bytes, pos)?))
 }
 
-fn get_str(bytes: &[u8], pos: &mut usize) -> Result<String> {
+pub(crate) fn get_str(bytes: &[u8], pos: &mut usize) -> Result<String> {
     let len = get_u32(bytes, pos)? as usize;
     let end = *pos + len;
     let s = bytes
@@ -76,7 +84,7 @@ fn get_str(bytes: &[u8], pos: &mut usize) -> Result<String> {
     String::from_utf8(s.to_vec()).map_err(|e| CoreError::Corrupt(e.to_string()))
 }
 
-fn column_type_tag(t: ColumnType) -> u8 {
+pub(crate) fn column_type_tag(t: ColumnType) -> u8 {
     match t {
         ColumnType::Int => 0,
         ColumnType::Float => 1,
@@ -85,7 +93,7 @@ fn column_type_tag(t: ColumnType) -> u8 {
     }
 }
 
-fn column_type_from(tag: u8) -> Result<ColumnType> {
+pub(crate) fn column_type_from(tag: u8) -> Result<ColumnType> {
     Ok(match tag {
         0 => ColumnType::Int,
         1 => ColumnType::Float,
@@ -95,7 +103,7 @@ fn column_type_from(tag: u8) -> Result<ColumnType> {
     })
 }
 
-fn put_kind(out: &mut Vec<u8>, kind: &InstanceKind) {
+pub(crate) fn put_kind(out: &mut Vec<u8>, kind: &InstanceKind) {
     match kind {
         InstanceKind::Classifier { model } => {
             out.push(0);
@@ -119,7 +127,7 @@ fn put_kind(out: &mut Vec<u8>, kind: &InstanceKind) {
     }
 }
 
-fn get_kind(bytes: &[u8], pos: &mut usize) -> Result<InstanceKind> {
+pub(crate) fn get_kind(bytes: &[u8], pos: &mut usize) -> Result<InstanceKind> {
     Ok(match get_u8(bytes, pos)? {
         0 => {
             let len = get_u32(bytes, pos)? as usize;
@@ -147,7 +155,7 @@ fn get_kind(bytes: &[u8], pos: &mut usize) -> Result<InstanceKind> {
     })
 }
 
-fn put_scope(out: &mut Vec<u8>, scope: &InstanceScope) {
+pub(crate) fn put_scope(out: &mut Vec<u8>, scope: &InstanceScope) {
     match scope {
         InstanceScope::All => out.push(0),
         InstanceScope::ContainsAny(markers) => {
@@ -160,7 +168,7 @@ fn put_scope(out: &mut Vec<u8>, scope: &InstanceScope) {
     }
 }
 
-fn get_scope(bytes: &[u8], pos: &mut usize) -> Result<InstanceScope> {
+pub(crate) fn get_scope(bytes: &[u8], pos: &mut usize) -> Result<InstanceScope> {
     Ok(match get_u8(bytes, pos)? {
         0 => InstanceScope::All,
         1 => {
@@ -181,6 +189,16 @@ impl Database {
         let mut out = Vec::new();
         out.extend_from_slice(MAGIC);
         put_u64(&mut out, self.revision);
+        // Id counters. Inferring them from the max live id on restore is
+        // wrong once deletions create gaps: WAL replay over the snapshot
+        // would then assign different ids than the original run did.
+        put_u64(
+            &mut out,
+            self.annot_counter
+                .load(std::sync::atomic::Ordering::Relaxed),
+        );
+        put_u32(&mut out, self.next_instance);
+        put_u64(&mut out, self.next_obj);
 
         // Tables (dense ids from 0): name, schema, tuples with OIDs.
         let tables = self.catalog.list();
@@ -273,17 +291,41 @@ impl Database {
                 }
             }
         }
+        let crc = instn_storage::crc32(&out);
+        put_u32(&mut out, crc);
         Ok(out)
     }
 
-    /// Rebuild a database from a [`Database::dump`] snapshot.
+    /// Rebuild a database from a [`Database::dump`] snapshot. Any damage —
+    /// truncation, bit flips, or a replay that no longer makes sense — is
+    /// reported as [`CoreError::Corrupt`]; nothing is partially applied.
     pub fn restore(bytes: &[u8]) -> Result<Database> {
+        // Integrity gate: verify the CRC-32 trailer before parsing anything,
+        // so corrupt bytes never reach the decoders below.
+        let Some(body_len) = bytes.len().checked_sub(4) else {
+            return Err(CoreError::Corrupt("dump shorter than its trailer".into()));
+        };
+        let stored = u32::from_le_bytes(bytes[body_len..].try_into().expect("4 bytes"));
+        let body = &bytes[..body_len];
+        if instn_storage::crc32(body) != stored {
+            return Err(CoreError::Corrupt("dump checksum mismatch".into()));
+        }
+        Self::restore_body(body).map_err(|e| match e {
+            CoreError::Corrupt(_) => e,
+            other => CoreError::Corrupt(format!("dump replay failed: {other}")),
+        })
+    }
+
+    fn restore_body(bytes: &[u8]) -> Result<Database> {
         let mut pos = 0usize;
         let magic: [u8; 8] = get_arr(bytes, &mut pos)?;
         if &magic != MAGIC {
             return Err(CoreError::Corrupt("not an insightnotes dump".into()));
         }
         let revision = get_u64(bytes, &mut pos)?;
+        let annot_counter = get_u64(bytes, &mut pos)?;
+        let next_instance = get_u32(bytes, &mut pos)?;
+        let next_obj = get_u64(bytes, &mut pos)?;
         let mut db = Database::new();
 
         // Tables + tuples.
@@ -358,6 +400,12 @@ impl Database {
             db.restore_annotation(id, home, cat, ann_revision, &author, &text, per_table)?;
         }
         db.revision = revision;
+        // Counters last: replay above advanced them from scratch, which can
+        // fall short of the originals whenever deleted ids left gaps.
+        db.annot_counter
+            .fetch_max(annot_counter, std::sync::atomic::Ordering::Relaxed);
+        db.next_instance = db.next_instance.max(next_instance);
+        db.next_obj = db.next_obj.max(next_obj);
         Ok(db)
     }
 }

@@ -1,0 +1,659 @@
+//! Logical write-ahead logging, checkpointing, and crash recovery.
+//!
+//! The durability model mirrors the crash model of the storage layer (see
+//! `instn_storage::wal`): the page arenas are volatile; what survives a
+//! crash is the last **checkpoint snapshot** (a [`Database::dump`] image)
+//! plus the **durable prefix** of the write-ahead log. Each top-level
+//! [`Database`] mutation is one transaction:
+//!
+//! 1. an op record describing the mutation is appended *before* the
+//!    mutation touches any page (write-ahead: the buffer pool forces the
+//!    log up to a dirty frame's `rec_lsn` before evicting it),
+//! 2. the mutation runs,
+//! 3. on success a `Commit` record is appended and the log is forced; on
+//!    failure an `Abort` record is appended so a later commit cannot
+//!    swallow the orphaned op during replay.
+//!
+//! [`Database::checkpoint`] truncates the log: it flushes the pool, takes a
+//! dump, resets the log to a fresh generation, and writes a `Checkpoint`
+//! head record binding the new generation to that exact snapshot (length +
+//! CRC-32). [`Database::recover`] restores the snapshot and replays every
+//! *committed* op group from the log tail, discarding uncommitted ones —
+//! including half-appended groups cut off by a torn final write.
+
+use std::sync::Arc;
+
+use instn_annot::{AnnotId, Attachment, Category, ColumnSet};
+use instn_storage::tuple::{decode_tuple, encode_tuple};
+use instn_storage::{crc32, FaultInjector, Oid, TableId, Tuple, Wal, WalRecordKind};
+
+use crate::instance::{InstanceKind, InstanceScope};
+use crate::persist::{
+    column_type_from, column_type_tag, get_kind, get_scope, get_str, get_u32, get_u64, get_u8,
+    put_kind, put_scope, put_str, put_u32, put_u64,
+};
+use crate::{CoreError, Database, Result};
+
+/// What [`Database::recover`] did with the log tail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RecoveryReport {
+    /// Committed op records replayed over the snapshot.
+    pub ops_replayed: u64,
+    /// Op records discarded because no commit for them was durable.
+    pub ops_discarded: u64,
+    /// Total well-formed records scanned (checkpoint head included).
+    pub wal_records: u64,
+    /// Bytes past the last well-formed record (torn final write).
+    pub torn_tail_bytes: u64,
+}
+
+/// A logical operation as logged to (and replayed from) the WAL.
+///
+/// One variant per top-level [`Database`] mutator; payloads reuse the dump
+/// codec of [`crate::persist`] so both serialization paths stay in lockstep.
+#[derive(Debug, Clone)]
+pub(crate) enum WalOp {
+    CreateTable {
+        name: String,
+        cols: Vec<(String, instn_storage::ColumnType)>,
+    },
+    InsertTuple {
+        table: TableId,
+        tuple: Tuple,
+    },
+    UpdateTuple {
+        table: TableId,
+        oid: Oid,
+        tuple: Tuple,
+    },
+    DeleteTuple {
+        table: TableId,
+        oid: Oid,
+    },
+    LinkInstance {
+        table: TableId,
+        name: String,
+        kind: InstanceKind,
+        indexable: bool,
+        scope: InstanceScope,
+    },
+    DropInstance {
+        table: TableId,
+        name: String,
+    },
+    AddAnnotation {
+        table: TableId,
+        text: String,
+        category: Category,
+        author: String,
+        attachments: Vec<Attachment>,
+    },
+    AttachAnnotation {
+        table: TableId,
+        id: AnnotId,
+        attachments: Vec<Attachment>,
+    },
+    DeleteAnnotation {
+        id: AnnotId,
+    },
+    BumpRevision,
+}
+
+fn put_tuple(out: &mut Vec<u8>, tuple: &Tuple) {
+    let bytes = encode_tuple(tuple);
+    put_u32(out, bytes.len() as u32);
+    out.extend_from_slice(&bytes);
+}
+
+fn get_tuple(bytes: &[u8], pos: &mut usize) -> Result<Tuple> {
+    let len = get_u32(bytes, pos)? as usize;
+    let end = *pos + len;
+    let slice = bytes
+        .get(*pos..end)
+        .ok_or_else(|| CoreError::Corrupt("truncated tuple".into()))?;
+    *pos = end;
+    decode_tuple(slice).map_err(|e| CoreError::Corrupt(format!("bad tuple in log: {e}")))
+}
+
+fn put_category(out: &mut Vec<u8>, category: Category) {
+    out.push(
+        Category::ALL
+            .iter()
+            .position(|c| *c == category)
+            .expect("category in ALL") as u8,
+    );
+}
+
+fn get_category(bytes: &[u8], pos: &mut usize) -> Result<Category> {
+    let tag = get_u8(bytes, pos)? as usize;
+    Category::ALL
+        .get(tag)
+        .copied()
+        .ok_or_else(|| CoreError::Corrupt(format!("bad category {tag}")))
+}
+
+fn put_attachments(out: &mut Vec<u8>, atts: &[Attachment]) {
+    put_u32(out, atts.len() as u32);
+    for att in atts {
+        put_u64(out, att.oid.0);
+        match att.columns {
+            ColumnSet::Row => out.push(0),
+            ColumnSet::Cells(mask) => {
+                out.push(1);
+                put_u64(out, mask);
+            }
+        }
+    }
+}
+
+fn get_attachments(bytes: &[u8], pos: &mut usize) -> Result<Vec<Attachment>> {
+    let n = get_u32(bytes, pos)? as usize;
+    let mut atts = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        let oid = Oid(get_u64(bytes, pos)?);
+        let columns = match get_u8(bytes, pos)? {
+            0 => ColumnSet::Row,
+            1 => ColumnSet::Cells(get_u64(bytes, pos)?),
+            t => return Err(CoreError::Corrupt(format!("bad column set {t}"))),
+        };
+        atts.push(Attachment { oid, columns });
+    }
+    Ok(atts)
+}
+
+impl WalOp {
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalOp::CreateTable { name, cols } => {
+                out.push(1);
+                put_str(&mut out, name);
+                put_u32(&mut out, cols.len() as u32);
+                for (col, ty) in cols {
+                    put_str(&mut out, col);
+                    out.push(column_type_tag(*ty));
+                }
+            }
+            WalOp::InsertTuple { table, tuple } => {
+                out.push(2);
+                put_u32(&mut out, table.0);
+                put_tuple(&mut out, tuple);
+            }
+            WalOp::UpdateTuple { table, oid, tuple } => {
+                out.push(3);
+                put_u32(&mut out, table.0);
+                put_u64(&mut out, oid.0);
+                put_tuple(&mut out, tuple);
+            }
+            WalOp::DeleteTuple { table, oid } => {
+                out.push(4);
+                put_u32(&mut out, table.0);
+                put_u64(&mut out, oid.0);
+            }
+            WalOp::LinkInstance {
+                table,
+                name,
+                kind,
+                indexable,
+                scope,
+            } => {
+                out.push(5);
+                put_u32(&mut out, table.0);
+                put_str(&mut out, name);
+                put_kind(&mut out, kind);
+                out.push(*indexable as u8);
+                put_scope(&mut out, scope);
+            }
+            WalOp::DropInstance { table, name } => {
+                out.push(6);
+                put_u32(&mut out, table.0);
+                put_str(&mut out, name);
+            }
+            WalOp::AddAnnotation {
+                table,
+                text,
+                category,
+                author,
+                attachments,
+            } => {
+                out.push(7);
+                put_u32(&mut out, table.0);
+                put_str(&mut out, text);
+                put_category(&mut out, *category);
+                put_str(&mut out, author);
+                put_attachments(&mut out, attachments);
+            }
+            WalOp::AttachAnnotation {
+                table,
+                id,
+                attachments,
+            } => {
+                out.push(8);
+                put_u32(&mut out, table.0);
+                put_u64(&mut out, id.0);
+                put_attachments(&mut out, attachments);
+            }
+            WalOp::DeleteAnnotation { id } => {
+                out.push(9);
+                put_u64(&mut out, id.0);
+            }
+            WalOp::BumpRevision => out.push(10),
+        }
+        out
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Result<WalOp> {
+        let mut pos = 0usize;
+        let op = match get_u8(bytes, &mut pos)? {
+            1 => {
+                let name = get_str(bytes, &mut pos)?;
+                let n = get_u32(bytes, &mut pos)? as usize;
+                let mut cols = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    let col = get_str(bytes, &mut pos)?;
+                    let ty = column_type_from(get_u8(bytes, &mut pos)?)?;
+                    cols.push((col, ty));
+                }
+                WalOp::CreateTable { name, cols }
+            }
+            2 => WalOp::InsertTuple {
+                table: TableId(get_u32(bytes, &mut pos)?),
+                tuple: get_tuple(bytes, &mut pos)?,
+            },
+            3 => WalOp::UpdateTuple {
+                table: TableId(get_u32(bytes, &mut pos)?),
+                oid: Oid(get_u64(bytes, &mut pos)?),
+                tuple: get_tuple(bytes, &mut pos)?,
+            },
+            4 => WalOp::DeleteTuple {
+                table: TableId(get_u32(bytes, &mut pos)?),
+                oid: Oid(get_u64(bytes, &mut pos)?),
+            },
+            5 => WalOp::LinkInstance {
+                table: TableId(get_u32(bytes, &mut pos)?),
+                name: get_str(bytes, &mut pos)?,
+                kind: get_kind(bytes, &mut pos)?,
+                indexable: get_u8(bytes, &mut pos)? != 0,
+                scope: get_scope(bytes, &mut pos)?,
+            },
+            6 => WalOp::DropInstance {
+                table: TableId(get_u32(bytes, &mut pos)?),
+                name: get_str(bytes, &mut pos)?,
+            },
+            7 => WalOp::AddAnnotation {
+                table: TableId(get_u32(bytes, &mut pos)?),
+                text: get_str(bytes, &mut pos)?,
+                category: get_category(bytes, &mut pos)?,
+                author: get_str(bytes, &mut pos)?,
+                attachments: get_attachments(bytes, &mut pos)?,
+            },
+            8 => WalOp::AttachAnnotation {
+                table: TableId(get_u32(bytes, &mut pos)?),
+                id: AnnotId(get_u64(bytes, &mut pos)?),
+                attachments: get_attachments(bytes, &mut pos)?,
+            },
+            9 => WalOp::DeleteAnnotation {
+                id: AnnotId(get_u64(bytes, &mut pos)?),
+            },
+            10 => WalOp::BumpRevision,
+            t => return Err(CoreError::Corrupt(format!("bad wal op tag {t}"))),
+        };
+        if pos != bytes.len() {
+            return Err(CoreError::Corrupt("trailing bytes in wal op".into()));
+        }
+        Ok(op)
+    }
+}
+
+impl Database {
+    /// Attach a write-ahead log to this database. Every subsequent top-level
+    /// mutation is logged and committed; the shared buffer pool forces the
+    /// log ahead of page write-back. Returns the log so callers can harvest
+    /// its durable bytes after a (simulated) crash.
+    pub fn enable_wal(&mut self) -> Arc<Wal> {
+        let wal = Wal::new(Arc::clone(&self.stats));
+        self.pool.set_wal(Arc::clone(&wal));
+        self.wal = Some(Arc::clone(&wal));
+        wal
+    }
+
+    /// [`Database::enable_wal`] with a deterministic fault injector shared
+    /// by the log and the buffer pool's page writes.
+    pub fn enable_wal_with_faults(&mut self, fault: Arc<FaultInjector>) -> Arc<Wal> {
+        let wal = Wal::with_faults(Arc::clone(&self.stats), fault);
+        self.pool.set_wal(Arc::clone(&wal));
+        self.wal = Some(Arc::clone(&wal));
+        wal
+    }
+
+    /// The attached write-ahead log, if any.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// Append an op record ahead of applying it. No-op without a WAL; the
+    /// closure keeps payload construction off the WAL-disabled fast path.
+    pub(crate) fn wal_log(&self, op: impl FnOnce() -> WalOp) {
+        if let Some(wal) = &self.wal {
+            wal.append(WalRecordKind::Op, &op().encode());
+        }
+    }
+
+    /// Seal the op logged by [`Database::wal_log`]: commit + force on
+    /// success, abort on failure (so a later commit cannot adopt the
+    /// orphaned op during replay). A failed force surfaces as
+    /// [`CoreError::Storage`] — after a simulated crash the durable state
+    /// must no longer advance.
+    pub(crate) fn wal_finish<T>(&self, res: Result<T>) -> Result<T> {
+        let Some(wal) = &self.wal else {
+            return res;
+        };
+        match res {
+            Ok(v) => {
+                let lsn = wal.append(WalRecordKind::Commit, &[]);
+                wal.force(lsn)?;
+                Ok(v)
+            }
+            Err(e) => {
+                // Volatile unless a later force carries it; either way the
+                // op group is discarded at recovery.
+                wal.append(WalRecordKind::Abort, &[]);
+                Err(e)
+            }
+        }
+    }
+
+    /// Flush all dirty pages, take a logical snapshot, and truncate the log
+    /// to a fresh generation headed by a `Checkpoint` record binding it to
+    /// this exact snapshot. Returns the snapshot bytes; callers pair them
+    /// with [`Wal::durable_bytes`] harvested after a crash and feed both to
+    /// [`Database::recover`].
+    pub fn checkpoint(&mut self) -> Result<Vec<u8>> {
+        self.pool.flush_all();
+        let snapshot = self.dump()?;
+        if let Some(wal) = &self.wal {
+            wal.reset();
+            let mut head = Vec::new();
+            put_u64(&mut head, snapshot.len() as u64);
+            put_u32(&mut head, crc32(&snapshot));
+            let lsn = wal.append(WalRecordKind::Checkpoint, &head);
+            wal.force(lsn)?;
+        }
+        Ok(snapshot)
+    }
+
+    /// Rebuild a database from the last checkpoint snapshot plus the
+    /// durable log bytes of the generation it heads. Replays committed op
+    /// groups in order; uncommitted ops (no durable commit, torn tail) are
+    /// discarded. The recovered database has no WAL attached.
+    pub fn recover(snapshot: &[u8], wal_bytes: &[u8]) -> Result<(Database, RecoveryReport)> {
+        let scan = Wal::scan(wal_bytes);
+        let mut report = RecoveryReport {
+            wal_records: scan.records.len() as u64,
+            torn_tail_bytes: scan.trailing_bytes as u64,
+            ..RecoveryReport::default()
+        };
+        let mut db = Database::restore(snapshot)?;
+        let mut records = scan.records.into_iter();
+        match records.next() {
+            // Crash before the checkpoint head became durable: the snapshot
+            // alone is the recovered state.
+            None => return Ok((db, report)),
+            Some((WalRecordKind::Checkpoint, head)) => {
+                let mut pos = 0usize;
+                let len = get_u64(&head, &mut pos)?;
+                let crc = get_u32(&head, &mut pos)?;
+                if len != snapshot.len() as u64 || crc != crc32(snapshot) {
+                    return Err(CoreError::Corrupt(
+                        "wal checkpoint does not match snapshot".into(),
+                    ));
+                }
+            }
+            Some((kind, _)) => {
+                return Err(CoreError::Corrupt(format!(
+                    "wal starts with {kind:?}, expected checkpoint"
+                )))
+            }
+        }
+        let mut pending: Vec<WalOp> = Vec::new();
+        for (kind, payload) in records {
+            match kind {
+                WalRecordKind::Op => pending.push(WalOp::decode(&payload)?),
+                WalRecordKind::Commit => {
+                    for op in pending.drain(..) {
+                        db.apply_op(op)?;
+                        report.ops_replayed += 1;
+                    }
+                }
+                WalRecordKind::Abort => {
+                    report.ops_discarded += pending.len() as u64;
+                    pending.clear();
+                }
+                WalRecordKind::Checkpoint => {
+                    return Err(CoreError::Corrupt("checkpoint in wal tail".into()))
+                }
+            }
+        }
+        report.ops_discarded += pending.len() as u64;
+        Ok((db, report))
+    }
+
+    /// Re-execute one logged op through the public mutators. The recovered
+    /// database carries no WAL, so replay never re-logs.
+    fn apply_op(&mut self, op: WalOp) -> Result<()> {
+        debug_assert!(self.wal.is_none(), "replay must not re-log");
+        match op {
+            WalOp::CreateTable { name, cols } => {
+                self.create_table(&name, instn_storage::Schema::new(cols))?;
+            }
+            WalOp::InsertTuple { table, tuple } => {
+                self.insert_tuple(table, tuple)?;
+            }
+            WalOp::UpdateTuple { table, oid, tuple } => {
+                self.update_tuple(table, oid, tuple)?;
+            }
+            WalOp::DeleteTuple { table, oid } => {
+                self.delete_tuple(table, oid)?;
+            }
+            WalOp::LinkInstance {
+                table,
+                name,
+                kind,
+                indexable,
+                scope,
+            } => {
+                self.link_instance_scoped(table, &name, kind, indexable, Some(scope))?;
+            }
+            WalOp::DropInstance { table, name } => {
+                self.drop_instance(table, &name)?;
+            }
+            WalOp::AddAnnotation {
+                table,
+                text,
+                category,
+                author,
+                attachments,
+            } => {
+                self.add_annotation(table, &text, category, &author, attachments)?;
+            }
+            WalOp::AttachAnnotation {
+                table,
+                id,
+                attachments,
+            } => {
+                self.attach_annotation(table, id, attachments)?;
+            }
+            WalOp::DeleteAnnotation { id } => {
+                self.delete_annotation(id)?;
+            }
+            WalOp::BumpRevision => {
+                self.bump_revision();
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instn_storage::{ColumnType, Schema, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ("name".to_string(), ColumnType::Text),
+            ("weight".to_string(), ColumnType::Float),
+        ])
+    }
+
+    fn tuple(name: &str, w: f64) -> Tuple {
+        vec![Value::Text(name.to_string()), Value::Float(w)]
+    }
+
+    #[test]
+    fn walop_roundtrip() {
+        let ops = vec![
+            WalOp::CreateTable {
+                name: "birds".into(),
+                cols: vec![
+                    ("name".into(), ColumnType::Text),
+                    ("weight".into(), ColumnType::Float),
+                ],
+            },
+            WalOp::InsertTuple {
+                table: TableId(1),
+                tuple: tuple("sparrow", 24.0),
+            },
+            WalOp::UpdateTuple {
+                table: TableId(1),
+                oid: Oid(3),
+                tuple: tuple("hawk", 900.0),
+            },
+            WalOp::DeleteTuple {
+                table: TableId(1),
+                oid: Oid(3),
+            },
+            WalOp::DropInstance {
+                table: TableId(1),
+                name: "Snip".into(),
+            },
+            WalOp::AddAnnotation {
+                table: TableId(1),
+                text: "molting".into(),
+                category: Category::Anatomy,
+                author: "ann".into(),
+                attachments: vec![Attachment::row(Oid(1)), Attachment::cells(Oid(2), &[0])],
+            },
+            WalOp::AttachAnnotation {
+                table: TableId(2),
+                id: AnnotId(7),
+                attachments: vec![Attachment::row(Oid(9))],
+            },
+            WalOp::DeleteAnnotation { id: AnnotId(7) },
+            WalOp::BumpRevision,
+        ];
+        for op in ops {
+            let bytes = op.encode();
+            let back = WalOp::decode(&bytes).unwrap();
+            assert_eq!(bytes, back.encode(), "unstable codec for {op:?}");
+        }
+    }
+
+    #[test]
+    fn walop_decode_rejects_trailing_bytes() {
+        let mut bytes = WalOp::BumpRevision.encode();
+        bytes.push(0xAB);
+        assert!(matches!(WalOp::decode(&bytes), Err(CoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn checkpoint_then_ops_then_recover_matches_live_db() {
+        let mut db = Database::new();
+        let t = db.create_table("birds", schema()).unwrap();
+        let o1 = db.insert_tuple(t, tuple("sparrow", 24.0)).unwrap();
+        db.enable_wal();
+        let snapshot = db.checkpoint().unwrap();
+
+        let o2 = db.insert_tuple(t, tuple("hawk", 900.0)).unwrap();
+        db.add_annotation(
+            t,
+            "both birds",
+            Category::Comment,
+            "ann",
+            vec![Attachment::row(o1), Attachment::row(o2)],
+        )
+        .unwrap();
+        db.update_tuple(t, o1, tuple("sparrow", 25.5)).unwrap();
+
+        let wal_bytes = db.wal().unwrap().durable_bytes();
+        let (recovered, report) = Database::recover(&snapshot, &wal_bytes).unwrap();
+        assert_eq!(report.ops_replayed, 3);
+        assert_eq!(report.ops_discarded, 0);
+        assert_eq!(report.torn_tail_bytes, 0);
+        assert_eq!(recovered.dump().unwrap(), db.dump().unwrap());
+    }
+
+    #[test]
+    fn uncommitted_tail_is_discarded() {
+        let mut db = Database::new();
+        let t = db.create_table("birds", schema()).unwrap();
+        db.enable_wal();
+        let snapshot = db.checkpoint().unwrap();
+        db.insert_tuple(t, tuple("sparrow", 24.0)).unwrap();
+        // Hand-append an op with no commit: recovery must drop it.
+        db.wal_log(|| WalOp::InsertTuple {
+            table: t,
+            tuple: tuple("ghost", 1.0),
+        });
+        db.wal().unwrap().force_all().unwrap();
+
+        let wal_bytes = db.wal().unwrap().durable_bytes();
+        let (recovered, report) = Database::recover(&snapshot, &wal_bytes).unwrap();
+        assert_eq!(report.ops_replayed, 1);
+        assert_eq!(report.ops_discarded, 1);
+        assert_eq!(recovered.table(t).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn aborted_op_is_not_adopted_by_later_commit() {
+        let mut db = Database::new();
+        let t = db.create_table("birds", schema()).unwrap();
+        db.enable_wal();
+        let snapshot = db.checkpoint().unwrap();
+        // Failing mutator: logs an op, applies nothing, appends Abort.
+        assert!(db.delete_annotation(AnnotId(999)).is_err());
+        db.insert_tuple(t, tuple("sparrow", 24.0)).unwrap();
+
+        let wal_bytes = db.wal().unwrap().durable_bytes();
+        let (recovered, report) = Database::recover(&snapshot, &wal_bytes).unwrap();
+        assert_eq!(report.ops_replayed, 1);
+        assert_eq!(report.ops_discarded, 1);
+        assert_eq!(recovered.table(t).unwrap().len(), 1);
+        assert_eq!(recovered.dump().unwrap(), db.dump().unwrap());
+    }
+
+    #[test]
+    fn recover_rejects_mismatched_snapshot() {
+        let mut db = Database::new();
+        db.create_table("birds", schema()).unwrap();
+        db.enable_wal();
+        let _ = db.checkpoint().unwrap();
+        let wal_bytes = db.wal().unwrap().durable_bytes();
+        let other = Database::new().dump().unwrap();
+        assert!(matches!(
+            Database::recover(&other, &wal_bytes),
+            Err(CoreError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn empty_wal_recovers_snapshot_alone() {
+        let mut db = Database::new();
+        let t = db.create_table("birds", schema()).unwrap();
+        db.insert_tuple(t, tuple("sparrow", 24.0)).unwrap();
+        let snapshot = db.dump().unwrap();
+        let (recovered, report) = Database::recover(&snapshot, &[]).unwrap();
+        assert_eq!(report.ops_replayed, 0);
+        assert_eq!(recovered.dump().unwrap(), snapshot);
+    }
+}

@@ -1,0 +1,105 @@
+//! Property test: [`Database::restore`] over corrupted dumps.
+//!
+//! The dump carries a CRC-32 trailer, so *any* truncation or bit flip must
+//! be rejected up front as [`CoreError::Corrupt`] — never a panic, never a
+//! silently wrong database. This is the contract crash recovery leans on:
+//! a half-written snapshot is detected, not replayed over.
+
+use instn_annot::{Attachment, Category};
+use instn_core::db::Database;
+use instn_core::instance::{InstanceKind, InstanceScope};
+use instn_core::CoreError;
+use instn_mining::nb::NaiveBayes;
+use instn_storage::{ColumnType, Schema, Value};
+use proptest::prelude::*;
+
+fn build_dump() -> Vec<u8> {
+    let mut db = Database::new();
+    let birds = db
+        .create_table(
+            "Birds",
+            Schema::of(&[("name", ColumnType::Text), ("weight", ColumnType::Float)]),
+        )
+        .unwrap();
+    let mut oids = Vec::new();
+    for (i, name) in ["sparrow", "hawk", "owl"].iter().enumerate() {
+        oids.push(
+            db.insert_tuple(
+                birds,
+                vec![Value::Text(name.to_string()), Value::Float(i as f64 * 10.0)],
+            )
+            .unwrap(),
+        );
+    }
+    let mut model = NaiveBayes::new(vec!["Disease".into(), "Behavior".into()]);
+    model.train("disease outbreak infection", "Disease");
+    model.train("eating foraging song", "Behavior");
+    db.link_instance(birds, "C", InstanceKind::Classifier { model }, true)
+        .unwrap();
+    db.link_instance_scoped(
+        birds,
+        "S",
+        InstanceKind::Snippet {
+            min_chars: 8,
+            max_chars: 40,
+        },
+        false,
+        Some(InstanceScope::ContainsAny(vec!["disease".into()])),
+    )
+    .unwrap();
+    let (doomed, _) = db
+        .add_annotation(
+            birds,
+            "eating steadily all week",
+            Category::Behavior,
+            "bob",
+            vec![Attachment::row(oids[1])],
+        )
+        .unwrap();
+    db.add_annotation(
+        birds,
+        "signs of disease outbreak",
+        Category::Disease,
+        "ann",
+        vec![Attachment::row(oids[0]), Attachment::cells(oids[2], &[1])],
+    )
+    .unwrap();
+    // Leave an id gap so the persisted counters matter.
+    db.delete_annotation(doomed).unwrap();
+    db.dump().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn truncated_dump_is_rejected_not_panicking(cut in 0usize..4096) {
+        let dump = build_dump();
+        let cut = cut % dump.len(); // strictly shorter: full length is the intact dump
+        let err = Database::restore(&dump[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(err, CoreError::Corrupt(_)),
+            "truncation at {cut} must surface as Corrupt, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn bit_flipped_dump_is_rejected_not_panicking(pos in 0usize..4096, bit in 0u8..8) {
+        let mut dump = build_dump();
+        let len = dump.len();
+        dump[pos % len] ^= 1 << bit;
+        let err = Database::restore(&dump).unwrap_err();
+        prop_assert!(
+            matches!(err, CoreError::Corrupt(_)),
+            "bit flip at byte {} bit {bit} must surface as Corrupt, got {err:?}",
+            pos % len
+        );
+    }
+}
+
+#[test]
+fn intact_dump_still_restores() {
+    let dump = build_dump();
+    let db = Database::restore(&dump).unwrap();
+    assert_eq!(db.dump().unwrap(), dump);
+}

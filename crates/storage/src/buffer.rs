@@ -35,8 +35,19 @@
 //! evicted — if every frame is pinned the pool temporarily over-allocates
 //! rather than corrupt an in-progress multi-page operation, and shrinks back
 //! on the next admission.
+//!
+//! # Write-ahead ordering
+//!
+//! When a [`crate::wal::Wal`] is attached ([`BufferPool::set_wal`]), every
+//! frame dirtied remembers the log position of the operation that dirtied it
+//! (`rec_lsn`), and every physical page write — dirty eviction,
+//! [`BufferPool::flush_all`], or a capacity-0 immediate write — first forces
+//! the log up to that position. No page effect can reach "disk" before the
+//! log record describing it. Without a WAL attached, behaviour and counters
+//! are bit-identical to the WAL-less pool.
 
 use crate::io::IoStats;
+use crate::wal::{Lsn, Wal};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -89,6 +100,9 @@ struct Frame {
     dirty: bool,
     pins: u32,
     referenced: bool,
+    /// Log position the write-back of this frame must force first (the
+    /// latest operation that dirtied it). `None` when clean or WAL-less.
+    rec_lsn: Option<Lsn>,
 }
 
 #[derive(Debug, Default)]
@@ -97,6 +111,8 @@ struct PoolState {
     map: HashMap<FrameKey, usize>,
     hand: usize,
     kinds: Vec<FileKind>,
+    /// Log forced ahead of every physical page write when attached.
+    wal: Option<Arc<Wal>>,
 }
 
 /// Shared, thread-safe buffer-pool manager. See the module docs for the
@@ -141,8 +157,11 @@ impl BufferPool {
     /// Resizing to 0 flushes and drops every frame, returning the pool to
     /// the disabled, physically-accounted mode.
     pub fn set_capacity(&self, capacity: usize) {
-        self.capacity.store(capacity, Ordering::Relaxed);
+        // Store under the state lock: accesses re-read capacity while
+        // holding the same lock, so none can admit a frame into a pool
+        // that a racing resize has already disabled.
         let mut st = self.state.lock().expect("buffer pool poisoned");
+        self.capacity.store(capacity, Ordering::Relaxed);
         while st.frames.len() > capacity {
             match Self::clock_victim(&mut st) {
                 Some(slot) => {
@@ -160,24 +179,26 @@ impl BufferPool {
         FileId((st.kinds.len() - 1) as u32)
     }
 
+    /// Attach a write-ahead log: from now on every physical page write is
+    /// preceded by a log force up to the dirtying operation's position (and
+    /// reported to the log's fault injector as a crash point).
+    pub fn set_wal(&self, wal: Arc<Wal>) {
+        let mut st = self.state.lock().expect("buffer pool poisoned");
+        st.wal = Some(wal);
+    }
+
     /// Fetch a page for reading.
     pub fn read(&self, file: FileId, page: u64) -> Access {
+        // Capacity is read *under* the state lock (here and in the other
+        // access paths): a racing `set_capacity(0)` holds the same lock, so
+        // no access can admit a frame into a pool it already disabled.
+        let mut st = self.state.lock().expect("buffer pool poisoned");
         let cap = self.capacity.load(Ordering::Relaxed);
+        self.stats_logical_read(&st, file);
         if cap == 0 {
-            match self.file_kind(file) {
-                FileKind::Heap => {
-                    self.stats.logical_heap_read(1);
-                    self.stats.heap_read(1);
-                }
-                FileKind::Index => {
-                    self.stats.logical_index_read(1);
-                    self.stats.index_read(1);
-                }
-            }
+            self.charge_physical_read(&st, file);
             return Access::default();
         }
-        let mut st = self.state.lock().expect("buffer pool poisoned");
-        self.stats_logical_read(&st, file);
         let key = FrameKey { file, page };
         if let Some(&slot) = st.map.get(&key) {
             st.frames[slot].referenced = true;
@@ -200,32 +221,22 @@ impl BufferPool {
     /// the pager's `write` and the B-Tree's `write_node` pay: a logical read
     /// plus a logical write.
     pub fn write(&self, file: FileId, page: u64) -> Access {
-        let cap = self.capacity.load(Ordering::Relaxed);
-        if cap == 0 {
-            match self.file_kind(file) {
-                FileKind::Heap => {
-                    self.stats.logical_heap_read(1);
-                    self.stats.logical_heap_write(1);
-                    self.stats.heap_read(1);
-                    self.stats.heap_write(1);
-                }
-                FileKind::Index => {
-                    self.stats.logical_index_read(1);
-                    self.stats.logical_index_write(1);
-                    self.stats.index_read(1);
-                    self.stats.index_write(1);
-                }
-            }
-            return Access::default();
-        }
         let mut st = self.state.lock().expect("buffer pool poisoned");
+        let cap = self.capacity.load(Ordering::Relaxed);
         self.stats_logical_read(&st, file);
         self.stats_logical_write(&st, file);
+        if cap == 0 {
+            self.charge_physical_read(&st, file);
+            self.charge_physical_write(&st, file, None);
+            return Access::default();
+        }
         let key = FrameKey { file, page };
+        let rec_lsn = st.wal.as_ref().map(|w| w.current_lsn());
         if let Some(&slot) = st.map.get(&key) {
             let frame = &mut st.frames[slot];
             frame.referenced = true;
             frame.dirty = true;
+            frame.rec_lsn = rec_lsn;
             self.stats.cache_hit(1);
             return Access {
                 hit: true,
@@ -247,27 +258,20 @@ impl BufferPool {
     /// write charge at these sites. If the frame was evicted since the fetch
     /// it is honestly re-read.
     pub fn mutate(&self, file: FileId, page: u64) -> Access {
+        let mut st = self.state.lock().expect("buffer pool poisoned");
         let cap = self.capacity.load(Ordering::Relaxed);
+        self.stats_logical_write(&st, file);
         if cap == 0 {
-            match self.file_kind(file) {
-                FileKind::Heap => {
-                    self.stats.logical_heap_write(1);
-                    self.stats.heap_write(1);
-                }
-                FileKind::Index => {
-                    self.stats.logical_index_write(1);
-                    self.stats.index_write(1);
-                }
-            }
+            self.charge_physical_write(&st, file, None);
             return Access::default();
         }
-        let mut st = self.state.lock().expect("buffer pool poisoned");
-        self.stats_logical_write(&st, file);
         let key = FrameKey { file, page };
+        let rec_lsn = st.wal.as_ref().map(|w| w.current_lsn());
         if let Some(&slot) = st.map.get(&key) {
             let frame = &mut st.frames[slot];
             frame.referenced = true;
             frame.dirty = true;
+            frame.rec_lsn = rec_lsn;
             self.stats.cache_hit(1);
             return Access {
                 hit: true,
@@ -288,29 +292,22 @@ impl BufferPool {
     /// nothing on disk to read, so no read is ever charged and the access
     /// counts neither as a hit nor a miss.
     pub fn alloc(&self, file: FileId, page: u64) -> Access {
+        let mut st = self.state.lock().expect("buffer pool poisoned");
         let cap = self.capacity.load(Ordering::Relaxed);
+        self.stats_logical_write(&st, file);
         if cap == 0 {
-            match self.file_kind(file) {
-                FileKind::Heap => {
-                    self.stats.logical_heap_write(1);
-                    self.stats.heap_write(1);
-                }
-                FileKind::Index => {
-                    self.stats.logical_index_write(1);
-                    self.stats.index_write(1);
-                }
-            }
+            self.charge_physical_write(&st, file, None);
             return Access::default();
         }
-        let mut st = self.state.lock().expect("buffer pool poisoned");
-        self.stats_logical_write(&st, file);
         let key = FrameKey { file, page };
+        let rec_lsn = st.wal.as_ref().map(|w| w.current_lsn());
         if let Some(&slot) = st.map.get(&key) {
             // Re-allocation of a resident page id (possible after a clear):
             // just dirty it.
             let frame = &mut st.frames[slot];
             frame.referenced = true;
             frame.dirty = true;
+            frame.rec_lsn = rec_lsn;
             return Access {
                 hit: true,
                 evicted: Vec::new(),
@@ -327,10 +324,10 @@ impl BufferPool {
     /// the frame is not resident — with capacity 0 nothing is ever resident,
     /// so pinning is free there. Pins nest; match each with [`Self::unpin`].
     pub fn pin(&self, file: FileId, page: u64) -> bool {
+        let mut st = self.state.lock().expect("buffer pool poisoned");
         if self.capacity.load(Ordering::Relaxed) == 0 {
             return false;
         }
-        let mut st = self.state.lock().expect("buffer pool poisoned");
         let key = FrameKey { file, page };
         match st.map.get(&key).copied() {
             Some(slot) => {
@@ -352,21 +349,23 @@ impl BufferPool {
         }
     }
 
-    /// Write back every dirty frame (charging one physical write each) and
-    /// clear its dirty bit. Frames stay resident. Returns the keys written.
+    /// Write back every dirty frame (charging one physical write each,
+    /// preceded by a log force up to its `rec_lsn` when a WAL is attached)
+    /// and clear its dirty bit. Frames stay resident. Returns the keys
+    /// written.
     pub fn flush_all(&self) -> Vec<FrameKey> {
         let mut st = self.state.lock().expect("buffer pool poisoned");
-        let mut written = Vec::new();
-        let kinds = st.kinds.clone();
+        let mut dirty = Vec::new();
         for frame in &mut st.frames {
             if frame.dirty {
                 frame.dirty = false;
-                match kinds[frame.key.file.0 as usize] {
-                    FileKind::Heap => self.stats.heap_write(1),
-                    FileKind::Index => self.stats.index_write(1),
-                }
-                written.push(frame.key);
+                dirty.push((frame.key, frame.rec_lsn.take()));
             }
+        }
+        let mut written = Vec::with_capacity(dirty.len());
+        for (key, rec_lsn) in dirty {
+            self.charge_physical_write(&st, key.file, rec_lsn);
+            written.push(key);
         }
         written
     }
@@ -408,12 +407,18 @@ impl BufferPool {
                 None => break, // all pinned: over-allocate rather than fail
             }
         }
+        let rec_lsn = if dirty {
+            st.wal.as_ref().map(|w| w.current_lsn())
+        } else {
+            None
+        };
         let slot = st.frames.len();
         st.frames.push(Frame {
             key,
             dirty,
             pins: 0,
             referenced: true,
+            rec_lsn,
         });
         st.map.insert(key, slot);
         evicted
@@ -460,10 +465,7 @@ impl BufferPool {
             st.hand = 0;
         }
         if frame.dirty {
-            match st.kinds[frame.key.file.0 as usize] {
-                FileKind::Heap => self.stats.heap_write(1),
-                FileKind::Index => self.stats.index_write(1),
-            }
+            self.charge_physical_write(st, frame.key.file, frame.rec_lsn);
         }
         self.stats.cache_eviction(1);
         Evicted {
@@ -497,10 +499,22 @@ impl BufferPool {
         }
     }
 
-    /// Capacity-0 fast paths resolve the file kind with one short lock.
-    fn file_kind(&self, file: FileId) -> FileKind {
-        let st = self.state.lock().expect("buffer pool poisoned");
-        Self::kind_of(&st, file)
+    /// Charge one physical page write, enforcing the WAL ordering invariant
+    /// first: the log is forced up to the frame's `rec_lsn` (or the full
+    /// appended tail for immediate capacity-0 writes), then the write itself
+    /// is reported to the fault injector as a crash point. Force failures
+    /// are swallowed here — a crashed injector latches, and the engine
+    /// surfaces it at the next commit force.
+    fn charge_physical_write(&self, st: &PoolState, file: FileId, rec_lsn: Option<Lsn>) {
+        if let Some(wal) = &st.wal {
+            let upto = rec_lsn.unwrap_or_else(|| wal.current_lsn());
+            let _ = wal.force(upto);
+            let _ = wal.page_write();
+        }
+        match Self::kind_of(st, file) {
+            FileKind::Heap => self.stats.heap_write(1),
+            FileKind::Index => self.stats.index_write(1),
+        }
     }
 }
 
@@ -645,6 +659,101 @@ mod tests {
         assert_eq!(delta.cache_misses, 1);
         assert_eq!(delta.logical_heap_writes, 1);
         assert_eq!(delta.logical_heap_reads, 0);
+    }
+
+    #[test]
+    fn concurrent_resize_to_zero_never_leaves_residents() {
+        // Regression: capacity used to be read before taking the state lock,
+        // so an access racing `set_capacity(0)` could admit a frame into a
+        // pool that was already disabled.
+        use std::sync::atomic::AtomicBool;
+        let (pool, _, heap, index) = pool(8);
+        let stop = Arc::new(AtomicBool::new(false));
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                let pool = Arc::clone(&pool);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut p = w as u64;
+                    while !stop.load(Ordering::Relaxed) {
+                        pool.read(heap, p % 32);
+                        pool.write(heap, (p + 1) % 32);
+                        pool.mutate(index, p % 16);
+                        p = p.wrapping_add(3);
+                    }
+                })
+            })
+            .collect();
+        for round in 0..300 {
+            pool.set_capacity(8);
+            std::thread::yield_now();
+            pool.set_capacity(0);
+            assert_eq!(
+                pool.resident(),
+                0,
+                "round {round}: disabled pool holds frames"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        for w in workers {
+            w.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn dirty_eviction_forces_log_first() {
+        use crate::wal::{Lsn, Wal, WalRecordKind};
+        let stats = IoStats::new();
+        let pool = BufferPool::new(Arc::clone(&stats), 2);
+        let wal = Wal::new(Arc::clone(&stats));
+        pool.set_wal(Arc::clone(&wal));
+        let heap = pool.register_file(FileKind::Heap);
+        let lsn = wal.append(WalRecordKind::Op, b"dirties page 1");
+        pool.write(heap, 1); // dirty, rec_lsn = lsn
+        assert_eq!(wal.flushed_lsn(), Lsn(0), "no write-back yet: log is lazy");
+        pool.read(heap, 2);
+        let access = pool.read(heap, 3); // evicts dirty page 1
+        assert!(access.evicted.iter().any(|e| e.dirty));
+        assert!(
+            wal.flushed_lsn() >= lsn,
+            "dirty write-back must force the log up to rec_lsn first"
+        );
+    }
+
+    #[test]
+    fn flush_all_forces_exactly_up_to_rec_lsn() {
+        use crate::wal::{Wal, WalRecordKind};
+        let stats = IoStats::new();
+        let pool = BufferPool::new(Arc::clone(&stats), 8);
+        let wal = Wal::new(Arc::clone(&stats));
+        pool.set_wal(Arc::clone(&wal));
+        let heap = pool.register_file(FileKind::Heap);
+        let lsn = wal.append(WalRecordKind::Op, b"dirties page 1");
+        pool.write(heap, 1);
+        let later = wal.append(WalRecordKind::Op, b"unrelated later op");
+        pool.flush_all();
+        assert!(wal.flushed_lsn() >= lsn);
+        assert!(
+            wal.flushed_lsn() < later,
+            "flush forces only what write-back ordering requires"
+        );
+    }
+
+    #[test]
+    fn capacity_zero_write_forces_whole_log() {
+        use crate::wal::{Wal, WalRecordKind};
+        let stats = IoStats::new();
+        let pool = BufferPool::new(Arc::clone(&stats), 0);
+        let wal = Wal::new(Arc::clone(&stats));
+        pool.set_wal(Arc::clone(&wal));
+        let heap = pool.register_file(FileKind::Heap);
+        wal.append(WalRecordKind::Op, b"op");
+        pool.write(heap, 1); // immediate physical write
+        assert_eq!(
+            wal.flushed_lsn(),
+            wal.current_lsn(),
+            "an immediate page write forces the full appended tail"
+        );
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub enum StorageError {
     Corrupt(String),
     /// A B-Tree delete did not find the (key, value) pair.
     KeyNotFound,
+    /// The simulated process was killed by the fault injector; every durable
+    /// write from this point on is dropped (see [`crate::wal::FaultInjector`]).
+    Crashed,
 }
 
 impl fmt::Display for StorageError {
@@ -41,6 +44,7 @@ impl fmt::Display for StorageError {
             StorageError::OidNotFound(o) => write!(f, "oid {o} not found"),
             StorageError::Corrupt(m) => write!(f, "corrupt record: {m}"),
             StorageError::KeyNotFound => write!(f, "key/value pair not found in index"),
+            StorageError::Crashed => write!(f, "simulated crash: durable write dropped"),
         }
     }
 }

@@ -6,6 +6,7 @@
 //! stable [`RecordId`]s, which is what makes the Summary-BTree's backward
 //! pointers possible.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::buffer::BufferPool;
@@ -31,6 +32,10 @@ pub struct HeapFile {
     /// A real system keeps this in a free space map; consulting it is free.
     insert_hint: Option<PageId>,
     record_count: usize,
+    /// Oversized records whose chunk assembly failed during a scan. Scans
+    /// skip such records rather than yield garbage; this counter is how
+    /// callers (and the recovery sweep) observe that corruption was seen.
+    corrupt_skipped: AtomicU64,
 }
 
 impl HeapFile {
@@ -46,7 +51,14 @@ impl HeapFile {
             pager: Pager::with_pool(pool),
             insert_hint: None,
             record_count: 0,
+            corrupt_skipped: AtomicU64::new(0),
         }
+    }
+
+    /// Number of corrupt oversized records scans have skipped (see
+    /// [`HeapFile::scan`]). Non-zero means the file needs repair.
+    pub fn corrupt_skipped(&self) -> u64 {
+        self.corrupt_skipped.load(Ordering::Relaxed)
     }
 
     /// The shared I/O counters.
@@ -234,17 +246,25 @@ impl HeapFile {
     }
 
     /// Delete the record at `rid` (and its chunks, if oversized).
+    ///
+    /// The directory entry goes first: once it is gone the record is dead —
+    /// `record_count` and scans agree — and a failure while reclaiming
+    /// chunks strands only invisible orphan space, never live accounting.
+    /// (The old chunks-first order could lose every chunk and still leave
+    /// the directory claiming a record that no longer exists.)
     pub fn delete(&mut self, rid: RecordId) -> Result<()> {
         let framed = self.read_framed(rid)?;
-        if framed.first() == Some(&TAG_DIRECTORY) {
-            let (_, chunks) = Self::directory_chunks(&framed)?;
-            for c in chunks {
-                self.delete_framed(c)?;
-            }
-        }
+        let chunks = if framed.first() == Some(&TAG_DIRECTORY) {
+            Self::directory_chunks(&framed)?.1
+        } else {
+            Vec::new()
+        };
         self.delete_framed(rid)?;
         self.record_count -= 1;
         self.insert_hint = Some(rid.page);
+        for c in chunks {
+            self.delete_framed(c)?;
+        }
         Ok(())
     }
 
@@ -270,7 +290,10 @@ impl HeapFile {
 
     /// Full scan over `(RecordId, payload)`, charging one read per page.
     /// Oversized records are returned once (at their directory location),
-    /// with their chunks re-read and assembled.
+    /// with their chunks re-read and assembled. A directory whose chunks
+    /// fail to assemble (truncated, deleted, or mis-tagged) is *skipped*
+    /// and counted in [`HeapFile::corrupt_skipped`] — never silently
+    /// yielded as an empty or partial payload.
     pub fn scan(&self) -> impl Iterator<Item = (RecordId, Vec<u8>)> + '_ {
         self.pager.page_ids().flat_map(move |pid| {
             let page = self.pager.read(pid).expect("page ids are dense");
@@ -286,10 +309,18 @@ impl HeapFile {
                     }
                 })
                 .collect();
-            entries.into_iter().map(move |(rid, data)| match data {
-                Some(d) => (rid, d),
-                None => (rid, self.get(rid).unwrap_or_default()),
-            })
+            entries
+                .into_iter()
+                .filter_map(move |(rid, data)| match data {
+                    Some(d) => Some((rid, d)),
+                    None => match self.get(rid) {
+                        Ok(d) => Some((rid, d)),
+                        Err(_) => {
+                            self.corrupt_skipped.fetch_add(1, Ordering::Relaxed);
+                            None
+                        }
+                    },
+                })
         })
     }
 }
@@ -466,6 +497,82 @@ mod tests {
         let warm = stats.snapshot();
         assert_eq!(warm.heap_reads, 0, "resident chunks are not re-fetched");
         assert_eq!(warm.logical_heap_reads, cold.logical_heap_reads);
+    }
+
+    /// Corrupt an oversized record by deleting one of its chunk records
+    /// out from under the directory, returning the victim chunk's id.
+    fn break_one_chunk(h: &mut HeapFile, dir: RecordId) -> RecordId {
+        let framed = h.read_framed(dir).unwrap();
+        assert_eq!(framed.first(), Some(&TAG_DIRECTORY));
+        let (_, chunks) = HeapFile::directory_chunks(&framed).unwrap();
+        let victim = chunks[chunks.len() / 2];
+        h.pager
+            .write(victim.page)
+            .unwrap()
+            .delete(victim.slot)
+            .unwrap();
+        victim
+    }
+
+    #[test]
+    fn scan_skips_corrupt_oversized_record_and_counts_it() {
+        // Regression: the scan used to yield `unwrap_or_default()` — an
+        // EMPTY payload — for a directory whose chunks are gone, silently
+        // presenting corruption as a zero-length record.
+        let mut h = heap();
+        h.insert(b"healthy").unwrap();
+        let big = vec![5u8; 20_000];
+        let dir = h.insert(&big).unwrap();
+        break_one_chunk(&mut h, dir);
+        assert!(h.get(dir).is_err(), "direct read surfaces the corruption");
+        let all: Vec<Vec<u8>> = h.scan().map(|(_, d)| d).collect();
+        assert_eq!(all, vec![b"healthy".to_vec()], "no empty payload leaks");
+        assert_eq!(h.corrupt_skipped(), 1);
+        // The counter accumulates across scans.
+        let _ = h.scan().count();
+        assert_eq!(h.corrupt_skipped(), 2);
+    }
+
+    #[test]
+    fn truncated_chunk_surfaces_instead_of_empty_payload() {
+        // A chunk whose bytes were overwritten with a non-chunk tag (the
+        // moral equivalent of a torn chunk write) must also be surfaced.
+        let mut h = heap();
+        let big = vec![6u8; 20_000];
+        let dir = h.insert(&big).unwrap();
+        let framed = h.read_framed(dir).unwrap();
+        let (_, chunks) = HeapFile::directory_chunks(&framed).unwrap();
+        let victim = chunks[0];
+        h.pager
+            .write(victim.page)
+            .unwrap()
+            .update(victim.slot, &[TAG_SIMPLE, 7])
+            .unwrap();
+        assert!(h.get(dir).is_err());
+        // The re-tagged chunk now scans as an (orphan) simple record, but
+        // the corrupt directory itself is skipped, not yielded empty.
+        let all: Vec<Vec<u8>> = h.scan().map(|(_, d)| d).collect();
+        assert_eq!(all, vec![vec![7u8]]);
+        assert_eq!(h.corrupt_skipped(), 1);
+    }
+
+    #[test]
+    fn failed_chunk_delete_never_strands_accounting() {
+        // Regression: delete used to remove chunks before the directory, so
+        // a failure mid-way left `record_count` and the directory claiming
+        // a record whose chunks were already gone. Directory-first order
+        // makes the record dead the moment accounting says so.
+        let mut h = heap();
+        let big = vec![8u8; 20_000];
+        let dir = h.insert(&big).unwrap();
+        assert_eq!(h.len(), 1);
+        break_one_chunk(&mut h, dir);
+        let err = h.delete(dir);
+        assert!(err.is_err(), "missing chunk still reported");
+        assert_eq!(h.len(), 0, "record is gone from accounting");
+        assert_eq!(h.scan().count(), 0, "and from scans");
+        assert!(h.get(dir).is_err());
+        assert!(h.delete(dir).is_err(), "double delete stays an error");
     }
 
     #[test]

@@ -39,6 +39,9 @@ pub struct IoStats {
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
+    wal_appends: AtomicU64,
+    wal_forces: AtomicU64,
+    wal_bytes: AtomicU64,
 }
 
 impl IoStats {
@@ -113,6 +116,24 @@ impl IoStats {
         self.cache_evictions.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Record `n` WAL record appends.
+    #[inline]
+    pub fn wal_append(&self, n: u64) {
+        self.wal_appends.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` WAL forces that actually moved bytes.
+    #[inline]
+    pub fn wal_force(&self, n: u64) {
+        self.wal_forces.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` WAL bytes written durably (including torn partials).
+    #[inline]
+    pub fn wal_bytes(&self, n: u64) {
+        self.wal_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Capture the current counter values.
     pub fn snapshot(&self) -> IoSnapshot {
         IoSnapshot {
@@ -127,6 +148,9 @@ impl IoStats {
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
             cache_misses: self.cache_misses.load(Ordering::Relaxed),
             cache_evictions: self.cache_evictions.load(Ordering::Relaxed),
+            wal_appends: self.wal_appends.load(Ordering::Relaxed),
+            wal_forces: self.wal_forces.load(Ordering::Relaxed),
+            wal_bytes: self.wal_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -143,6 +167,9 @@ impl IoStats {
         self.cache_hits.store(0, Ordering::Relaxed);
         self.cache_misses.store(0, Ordering::Relaxed);
         self.cache_evictions.store(0, Ordering::Relaxed);
+        self.wal_appends.store(0, Ordering::Relaxed);
+        self.wal_forces.store(0, Ordering::Relaxed);
+        self.wal_bytes.store(0, Ordering::Relaxed);
     }
 }
 
@@ -172,6 +199,12 @@ pub struct IoSnapshot {
     pub cache_misses: u64,
     /// Buffer-pool evictions.
     pub cache_evictions: u64,
+    /// WAL records appended (volatile until forced).
+    pub wal_appends: u64,
+    /// WAL forces that moved bytes to durable storage.
+    pub wal_forces: u64,
+    /// WAL bytes made durable (including torn partials).
+    pub wal_bytes: u64,
 }
 
 impl IoSnapshot {
@@ -242,6 +275,9 @@ impl IoSnapshot {
             cache_hits: self.cache_hits.saturating_sub(earlier.cache_hits),
             cache_misses: self.cache_misses.saturating_sub(earlier.cache_misses),
             cache_evictions: self.cache_evictions.saturating_sub(earlier.cache_evictions),
+            wal_appends: self.wal_appends.saturating_sub(earlier.wal_appends),
+            wal_forces: self.wal_forces.saturating_sub(earlier.wal_forces),
+            wal_bytes: self.wal_bytes.saturating_sub(earlier.wal_bytes),
         }
     }
 }

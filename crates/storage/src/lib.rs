@@ -21,7 +21,11 @@
 //! * [`mod@tuple`] — values, tuples, schemas, and their byte encoding,
 //! * [`table`] — a heap-backed table with stable OIDs and an OID → heap
 //!   location B-Tree (the substrate behind the paper's `diskTupleLoc()`),
-//! * [`catalog`] — the table registry.
+//! * [`catalog`] — the table registry,
+//! * [`wal`] — a physical write-ahead log (length-prefixed, checksummed
+//!   records) with a deterministic fault injector; the buffer pool forces it
+//!   ahead of every page write-back so crash recovery can replay a
+//!   consistent prefix.
 //!
 //! All structures are deterministic and in-memory; "disk" cost is observed
 //! through [`io::IoStats`], which the benchmark harness reports next to wall
@@ -37,6 +41,7 @@ pub mod page;
 pub mod pager;
 pub mod table;
 pub mod tuple;
+pub mod wal;
 
 pub use btree::{BTree, Cursor, CursorDesc};
 pub use buffer::{Access, BufferPool, Evicted, FileId, FileKind, FrameKey};
@@ -48,6 +53,7 @@ pub use page::{PageId, RecordId, PAGE_SIZE};
 pub use pager::Pager;
 pub use table::{Oid, ScanCursor, Table};
 pub use tuple::{ColumnType, Schema, Tuple, Value};
+pub use wal::{crc32, FaultInjector, Lsn, Wal, WalRecordKind, WalScan};
 
 /// Convenient crate-wide result alias.
 pub type Result<T> = std::result::Result<T, StorageError>;
