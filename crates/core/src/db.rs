@@ -121,6 +121,21 @@ impl Database {
         self.revision
     }
 
+    /// Seal a top-level mutation: WAL-commit it, then advance the revision
+    /// counter on success so revision-stamped index registrations (see
+    /// `instn-query`) can detect that their view of this database is stale.
+    ///
+    /// The bump itself is *not* WAL-logged: recovery replays committed ops
+    /// through these same public wrappers, so the recovered counter lands on
+    /// the identical value, and the checkpoint snapshot already persists it.
+    fn finish_mutation<T>(&mut self, res: Result<T>) -> Result<T> {
+        let res = self.wal_finish(res);
+        if res.is_ok() {
+            self.revision += 1;
+        }
+        res
+    }
+
     // ------------------------------------------------------------------
     // Tables
     // ------------------------------------------------------------------
@@ -132,7 +147,7 @@ impl Database {
             cols: schema.columns().to_vec(),
         });
         let res = self.create_table_inner(name, schema);
-        self.wal_finish(res)
+        self.finish_mutation(res)
     }
 
     fn create_table_inner(&mut self, name: &str, schema: Schema) -> Result<TableId> {
@@ -172,7 +187,7 @@ impl Database {
             tuple: tuple.clone(),
         });
         let res = (|| Ok(self.catalog.table_mut(table)?.insert(tuple)?))();
-        self.wal_finish(res)
+        self.finish_mutation(res)
     }
 
     /// Update a data tuple's values in place. Returns `true` when the tuple
@@ -186,7 +201,7 @@ impl Database {
             tuple: tuple.clone(),
         });
         let res = self.update_tuple_inner(table, oid, tuple);
-        self.wal_finish(res)
+        self.finish_mutation(res)
     }
 
     fn update_tuple_inner(&mut self, table: TableId, oid: Oid, tuple: Tuple) -> Result<bool> {
@@ -202,7 +217,7 @@ impl Database {
     pub fn delete_tuple(&mut self, table: TableId, oid: Oid) -> Result<SummaryDelta> {
         self.wal_log(|| WalOp::DeleteTuple { table, oid });
         let res = self.delete_tuple_inner(table, oid);
-        self.wal_finish(res)
+        self.finish_mutation(res)
     }
 
     fn delete_tuple_inner(&mut self, table: TableId, oid: Oid) -> Result<SummaryDelta> {
@@ -288,7 +303,7 @@ impl Database {
             scope: scope.clone().unwrap_or_default(),
         });
         let res = self.link_instance_scoped_inner(table, name, kind, indexable, scope);
-        self.wal_finish(res)
+        self.finish_mutation(res)
     }
 
     fn link_instance_scoped_inner(
@@ -374,7 +389,7 @@ impl Database {
             name: name.to_string(),
         });
         let res = self.drop_instance_inner(table, name);
-        self.wal_finish(res)
+        self.finish_mutation(res)
     }
 
     fn drop_instance_inner(&mut self, table: TableId, name: &str) -> Result<()> {
@@ -434,7 +449,7 @@ impl Database {
             attachments: attachments.clone(),
         });
         let res = self.add_annotation_inner(table, text, category, author, attachments);
-        self.wal_finish(res)
+        self.finish_mutation(res)
     }
 
     fn add_annotation_inner(
@@ -479,7 +494,7 @@ impl Database {
             attachments: attachments.clone(),
         });
         let res = self.attach_annotation_inner(table, id, attachments);
-        self.wal_finish(res)
+        self.finish_mutation(res)
     }
 
     fn attach_annotation_inner(
@@ -628,7 +643,7 @@ impl Database {
     pub fn delete_annotation(&mut self, id: AnnotId) -> Result<Vec<SummaryDelta>> {
         self.wal_log(|| WalOp::DeleteAnnotation { id });
         let res = self.delete_annotation_inner(id);
-        self.wal_finish(res)
+        self.finish_mutation(res)
     }
 
     fn delete_annotation_inner(&mut self, id: AnnotId) -> Result<Vec<SummaryDelta>> {

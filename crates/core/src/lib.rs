@@ -80,3 +80,14 @@ impl From<instn_storage::StorageError> for CoreError {
 
 /// Crate-wide result alias.
 pub type Result<T> = std::result::Result<T, CoreError>;
+
+// Compile-time guarantee that the whole engine is shareable across
+// threads: `SharedDatabase` in `instn-query` puts a `Database` behind a
+// readers-writer lock and serves N concurrent sessions from it, which is
+// only sound while every transitive field stays `Send + Sync`.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<db::Database>();
+    assert_send_sync::<AnnotatedTuple>();
+    assert_send_sync::<summary::SummaryObject>();
+};

@@ -74,6 +74,9 @@ pub struct BaselineIndex {
     /// Standard B-Tree on the OID column of the normalized table (needed to
     /// find a tuple's rows for maintenance and for object re-assembly).
     oid_index: BTree<RecordId>,
+    /// Database revision this scheme was built at (or last caught up to via
+    /// [`BaselineIndex::apply_delta`]); executors use it for staleness checks.
+    built_revision: u64,
 }
 
 impl BaselineIndex {
@@ -90,6 +93,7 @@ impl BaselineIndex {
             norm: HeapFile::with_pool(Arc::clone(pool)),
             derived_index: BTree::new_in(Arc::clone(pool)),
             oid_index: BTree::new_in(Arc::clone(pool)),
+            built_revision: db.revision(),
         };
         let storage = db.summary_storage(table);
         for oid in storage.oids() {
@@ -120,12 +124,23 @@ impl BaselineIndex {
             norm: HeapFile::with_pool(Arc::clone(pool)),
             derived_index: BTree::new_in(Arc::clone(pool)),
             oid_index: BTree::new_in(Arc::clone(pool)),
+            built_revision: db.revision(),
         })
     }
 
     /// The indexed instance's name.
     pub fn instance_name(&self) -> &str {
         &self.instance_name
+    }
+
+    /// The indexed table.
+    pub fn table(&self) -> TableId {
+        self.table
+    }
+
+    /// Database revision this scheme last matched (build or delta time).
+    pub fn built_revision(&self) -> u64 {
+        self.built_revision
     }
 
     /// Normalized rows stored.
@@ -186,8 +201,11 @@ impl BaselineIndex {
     /// Maintain from a summary delta (de-normalization step included, which
     /// is why Fig. 9 shows 20–37% insert overhead vs 10–15% for the
     /// Summary-BTree).
-    pub fn apply_delta(&mut self, _db: &Database, delta: &SummaryDelta) -> Result<()> {
+    pub fn apply_delta(&mut self, db: &Database, delta: &SummaryDelta) -> Result<()> {
         if delta.table != self.table {
+            // A mutation elsewhere cannot invalidate this scheme; seeing its
+            // delta means we are caught up with that revision too.
+            self.built_revision = db.revision();
             return Ok(());
         }
         for change in &delta.changes {
@@ -208,6 +226,7 @@ impl BaselineIndex {
                 self.insert_row(delta.oid, &change.label, new);
             }
         }
+        self.built_revision = db.revision();
         Ok(())
     }
 

@@ -85,6 +85,10 @@ pub struct SummaryBTree {
     width: ItemizeWidth,
     tree: BTree<IndexEntry>,
     stats: Arc<IoStats>,
+    /// Database revision this index was built at (or last caught up to via
+    /// [`SummaryBTree::apply_delta`]). Executors compare it against
+    /// `Database::revision()` to detect stale registrations.
+    built_revision: u64,
     /// Operation counters.
     pub ops: OpCounters,
 }
@@ -147,6 +151,7 @@ impl SummaryBTree {
             width: final_width,
             tree,
             stats,
+            built_revision: db.revision(),
             ops: OpCounters {
                 key_inserts: n,
                 ..OpCounters::default()
@@ -172,8 +177,14 @@ impl SummaryBTree {
             width: ItemizeWidth::default(),
             tree: BTree::new_in(Arc::clone(db.buffer_pool())),
             stats,
+            built_revision: db.revision(),
             ops: OpCounters::default(),
         })
+    }
+
+    /// Database revision this index last matched (build or delta time).
+    pub fn built_revision(&self) -> u64 {
+        self.built_revision
     }
 
     /// The indexed instance's name.
@@ -221,9 +232,15 @@ impl SummaryBTree {
         self.tree.used_bytes()
     }
 
-    /// Maintain the index from one summary delta (§4.1.2).
+    /// Maintain the index from one summary delta (§4.1.2). Applying the
+    /// delta of a mutation also advances [`SummaryBTree::built_revision`] to
+    /// the database's current revision — apply deltas as mutations happen,
+    /// before the next one, or the stamp over-claims freshness.
     pub fn apply_delta(&mut self, db: &Database, delta: &SummaryDelta) -> Result<()> {
         if delta.table != self.table {
+            // A mutation elsewhere cannot invalidate this index; seeing its
+            // delta means we are caught up with that revision too.
+            self.built_revision = db.revision();
             return Ok(());
         }
         // Width growth check first (footnote 1): rare full rebuild.
@@ -238,6 +255,7 @@ impl SummaryBTree {
             self.rebuild(db, self.width.grown_for(needs))?;
             // The rebuilt tree already reflects the post-delta storage state
             // (deltas are applied after the storage write), so we're done.
+            self.built_revision = db.revision();
             return Ok(());
         }
         let entry = if delta.deleted_row {
@@ -267,6 +285,7 @@ impl SummaryBTree {
                 self.ops.key_inserts += 1;
             }
         }
+        self.built_revision = db.revision();
         Ok(())
     }
 
@@ -292,6 +311,7 @@ impl SummaryBTree {
                 }
             }
         }
+        self.built_revision = db.revision();
         Ok(())
     }
 

@@ -245,6 +245,39 @@ impl<'a> CostModel<'a> {
                     Some(*table),
                 )
             }
+            PhysicalPlan::DataIndexScan {
+                table,
+                lo,
+                hi,
+                with_summaries,
+                ..
+            } => {
+                let n = self.stats.rows(*table);
+                // No per-column histograms yet: a bounded range selects the
+                // default fraction, an unbounded scan selects everything.
+                let sel = if lo.is_none() && hi.is_none() {
+                    1.0
+                } else {
+                    DEFAULT_SEL
+                };
+                let rows = (n * sel).max(0.0);
+                let rows_eff = Self::cap_rows(rows, cap);
+                // Descent + leaf walk + one heap page per result
+                // (+ one SummaryStorage row read when propagating).
+                let mut io =
+                    self.probe_height(n.max(1.0)) + (rows_eff / BTREE_FANOUT).ceil() + rows_eff;
+                if *with_summaries {
+                    io += rows_eff;
+                }
+                (
+                    PlanCost {
+                        io,
+                        cpu: rows_eff,
+                        rows: rows_eff,
+                    },
+                    Some(*table),
+                )
+            }
             PhysicalPlan::BaselineIndexScan {
                 index,
                 label,

@@ -634,7 +634,9 @@ fn inner_lacks_instance(plan: &PhysicalPlan, instance: &str, db: &Database) -> b
         return true;
     }
     match plan {
-        PhysicalPlan::SeqScan { table, .. } => db.instance_by_name(*table, instance).is_err(),
+        PhysicalPlan::SeqScan { table, .. } | PhysicalPlan::DataIndexScan { table, .. } => {
+            db.instance_by_name(*table, instance).is_err()
+        }
         PhysicalPlan::SummaryIndexScan { .. } | PhysicalPlan::BaselineIndexScan { .. } => false,
         PhysicalPlan::Filter { input, .. }
         | PhysicalPlan::SummaryObjectFilter { input, .. }

@@ -30,7 +30,11 @@ pub fn value_key(v: &Value) -> Vec<u8> {
         }
         Value::Float(f) => {
             let bits = f.to_bits();
-            let ordered = if *f >= 0.0 {
+            // Branch on the IEEE sign bit, not on `*f >= 0.0`: `-0.0 >= 0.0`
+            // is true, so the arithmetic comparison would encode -0.0 as
+            // 0x00… — *below every negative float*. The sign-bit transform
+            // matches `f64::total_cmp` exactly (including ±0.0 and NaNs).
+            let ordered = if bits >> 63 == 0 {
                 bits ^ (1u64 << 63)
             } else {
                 !bits
@@ -54,6 +58,9 @@ pub struct ColumnIndex {
     table: TableId,
     column: usize,
     tree: BTree<Oid>,
+    /// Database revision this index was built at (or last caught up to via
+    /// [`ColumnIndex::mark_synced`]); executors use it for staleness checks.
+    built_revision: u64,
 }
 
 impl ColumnIndex {
@@ -74,7 +81,20 @@ impl ColumnIndex {
             table,
             column,
             tree,
+            built_revision: db.revision(),
         })
+    }
+
+    /// Database revision this index last matched (build time, or whatever
+    /// the caller last passed to [`ColumnIndex::mark_synced`]).
+    pub fn built_revision(&self) -> u64 {
+        self.built_revision
+    }
+
+    /// Record that manual maintenance ([`ColumnIndex::insert`] /
+    /// [`ColumnIndex::delete`]) has caught this index up to `revision`.
+    pub fn mark_synced(&mut self, revision: u64) {
+        self.built_revision = revision;
     }
 
     /// The indexed table.
@@ -100,6 +120,40 @@ impl ColumnIndex {
     /// OIDs of tuples whose column equals `v`.
     pub fn lookup(&self, v: &Value) -> Vec<Oid> {
         self.tree.get_all(&value_key(v))
+    }
+
+    /// OIDs of tuples whose column is NULL (`IS NULL` probes).
+    pub fn nulls(&self) -> Vec<Oid> {
+        self.tree.get_all(&value_key(&Value::Null))
+    }
+
+    /// OIDs of tuples whose column falls in the given range, in key order.
+    ///
+    /// `lo_strict` / `hi_strict` exclude the bound itself (`>` / `<` rather
+    /// than `>=` / `<=`). SQL comparison predicates are never satisfied by
+    /// NULL, yet `value_key(Null)` is the *smallest* key — so an unbounded
+    /// lower end starts the scan just above the NULL key band instead of at
+    /// the beginning of the tree, and a NULL bound returns no rows at all.
+    pub fn range(
+        &self,
+        lo: Option<&Value>,
+        hi: Option<&Value>,
+        lo_strict: bool,
+        hi_strict: bool,
+    ) -> Vec<Oid> {
+        if matches!(lo, Some(Value::Null)) || matches!(hi, Some(Value::Null)) {
+            return Vec::new();
+        }
+        // First key above the NULL band: NULL encodes as the single byte 0,
+        // every non-null value's encoding starts with a type tag >= 1.
+        let lo_key = lo.map(value_key).unwrap_or_else(|| vec![1]);
+        let hi_key = hi.map(value_key);
+        self.tree
+            .range(Some(&lo_key), hi_key.as_deref())
+            .filter(|(k, _)| !(lo_strict && *k == lo_key))
+            .filter(|(k, _)| !(hi_strict && Some(k) == hi_key.as_ref()))
+            .map(|(_, oid)| oid)
+            .collect()
     }
 
     /// Maintain on insert.
@@ -179,5 +233,78 @@ mod tests {
         for w in keys.windows(2) {
             assert!(w[0] < w[1]);
         }
+    }
+
+    #[test]
+    fn negative_zero_sorts_between_negatives_and_positives() {
+        // The regression: `-0.0 >= 0.0` is true, so the old encoding put
+        // -0.0 below every negative float. total_cmp order is
+        // -inf < -1.5 < -f64::MIN_POSITIVE < -0.0 < 0.0 < f64::MIN_POSITIVE.
+        let vals = [
+            f64::NEG_INFINITY,
+            -1.5,
+            -f64::MIN_POSITIVE,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            f64::INFINITY,
+        ];
+        let keys: Vec<Vec<u8>> = vals.iter().map(|&f| value_key(&Value::Float(f))).collect();
+        for (w, vs) in keys.windows(2).zip(vals.windows(2)) {
+            assert!(w[0] < w[1], "{} must sort below {}", vs[0], vs[1]);
+        }
+    }
+
+    #[test]
+    fn range_scan_skips_null_band() {
+        let mut db = Database::new();
+        let t = db
+            .create_table("N", Schema::of(&[("c1", ColumnType::Int)]))
+            .unwrap();
+        let mut with_nulls = Vec::new();
+        for i in 0..10i64 {
+            let v = if i % 3 == 0 {
+                Value::Null
+            } else {
+                Value::Int(i)
+            };
+            with_nulls.push((db.insert_tuple(t, vec![v.clone()]).unwrap(), v));
+        }
+        let idx = ColumnIndex::build(&db, t, 0).unwrap();
+        // col < 5: NULL rows encode below every integer but must not appear.
+        let got = idx.range(None, Some(&Value::Int(5)), false, true);
+        let want: Vec<Oid> = with_nulls
+            .iter()
+            .filter(|(_, v)| matches!(v, Value::Int(i) if *i < 5))
+            .map(|(oid, _)| *oid)
+            .collect();
+        assert_eq!(got, want);
+        // Unbounded scan likewise excludes NULLs; IS NULL probes find them.
+        assert_eq!(idx.range(None, None, false, false).len(), 6);
+        assert_eq!(idx.nulls().len(), 4);
+        // A NULL bound satisfies nothing.
+        assert!(idx.range(Some(&Value::Null), None, false, false).is_empty());
+    }
+
+    #[test]
+    fn range_scan_respects_strict_bounds() {
+        let (db, t, _) = db_with_table();
+        let idx = ColumnIndex::build(&db, t, 0).unwrap();
+        // Column values are 0..5, four tuples each.
+        assert_eq!(
+            idx.range(Some(&Value::Int(1)), Some(&Value::Int(3)), false, false)
+                .len(),
+            12
+        );
+        assert_eq!(
+            idx.range(Some(&Value::Int(1)), Some(&Value::Int(3)), true, true)
+                .len(),
+            4
+        );
+        assert_eq!(
+            idx.range(Some(&Value::Int(1)), Some(&Value::Int(3)), false, true)
+                .len(),
+            8
+        );
     }
 }

@@ -85,6 +85,25 @@ pub enum PhysicalPlan {
         /// (the Figure 12 comparison) instead of reading SummaryStorage.
         from_normalized: bool,
     },
+    /// Data-column B-Tree range scan over a registered [`ColumnIndex`],
+    /// in key order. NULL rows never qualify: SQL comparisons are not
+    /// satisfied by NULL, so the scan skips the NULL key band entirely.
+    DataIndexScan {
+        /// The table.
+        table: TableId,
+        /// The indexed column (must be registered in the context).
+        col: usize,
+        /// Lower bound on the column value.
+        lo: Option<Value>,
+        /// Upper bound on the column value.
+        hi: Option<Value>,
+        /// Exclude the lower bound itself (`>` instead of `>=`).
+        lo_strict: bool,
+        /// Exclude the upper bound itself (`<` instead of `<=`).
+        hi_strict: bool,
+        /// Whether to propagate summaries.
+        with_summaries: bool,
+    },
     /// Tuple filter: evaluates any predicate (data σ or summary `S`).
     Filter {
         /// Input plan.
@@ -227,6 +246,24 @@ impl PhysicalPlan {
                     ""
                 }
             ),
+            PhysicalPlan::DataIndexScan {
+                table,
+                col,
+                lo,
+                hi,
+                lo_strict,
+                hi_strict,
+                ..
+            } => {
+                let mut bounds = String::new();
+                if let Some(v) = lo {
+                    bounds.push_str(&format!(", {} {v:?}", if *lo_strict { ">" } else { ">=" }));
+                }
+                if let Some(v) = hi {
+                    bounds.push_str(&format!(", {} {v:?}", if *hi_strict { "<" } else { "<=" }));
+                }
+                format!("DataIndexScan(table#{}.col{col}{bounds})", table.0)
+            }
             PhysicalPlan::Filter { .. } => "Filter(σ/S)".into(),
             PhysicalPlan::SummaryObjectFilter { .. } => "SummaryObjectFilter(F)".into(),
             PhysicalPlan::Project {
@@ -263,7 +300,8 @@ impl PhysicalPlan {
         match self {
             PhysicalPlan::SeqScan { .. }
             | PhysicalPlan::SummaryIndexScan { .. }
-            | PhysicalPlan::BaselineIndexScan { .. } => Vec::new(),
+            | PhysicalPlan::BaselineIndexScan { .. }
+            | PhysicalPlan::DataIndexScan { .. } => Vec::new(),
             PhysicalPlan::Filter { input, .. }
             | PhysicalPlan::SummaryObjectFilter { input, .. }
             | PhysicalPlan::Project { input, .. }
@@ -294,6 +332,30 @@ impl std::fmt::Display for PhysicalPlan {
     }
 }
 
+/// The indexes a session owns across queries. A context borrows the
+/// database for one query at a time, but indexes are expensive to build and
+/// live longer than any single borrow — `Session` (see [`crate::session`])
+/// moves a registry into a short-lived context, runs queries, and takes the
+/// registry back when the read guard drops.
+#[derive(Default)]
+pub struct IndexRegistry {
+    pub(crate) summary: HashMap<String, SummaryBTree>,
+    pub(crate) baseline: HashMap<String, BaselineIndex>,
+    pub(crate) column: HashMap<(TableId, usize), ColumnIndex>,
+}
+
+impl IndexRegistry {
+    /// Registered indexes across all three kinds.
+    pub fn len(&self) -> usize {
+        self.summary.len() + self.baseline.len() + self.column.len()
+    }
+
+    /// Whether no index is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// Execution context: the database plus registered indexes.
 pub struct ExecContext<'a> {
     /// The engine.
@@ -315,6 +377,60 @@ impl<'a> ExecContext<'a> {
             column_indexes: HashMap::new(),
             sort_mem: DEFAULT_SORT_MEM,
         }
+    }
+
+    /// A context serving a previously accumulated index registry.
+    pub fn with_registry(db: &'a Database, registry: IndexRegistry) -> Self {
+        let mut ctx = Self::new(db);
+        ctx.install_registry(registry);
+        ctx
+    }
+
+    /// Move every registered index out of this context, leaving it empty.
+    pub fn take_registry(&mut self) -> IndexRegistry {
+        IndexRegistry {
+            summary: std::mem::take(&mut self.summary_indexes),
+            baseline: std::mem::take(&mut self.baseline_indexes),
+            column: std::mem::take(&mut self.column_indexes),
+        }
+    }
+
+    /// Adopt a registry's indexes (replacing same-named registrations).
+    pub fn install_registry(&mut self, registry: IndexRegistry) {
+        self.summary_indexes.extend(registry.summary);
+        self.baseline_indexes.extend(registry.baseline);
+        self.column_indexes.extend(registry.column);
+    }
+
+    /// Rebuild every registered index whose `built_revision` no longer
+    /// matches the database's revision.
+    ///
+    /// An index registration outlives the mutations that happen around it;
+    /// without this check a scan over a stale tree silently returns
+    /// pre-mutation rows (deleted tuples resurface, inserts are invisible).
+    /// Runs at every plan execution; a fresh registry costs three integer
+    /// comparisons per index, a stale one pays a bulk rebuild.
+    pub fn refresh_stale_indexes(&mut self) -> Result<()> {
+        let rev = self.db.revision();
+        for idx in self.summary_indexes.values_mut() {
+            if idx.built_revision() != rev {
+                let (table, name, mode) =
+                    (idx.table(), idx.instance_name().to_string(), idx.mode());
+                *idx = SummaryBTree::bulk_build(self.db, table, &name, mode)?;
+            }
+        }
+        for idx in self.baseline_indexes.values_mut() {
+            if idx.built_revision() != rev {
+                let (table, name) = (idx.table(), idx.instance_name().to_string());
+                *idx = BaselineIndex::bulk_build(self.db, table, &name)?;
+            }
+        }
+        for idx in self.column_indexes.values_mut() {
+            if idx.built_revision() != rev {
+                *idx = ColumnIndex::build(self.db, idx.table(), idx.column())?;
+            }
+        }
+        Ok(())
     }
 
     /// Register a Summary-BTree under a name.
@@ -362,6 +478,7 @@ impl<'a> ExecContext<'a> {
         &mut self,
         plan: &PhysicalPlan,
     ) -> Result<(Vec<AnnotatedTuple>, OpMetrics)> {
+        self.refresh_stale_indexes()?;
         let mut root = compile(plan);
         root.open(self)?;
         let mut out = Vec::new();
@@ -376,6 +493,7 @@ impl<'a> ExecContext<'a> {
     /// tuples one at a time with [`TupleStream::next_tuple`] and may stop
     /// early; no I/O happens beyond what the pulled tuples require.
     pub fn open_stream<'c>(&'c mut self, plan: &PhysicalPlan) -> Result<TupleStream<'c, 'a>> {
+        self.refresh_stale_indexes()?;
         let mut root = compile(plan);
         root.open(self)?;
         Ok(TupleStream {
@@ -601,6 +719,25 @@ fn compile(plan: &PhysicalPlan) -> OpNode {
             propagate: *propagate,
             from_normalized: *from_normalized,
             table: None,
+            oids: Vec::new(),
+            pos: 0,
+        }),
+        PhysicalPlan::DataIndexScan {
+            table,
+            col,
+            lo,
+            hi,
+            lo_strict,
+            hi_strict,
+            with_summaries,
+        } => Box::new(DataIndexScanOp {
+            table: *table,
+            col: *col,
+            lo: lo.clone(),
+            hi: hi.clone(),
+            lo_strict: *lo_strict,
+            hi_strict: *hi_strict,
+            with_summaries: *with_summaries,
             oids: Vec::new(),
             pos: 0,
         }),
@@ -862,6 +999,68 @@ impl Operator for BaselineIndexScanOp {
             values,
             summaries,
         }))
+    }
+
+    fn close(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {
+        self.oids = Vec::new();
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn children(&self) -> Vec<&OpNode> {
+        Vec::new()
+    }
+}
+
+/// Data-column index scan: the qualifying OID list (already in key order,
+/// NULL band skipped) is materialized at open; heap reads happen lazily per
+/// pull so a LIMIT above stops them.
+struct DataIndexScanOp {
+    table: TableId,
+    col: usize,
+    lo: Option<Value>,
+    hi: Option<Value>,
+    lo_strict: bool,
+    hi_strict: bool,
+    with_summaries: bool,
+    oids: Vec<instn_storage::Oid>,
+    pos: usize,
+}
+
+impl Operator for DataIndexScanOp {
+    fn open(&mut self, ctx: &mut ExecContext<'_>) -> Result<()> {
+        let idx = ctx
+            .column_indexes
+            .get(&(self.table, self.col))
+            .ok_or_else(|| {
+                QueryError::UnknownIndex(format!("table#{}.col{}", self.table.0, self.col))
+            })?;
+        self.oids = idx.range(
+            self.lo.as_ref(),
+            self.hi.as_ref(),
+            self.lo_strict,
+            self.hi_strict,
+        );
+        self.pos = 0;
+        Ok(())
+    }
+
+    fn next(&mut self, ctx: &mut ExecContext<'_>) -> Result<Option<AnnotatedTuple>> {
+        let Some(&oid) = self.oids.get(self.pos) else {
+            return Ok(None);
+        };
+        self.pos += 1;
+        let values = ctx.db.table(self.table)?.get(oid)?;
+        if self.with_summaries {
+            let summaries = ctx.db.summary_storage(self.table).read(oid)?;
+            Ok(Some(AnnotatedTuple {
+                source: Some((self.table, oid)),
+                values,
+                summaries,
+            }))
+        } else {
+            Ok(Some(AnnotatedTuple::bare(self.table, oid, values)))
+        }
     }
 
     fn close(&mut self, _ctx: &mut ExecContext<'_>) -> Result<()> {

@@ -21,18 +21,24 @@
 //!   summary merging,
 //! * [`lower`] — the naive logical → physical lowering (the
 //!   "optimization-disabled" baseline; the real optimizer lives in
-//!   `instn-opt`).
+//!   `instn-opt`),
+//! * [`session`] — the multi-session layer: [`session::SharedDatabase`]
+//!   (readers-writer over the engine) and [`session::Session`] (per-client
+//!   index registry with revision-stamped staleness detection), through
+//!   which N threads run the executor concurrently.
 
 pub mod dataindex;
 pub mod exec;
 pub mod expr;
 pub mod lower;
 pub mod plan;
+pub mod session;
 
 pub use dataindex::ColumnIndex;
-pub use exec::{ExecContext, OpMetrics, PhysicalPlan, TupleStream};
+pub use exec::{ExecContext, IndexRegistry, OpMetrics, PhysicalPlan, TupleStream};
 pub use expr::{CmpOp, Expr, ObjFunc, ObjRef, ObjectPred, SummaryExpr};
 pub use plan::{JoinPredicate, LogicalPlan, SortKey};
+pub use session::{Session, SharedDatabase};
 
 /// Errors raised during planning or execution.
 #[derive(Debug, Clone, PartialEq)]

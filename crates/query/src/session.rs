@@ -1,0 +1,183 @@
+//! Multi-session serving: a readers-writer handle over the engine.
+//!
+//! Everything below the executor is already `Send + Sync` (asserted at
+//! compile time in `instn-storage` and `instn-core`), so N threads may read
+//! one [`Database`] concurrently — what was missing is a protocol for *who
+//! may write and when indexes go stale*. This module supplies it:
+//!
+//! * [`SharedDatabase`] — a cloneable `Arc<RwLock<Database>>`: any number of
+//!   concurrent readers, one writer at a time. Every successful top-level
+//!   mutation advances `Database::revision()` (done inside `instn-core`),
+//!   which is the staleness signal the read side keys off.
+//! * [`Session`] — one logical client. A session owns an [`IndexRegistry`]
+//!   (its Summary-BTrees, baseline schemes, and column indexes) that
+//!   outlives any single query: for each query the session takes a read
+//!   guard, moves the registry into a transient [`ExecContext`], executes,
+//!   and takes the registry back. The context rebuilds any index whose
+//!   `built_revision` no longer matches the database before the plan opens,
+//!   so a registration from before a writer's mutations is refreshed instead
+//!   of silently serving old rows.
+//!
+//! Lock order (see DESIGN.md §7): the engine `RwLock` is acquired *before*
+//! any interior lock (buffer-pool state mutex, WAL state mutex), and those
+//! interior locks are never held across calls back into the engine, so the
+//! hierarchy is acyclic. Lock poisoning is not papered over: a thread that
+//! panicked mid-mutation leaves the engine in an unknown state, and every
+//! later acquisition fails fast instead of serving it.
+
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+use instn_core::db::Database;
+use instn_core::AnnotatedTuple;
+use instn_index::{BaselineIndex, PointerMode, SummaryBTree};
+use instn_storage::TableId;
+
+use crate::dataindex::ColumnIndex;
+use crate::exec::{ExecContext, IndexRegistry, OpMetrics, PhysicalPlan, DEFAULT_SORT_MEM};
+use crate::Result;
+
+/// A shareable, thread-safe handle over one [`Database`]: concurrent
+/// readers, single writer. Clones are cheap and refer to the same engine.
+#[derive(Clone)]
+pub struct SharedDatabase {
+    inner: Arc<RwLock<Database>>,
+}
+
+impl SharedDatabase {
+    /// Take ownership of an engine and make it shareable.
+    pub fn new(db: Database) -> Self {
+        Self {
+            inner: Arc::new(RwLock::new(db)),
+        }
+    }
+
+    /// Open a new session (its own index registry, its own sort budget).
+    pub fn session(&self) -> Session {
+        Session {
+            shared: self.clone(),
+            registry: IndexRegistry::default(),
+            sort_mem: DEFAULT_SORT_MEM,
+        }
+    }
+
+    /// Acquire a shared read guard. Any number may be live at once.
+    pub fn read(&self) -> RwLockReadGuard<'_, Database> {
+        self.inner.read().expect("engine lock poisoned")
+    }
+
+    /// Acquire the exclusive write guard. Mutations through it advance the
+    /// engine's revision counter, which readers use to refresh stale
+    /// index registrations.
+    pub fn write(&self) -> RwLockWriteGuard<'_, Database> {
+        self.inner.write().expect("engine lock poisoned")
+    }
+
+    /// Run a closure under a read guard.
+    pub fn with_read<R>(&self, f: impl FnOnce(&Database) -> R) -> R {
+        f(&self.read())
+    }
+
+    /// Run a closure under the write guard.
+    pub fn with_write<R>(&self, f: impl FnOnce(&mut Database) -> R) -> R {
+        f(&mut self.write())
+    }
+
+    /// Recover exclusive ownership if this is the last handle.
+    pub fn try_unwrap(self) -> std::result::Result<Database, SharedDatabase> {
+        match Arc::try_unwrap(self.inner) {
+            Ok(lock) => Ok(lock.into_inner().expect("engine lock poisoned")),
+            Err(inner) => Err(SharedDatabase { inner }),
+        }
+    }
+}
+
+/// One logical client of a [`SharedDatabase`]: owns the indexes it has
+/// registered and runs plans against consistent snapshots of the engine.
+///
+/// A session is `Send` (hand one to each worker thread) but not shared
+/// between threads; concurrency comes from many sessions over one
+/// [`SharedDatabase`].
+pub struct Session {
+    shared: SharedDatabase,
+    registry: IndexRegistry,
+    /// In-memory sort budget handed to each per-query context.
+    pub sort_mem: usize,
+}
+
+impl Session {
+    /// The shared engine this session serves from.
+    pub fn shared(&self) -> &SharedDatabase {
+        &self.shared
+    }
+
+    /// Run a closure against a transient [`ExecContext`] holding this
+    /// session's indexes, under a read guard. The guard spans the whole
+    /// closure, so every query inside sees one consistent snapshot; stale
+    /// indexes are refreshed when a plan opens (see
+    /// [`ExecContext::refresh_stale_indexes`]).
+    pub fn with_ctx<R>(&mut self, f: impl FnOnce(&mut ExecContext<'_>) -> R) -> R {
+        let guard = self.shared.read();
+        let mut ctx = ExecContext::with_registry(&guard, std::mem::take(&mut self.registry));
+        ctx.sort_mem = self.sort_mem;
+        let out = f(&mut ctx);
+        self.registry = ctx.take_registry();
+        out
+    }
+
+    /// Execute a plan against the current snapshot, materializing its rows.
+    pub fn execute(&mut self, plan: &PhysicalPlan) -> Result<Vec<AnnotatedTuple>> {
+        self.with_ctx(|ctx| ctx.execute(plan))
+    }
+
+    /// [`Session::execute`] plus per-operator runtime counters.
+    pub fn execute_with_metrics(
+        &mut self,
+        plan: &PhysicalPlan,
+    ) -> Result<(Vec<AnnotatedTuple>, OpMetrics)> {
+        self.with_ctx(|ctx| ctx.execute_with_metrics(plan))
+    }
+
+    /// Build and register a Summary-BTree over `instance` on `table`.
+    pub fn register_summary_index(
+        &mut self,
+        name: &str,
+        table: TableId,
+        instance: &str,
+        mode: PointerMode,
+    ) -> Result<()> {
+        let idx = SummaryBTree::bulk_build(&self.shared.read(), table, instance, mode)?;
+        self.registry.summary.insert(name.to_string(), idx);
+        Ok(())
+    }
+
+    /// Build and register a baseline scheme over `instance` on `table`.
+    pub fn register_baseline_index(
+        &mut self,
+        name: &str,
+        table: TableId,
+        instance: &str,
+    ) -> Result<()> {
+        let idx = BaselineIndex::bulk_build(&self.shared.read(), table, instance)?;
+        self.registry.baseline.insert(name.to_string(), idx);
+        Ok(())
+    }
+
+    /// Build and register a data-column index on `table.col`.
+    pub fn register_column_index(&mut self, table: TableId, col: usize) -> Result<()> {
+        let idx = ColumnIndex::build(&self.shared.read(), table, col)?;
+        self.registry.column.insert((table, col), idx);
+        Ok(())
+    }
+
+    /// Indexes currently registered in this session.
+    pub fn registered_indexes(&self) -> usize {
+        self.registry.len()
+    }
+}
+
+// A session must be movable into worker threads.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<SharedDatabase>();
+    assert_send::<Session>();
+};

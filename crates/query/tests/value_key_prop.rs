@@ -1,0 +1,64 @@
+//! Property tests for the order-preserving `value_key` encoding: the sort
+//! order of encoded keys must agree with `f64::total_cmp` (including ±0.0,
+//! NaNs, infinities, and subnormals) and with `i64::cmp`.
+
+use proptest::prelude::*;
+
+use instn_query::dataindex::value_key;
+use instn_storage::Value;
+
+/// Floats drawn from the full bit-pattern space plus the awkward specials.
+fn float_bits() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        any::<u64>().prop_map(f64::from_bits),
+        any::<f64>(),
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::NAN),
+        Just(-f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(f64::MIN_POSITIVE),
+        Just(-f64::MIN_POSITIVE),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn float_key_cmp_agrees_with_total_cmp(a in float_bits(), b in float_bits()) {
+        let ka = value_key(&Value::Float(a));
+        let kb = value_key(&Value::Float(b));
+        prop_assert_eq!(ka.cmp(&kb), a.total_cmp(&b));
+    }
+
+    #[test]
+    fn sorting_by_key_is_total_cmp_order(xs in prop::collection::vec(float_bits(), 2..64)) {
+        let mut by_key = xs.clone();
+        by_key.sort_by(|a, b| {
+            value_key(&Value::Float(*a)).cmp(&value_key(&Value::Float(*b)))
+        });
+        let mut want_sorted = xs;
+        want_sorted.sort_by(f64::total_cmp);
+        for (want, got) in want_sorted.iter().zip(by_key.iter()) {
+            prop_assert_eq!(want.to_bits(), got.to_bits());
+        }
+    }
+
+    #[test]
+    fn int_key_cmp_agrees_with_int_cmp(a in any::<i64>(), b in any::<i64>()) {
+        let ka = value_key(&Value::Int(a));
+        let kb = value_key(&Value::Int(b));
+        prop_assert_eq!(ka.cmp(&kb), a.cmp(&b));
+    }
+
+    #[test]
+    fn null_key_sorts_below_everything(f in float_bits(), i in any::<i64>()) {
+        let null = value_key(&Value::Null);
+        prop_assert!(null < value_key(&Value::Float(f)));
+        prop_assert!(null < value_key(&Value::Int(i)));
+        prop_assert!(null < value_key(&Value::Text(String::new())));
+        prop_assert!(null < value_key(&Value::Bool(false)));
+    }
+}

@@ -57,3 +57,22 @@ pub use wal::{crc32, FaultInjector, Lsn, Wal, WalRecordKind, WalScan};
 
 /// Convenient crate-wide result alias.
 pub type Result<T> = std::result::Result<T, StorageError>;
+
+// Compile-time guarantee that the storage layer is shareable across
+// threads: the multi-session executor in `instn-query` hands `&Database`
+// (and therefore every structure below) to N reader threads at once. A
+// non-Sync field sneaking into any of these types must fail the build
+// here, not deep inside a threaded test.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<BufferPool>();
+    assert_send_sync::<Pager>();
+    assert_send_sync::<HeapFile>();
+    assert_send_sync::<BTree<u64>>();
+    assert_send_sync::<BTree<Oid>>();
+    assert_send_sync::<Table>();
+    assert_send_sync::<Catalog>();
+    assert_send_sync::<Wal>();
+    assert_send_sync::<FaultInjector>();
+    assert_send_sync::<IoStats>();
+};

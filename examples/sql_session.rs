@@ -1,6 +1,9 @@
 //! A scripted session against the extended SQL front end: the paper's DDL
 //! (`ALTER TABLE … ADD [INDEXABLE] <Instance>`), summary method chains in
-//! `WHERE`/`ORDER BY`, and the zoom-in command.
+//! `WHERE`/`ORDER BY`, and the zoom-in command — served through the
+//! multi-session layer: statements that write take the [`SharedDatabase`]
+//! write guard, queries run through a [`Session`] so each executes against
+//! one consistent snapshot with the session's own index registry.
 //!
 //! ```text
 //! cargo run --example sql_session
@@ -64,9 +67,14 @@ fn main() {
     model.train("foraging eating stonewort migration song", "Behavior");
     registry.insert("ClassBird1".into(), InstanceKind::Classifier { model });
 
+    // Hand the engine to the serving layer; any number of such sessions
+    // could now run concurrently over `shared.clone()`.
+    let shared = SharedDatabase::new(db);
+    let mut session = shared.session();
+
     let mut run = |sql: &str| {
         println!("sql> {sql}");
-        match execute_statement(&mut db, &registry, sql) {
+        match shared.with_write(|db| execute_statement(db, &registry, sql)) {
             Ok(SqlOutcome::Altered {
                 instance,
                 deltas,
@@ -99,8 +107,12 @@ fn main() {
                 println!();
             }
             Ok(SqlOutcome::Query(q)) => {
-                let physical = lower_naive(&db, &q.plan).expect("lowers");
-                let rows = ExecContext::new(&db).execute(&physical).expect("executes");
+                let rows = session
+                    .with_ctx(|ctx| {
+                        let physical = lower_naive(ctx.db, &q.plan)?;
+                        ctx.execute(&physical)
+                    })
+                    .expect("executes");
                 println!("     {} rows  (columns: {:?})", rows.len(), q.columns);
                 for r in rows.iter().take(5) {
                     let vals: Vec<String> = r.values.iter().map(|v| format!("{v}")).collect();

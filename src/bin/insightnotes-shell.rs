@@ -100,7 +100,13 @@ fn demo_db() -> (Database, HashMap<String, InstanceKind>) {
 }
 
 fn main() {
-    let (mut db, registry) = demo_db();
+    let (db, registry) = demo_db();
+    // The shell serves through the multi-session layer: reads run through a
+    // Session (consistent snapshot + owned index registry), writes through
+    // the exclusive guard. A second shell thread could clone `shared` and
+    // serve concurrently.
+    let mut shared = SharedDatabase::new(db);
+    let mut session = shared.session();
     let interactive = std::io::IsTerminal::is_terminal(&std::io::stdin());
     if interactive {
         println!("insightnotes-shell — demo Birds database loaded (10 tuples).");
@@ -134,7 +140,10 @@ fn main() {
             break;
         }
         if let Some(path) = line.strip_prefix("\\save ") {
-            match db.dump().map(|bytes| std::fs::write(path.trim(), bytes)) {
+            match shared
+                .with_read(|db| db.dump())
+                .map(|bytes| std::fs::write(path.trim(), bytes))
+            {
                 Ok(Ok(())) => println!("saved to {}", path.trim()),
                 Ok(Err(e)) => eprintln!("write error: {e}"),
                 Err(e) => eprintln!("dump error: {e}"),
@@ -145,7 +154,8 @@ fn main() {
             match std::fs::read(path.trim()) {
                 Ok(bytes) => match Database::restore(&bytes) {
                     Ok(restored) => {
-                        db = restored;
+                        shared = SharedDatabase::new(restored);
+                        session = shared.session();
                         println!("loaded {}", path.trim());
                     }
                     Err(e) => eprintln!("restore error: {e}"),
@@ -154,9 +164,14 @@ fn main() {
             }
             continue;
         }
-        match execute_statement(&mut db, &registry, line) {
-            Ok(SqlOutcome::Query(q)) => match lower_naive(&db, &q.plan) {
-                Ok(physical) => match ExecContext::new(&db).execute(&physical) {
+        match shared.with_write(|db| execute_statement(db, &registry, line)) {
+            Ok(SqlOutcome::Query(q)) => {
+                // Lower and execute under one read guard: one snapshot.
+                let res = session.with_ctx(|ctx| {
+                    let physical = lower_naive(ctx.db, &q.plan)?;
+                    ctx.execute(&physical)
+                });
+                match res {
                     Ok(rows) => {
                         println!("{}", q.columns.join(" | "));
                         for r in rows.iter().take(50) {
@@ -178,10 +193,9 @@ fn main() {
                         }
                         println!("({} rows)", rows.len());
                     }
-                    Err(e) => eprintln!("execution error: {e}"),
-                },
-                Err(e) => eprintln!("planning error: {e}"),
-            },
+                    Err(e) => eprintln!("query error: {e}"),
+                }
+            }
             Ok(SqlOutcome::Explain(text)) => print!("{text}"),
             Ok(SqlOutcome::ExplainAnalyzed(analysis)) => print!("{analysis}"),
             Ok(SqlOutcome::Analyzed(_)) => println!("statistics collected"),

@@ -84,10 +84,11 @@ pub mod prelude {
     pub use instn_mining::clustream::ClusterParams;
     pub use instn_mining::nb::NaiveBayes;
     pub use instn_opt::{Optimizer, PlannerConfig, Statistics};
-    pub use instn_query::exec::{ExecContext, PhysicalPlan};
+    pub use instn_query::exec::{ExecContext, IndexRegistry, PhysicalPlan};
     pub use instn_query::expr::{CmpOp, Expr, ObjFunc, ObjRef, ObjectPred, SummaryExpr};
     pub use instn_query::lower::lower_naive;
     pub use instn_query::plan::{JoinPredicate, LogicalPlan, SortKey};
+    pub use instn_query::session::{Session, SharedDatabase};
     pub use instn_query::ColumnIndex;
     pub use instn_sql::lower::{execute_statement, lower_select, ExplainAnalysis, SqlOutcome};
     pub use instn_sql::parse;

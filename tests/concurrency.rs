@@ -97,6 +97,198 @@ fn io_accounting_tallies_exactly_under_parallelism() {
     );
 }
 
+/// Eight [`Session`]s over one [`SharedDatabase`], each with its own
+/// registered Summary-BTree, must serve result sets bit-identical to the
+/// single-threaded oracle — both through the index and through a plain
+/// filtered scan.
+#[test]
+fn shared_sessions_serve_identical_result_sets() {
+    let (db, t) = build(80);
+    let shared = SharedDatabase::new(db);
+
+    let index_plan = PhysicalPlan::SummaryIndexScan {
+        index: "C_idx".into(),
+        label: "Disease".into(),
+        lo: Some(2),
+        hi: None,
+        propagate: true,
+        reverse: false,
+    };
+    let scan_plan = PhysicalPlan::Filter {
+        input: Box::new(PhysicalPlan::SeqScan {
+            table: t,
+            with_summaries: true,
+        }),
+        pred: Expr::label_cmp("C", "Disease", CmpOp::Ge, 2),
+    };
+
+    // Single-threaded oracle.
+    let mut oracle_sess = shared.session();
+    oracle_sess
+        .register_summary_index("C_idx", t, "C", PointerMode::Backward)
+        .unwrap();
+    let oracle_idx = oracle_sess.execute(&index_plan).unwrap();
+    let oracle_scan = oracle_sess.execute(&scan_plan).unwrap();
+    assert_eq!(oracle_idx.len(), (0..80).filter(|i| i % 7 >= 2).count());
+
+    const THREADS: usize = 8;
+    let results: Vec<(Vec<AnnotatedTuple>, Vec<AnnotatedTuple>)> =
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|_| {
+                    let shared = shared.clone();
+                    let (index_plan, scan_plan) = (&index_plan, &scan_plan);
+                    scope.spawn(move |_| {
+                        let mut sess = shared.session();
+                        sess.register_summary_index("C_idx", t, "C", PointerMode::Backward)
+                            .unwrap();
+                        // Both queries under one read guard: one snapshot.
+                        sess.with_ctx(|ctx| {
+                            (
+                                ctx.execute(index_plan).unwrap(),
+                                ctx.execute(scan_plan).unwrap(),
+                            )
+                        })
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panic"))
+                .collect()
+        })
+        .expect("scope");
+    for (idx_rows, scan_rows) in &results {
+        assert_eq!(idx_rows, &oracle_idx, "index path diverged from oracle");
+        assert_eq!(scan_rows, &oracle_scan, "scan path diverged from oracle");
+    }
+}
+
+/// The deterministic mutation script shared by the concurrent stress run
+/// and its serial replay: annotate a fixed tuple, insert fresh annotated
+/// tuples, checkpoint every 8th step.
+fn stress_mutation(db: &mut Database, t: TableId, oid0: Oid, step: usize) {
+    if step.is_multiple_of(3) {
+        let oid = db
+            .insert_tuple(
+                t,
+                vec![
+                    Value::Int(1000 + step as i64),
+                    Value::Text(format!("w{step}")),
+                ],
+            )
+            .unwrap();
+        db.add_annotation(
+            t,
+            "disease outbreak infection",
+            Category::Disease,
+            "w",
+            vec![Attachment::row(oid)],
+        )
+        .unwrap();
+    } else {
+        db.add_annotation(
+            t,
+            "disease outbreak",
+            Category::Disease,
+            "w",
+            vec![Attachment::row(oid0)],
+        )
+        .unwrap();
+    }
+    if step % 8 == 7 {
+        db.checkpoint().unwrap();
+    }
+}
+
+/// N reader sessions race one writer applying a scripted mutation sequence
+/// with interleaved checkpoints (WAL attached). Asserts:
+///
+/// * no torn reads — two executions under one read guard agree exactly,
+/// * monotonicity — the disease-positive row count never decreases across
+///   a reader's iterations (the writer only adds),
+/// * no counter drift — the engine's *write-side* I/O counters equal a
+///   serial replay of the identical script on an identical database
+///   (read counters depend on reader interleaving and are excluded),
+/// * final state equals the serial replay's, tuple for tuple.
+#[test]
+fn reader_writer_stress_matches_serial_replay() {
+    const STEPS: usize = 48;
+    const READERS: usize = 6;
+    const READS_PER_READER: usize = 24;
+
+    let (mut db, t) = build(40);
+    db.enable_wal();
+    let oid0 = db.scan_annotated(t).unwrap()[0].source.unwrap().1;
+    db.stats().reset();
+    let shared = SharedDatabase::new(db);
+
+    let count_plan = PhysicalPlan::Filter {
+        input: Box::new(PhysicalPlan::SeqScan {
+            table: t,
+            with_summaries: true,
+        }),
+        pred: Expr::label_cmp("C", "Disease", CmpOp::Ge, 1),
+    };
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..READERS {
+            let shared = shared.clone();
+            let count_plan = &count_plan;
+            scope.spawn(move |_| {
+                let mut sess = shared.session();
+                let mut last = 0usize;
+                for _ in 0..READS_PER_READER {
+                    let n = sess.with_ctx(|ctx| {
+                        let a = ctx.execute(count_plan).expect("read under guard");
+                        let b = ctx.execute(count_plan).expect("re-read under guard");
+                        assert_eq!(a, b, "torn read within one snapshot");
+                        a.len()
+                    });
+                    assert!(n >= last, "disease count went backwards: {last} -> {n}");
+                    last = n;
+                    std::thread::yield_now();
+                }
+            });
+        }
+        let shared = shared.clone();
+        scope.spawn(move |_| {
+            for step in 0..STEPS {
+                shared.with_write(|db| stress_mutation(db, t, oid0, step));
+                std::thread::yield_now();
+            }
+        });
+    })
+    .expect("no reader or writer panicked (lock never poisoned)");
+
+    let db = shared
+        .try_unwrap()
+        .unwrap_or_else(|_| panic!("all sessions dropped"));
+    let concurrent = db.stats().snapshot();
+
+    // Serial replay of the identical script on an identical database.
+    let (mut replay, rt) = build(40);
+    replay.enable_wal();
+    let r_oid0 = replay.scan_annotated(rt).unwrap()[0].source.unwrap().1;
+    assert_eq!(oid0, r_oid0, "deterministic build");
+    replay.stats().reset();
+    for step in 0..STEPS {
+        stress_mutation(&mut replay, rt, r_oid0, step);
+    }
+    let serial = replay.stats().snapshot();
+
+    assert_eq!(concurrent.heap_writes, serial.heap_writes);
+    assert_eq!(concurrent.index_writes, serial.index_writes);
+    assert_eq!(concurrent.logical_heap_writes, serial.logical_heap_writes);
+    assert_eq!(concurrent.logical_index_writes, serial.logical_index_writes);
+    assert_eq!(concurrent.wal_appends, serial.wal_appends);
+
+    let final_rows = db.scan_annotated(t).unwrap();
+    let replay_rows = replay.scan_annotated(rt).unwrap();
+    assert_eq!(final_rows.len(), 40 + STEPS / 3);
+    assert_eq!(final_rows, replay_rows, "state drift vs serial replay");
+}
+
 #[test]
 fn parallel_index_probes_agree_with_sequential() {
     let (db, t) = build(50);
