@@ -42,7 +42,7 @@ use instn_core::zoom::{zoom_in, ZoomTarget};
 use instn_index::{BaselineIndex, PointerMode, SummaryBTree};
 use instn_opt::{Optimizer, PlannerConfig, Statistics};
 use instn_query::dataindex::ColumnIndex;
-use instn_query::exec::{ExecContext, PhysicalPlan};
+use instn_query::exec::{ExecConfig, ExecContext, PhysicalPlan};
 use instn_query::expr::{CmpOp, Expr, ObjFunc, ObjRef, SummaryExpr};
 use instn_query::plan::{JoinPredicate, LogicalPlan, SortKey};
 use instn_storage::io::IoSnapshot;
@@ -156,6 +156,9 @@ fn main() {
     }
     if run_all || exp == "concurrency" {
         concurrency(scale, quick);
+    }
+    if run_all || exp == "parallel-sweep" {
+        parallel_sweep(scale, quick);
     }
 }
 
@@ -2105,6 +2108,155 @@ fn concurrency(scale: usize, quick: bool) {
     match std::fs::write("BENCH_concurrency.json", &json) {
         Ok(()) => println!("wrote BENCH_concurrency.json"),
         Err(e) => eprintln!("could not write BENCH_concurrency.json: {e}"),
+    }
+    println!();
+}
+
+// ====================================================================
+// parallel-sweep — morsel-driven parallel executor: DOP x selectivity.
+// Not in the paper; it validates the intra-query Exchange/Gather path.
+// One workload per selectivity point: a summary-predicate filter
+// (`getLabelValue('Disease') >= t`) over a heap scan, split into ~32
+// morsels. Each morsel carries a calibrated simulated disk stall that
+// dominates the single-core CPU cost (same testbed stand-in as the
+// concurrency experiment), so the DOP 1→8 wall-clock curve measures
+// the morsel scheduler, not the one core. DOP 1 runs byte-identical
+// to the plain serial executor; DOP > 1 must gather the same rows.
+// A final row runs the two-phase partial-aggregate GroupBy at the
+// mid selectivity to exercise the per-worker AggState merge.
+// ====================================================================
+fn parallel_sweep(scale: usize, quick: bool) {
+    header("Extension — parallel-sweep: morsel-driven executor, DOP x selectivity");
+    let cfg = BenchConfig {
+        scale_down: scale,
+        annots_per_tuple: 30,
+        ..Default::default()
+    };
+    let b = bench_db(&cfg);
+    let birds = b.birds;
+    let n = b.db.table(birds).unwrap().len();
+    let stats = Statistics::analyze(&b.db).unwrap();
+    let morsel_rows = (n / 32).max(1);
+    let dops: &[usize] = &[1, 2, 4, 8];
+    let targets: &[f64] = if quick { &[0.5] } else { &[0.1, 0.5, 0.9] };
+    println!(
+        "birds: {n} tuples, morsel_rows {morsel_rows} (~{} morsels)",
+        n.div_ceil(morsel_rows)
+    );
+    println!(
+        "{:>14} {:>10} {:>6} {:>6} {:>10} {:>9}",
+        "workload", "threshold", "rows", "dop", "wall ms", "speedup"
+    );
+
+    let mut json_rows = Vec::new();
+    let mut speedup_at_4 = 0.0f64;
+    let run_point = |name: &str,
+                     target: f64,
+                     threshold: i64,
+                     plan: &PhysicalPlan,
+                     json_rows: &mut Vec<String>|
+     -> f64 {
+        // Serial oracle and CPU calibration: the plain executor with the
+        // default config, no Exchange, no stall.
+        let t0 = Instant::now();
+        let serial = ExecContext::new(&b.db).execute(plan).expect("serial plan");
+        let cpu = t0.elapsed();
+        let morsels = n.div_ceil(morsel_rows) as u32;
+        // Per-morsel stall such that total simulated I/O ~= 20x CPU; the
+        // floor keeps the sleep meaningful when CPU rounds to ~zero.
+        let stall = (20 * cpu / morsels).max(Duration::from_micros(200));
+        let wrapped = PhysicalPlan::Exchange {
+            input: Box::new(plan.clone()),
+            dop: 0, // inherit the session DOP from ExecConfig
+        };
+        let mut wall_at_1 = Duration::ZERO;
+        let mut point_speedup_at_4 = 0.0;
+        for &dop in dops {
+            let mut ctx = ExecContext::new(&b.db);
+            ctx.config = ExecConfig {
+                dop,
+                morsel_rows,
+                io_stall: stall,
+            };
+            let (wall, _io, rows) = measure(&b.db, || ctx.execute(&wrapped).expect("morsel plan"));
+            // The gather is deterministic (morsel order), so every DOP —
+            // including DOP 1 forced onto the morsel path by the stall —
+            // must reproduce the serial executor byte for byte.
+            assert_eq!(rows, serial, "{name} dop {dop} diverged from serial");
+            if dop == 1 {
+                wall_at_1 = wall;
+            }
+            let speedup = wall_at_1.as_secs_f64() / wall.as_secs_f64().max(1e-9);
+            if dop == 4 {
+                point_speedup_at_4 = speedup;
+            }
+            println!(
+                "{:>14} {:>10} {:>6} {:>6} {:>10.2} {:>8.2}x",
+                format!("{name}@{target:.1}"),
+                threshold,
+                serial.len(),
+                dop,
+                wall.as_secs_f64() * 1e3,
+                speedup
+            );
+            json_rows.push(format!(
+                "  {{\"workload\": \"{name}\", \"target\": {target:.2}, \
+                 \"threshold\": {threshold}, \"rows\": {}, \"stall_us\": {}, \
+                 \"dop\": {dop}, \"wall_ms\": {:.3}, \"speedup\": {speedup:.3}}}",
+                serial.len(),
+                stall.as_micros(),
+                wall.as_secs_f64() * 1e3
+            ));
+        }
+        point_speedup_at_4
+    };
+
+    for &target in targets {
+        let (lo, _) = range_at_selectivity(&stats, birds, "ClassBird1", "Disease", target);
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: birds,
+                with_summaries: true,
+            }),
+            pred: disease_expr(CmpOp::Ge, lo as i64),
+        };
+        let s4 = run_point("filter", target, lo as i64, &plan, &mut json_rows);
+        speedup_at_4 = speedup_at_4.max(s4);
+    }
+
+    // Two-phase aggregation at the mid selectivity: per-worker partial
+    // AggStates merged at the gather vs. the serial single-phase GroupBy.
+    let mid = targets[targets.len() / 2];
+    let (lo, _) = range_at_selectivity(&stats, birds, "ClassBird1", "Disease", mid);
+    let agg_plan = PhysicalPlan::GroupBy {
+        input: Box::new(PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: birds,
+                with_summaries: true,
+            }),
+            pred: disease_expr(CmpOp::Ge, lo as i64),
+        }),
+        cols: vec![2],
+    };
+    let s4 = run_point("group-by", mid, lo as i64, &agg_plan, &mut json_rows);
+    speedup_at_4 = speedup_at_4.max(s4);
+
+    assert!(
+        speedup_at_4 >= 2.0,
+        "parallel-sweep: expected >=2x speedup at DOP 4, got {speedup_at_4:.2}x"
+    );
+    println!("best speedup at DOP 4: {speedup_at_4:.2}x");
+
+    let json = format!(
+        "{{\"experiment\": \"parallel-sweep\", \"scale\": {scale}, \
+         \"annots_per_tuple\": {}, \"tuples\": {n}, \"morsel_rows\": {morsel_rows}, \
+         \"speedup_at_4\": {speedup_at_4:.3}, \"rows\": [\n{}\n]}}\n",
+        cfg.annots_per_tuple,
+        json_rows.join(",\n")
+    );
+    match std::fs::write("BENCH_parallel.json", &json) {
+        Ok(()) => println!("wrote BENCH_parallel.json"),
+        Err(e) => eprintln!("could not write BENCH_parallel.json: {e}"),
     }
     println!();
 }

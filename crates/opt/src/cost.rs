@@ -27,7 +27,7 @@
 
 use std::collections::{HashMap, HashSet};
 
-use instn_query::exec::{PhysicalPlan, DEFAULT_SORT_MEM, NL_BLOCK_SIZE};
+use instn_query::exec::{PhysicalPlan, DEFAULT_MORSEL_ROWS, DEFAULT_SORT_MEM, NL_BLOCK_SIZE};
 use instn_query::expr::Expr;
 use instn_query::plan::JoinPredicate;
 use instn_storage::TableId;
@@ -45,6 +45,14 @@ pub const DEFAULT_EQ_SEL: f64 = 0.01;
 
 /// B-Tree fanout assumed by the bound-based index cost.
 pub const BTREE_FANOUT: f64 = 64.0;
+
+/// CPU tuple-operations charged per morsel claimed from the shared queue
+/// (queue contention, per-morsel cursor open).
+pub const MORSEL_STARTUP_CPU: f64 = 50.0;
+
+/// CPU tuple-operations charged per worker thread spawned at an Exchange
+/// (thread spawn + join + gather bookkeeping).
+pub const WORKER_STARTUP_CPU: f64 = 500.0;
 
 /// Estimated cost and cardinality of a (sub)plan.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -83,6 +91,8 @@ pub struct CostModel<'a> {
     cache_pages: usize,
     /// Precomputed from `cache_pages`: B-Tree levels fully resident.
     cached_levels: f64,
+    /// Degree of parallelism assumed for `Exchange { dop: 0 }` fragments.
+    dop: usize,
 }
 
 impl<'a> CostModel<'a> {
@@ -105,7 +115,21 @@ impl<'a> CostModel<'a> {
             indexes,
             cache_pages,
             cached_levels: Self::cacheable_levels(cache_pages),
+            dop: 1,
         }
+    }
+
+    /// Set the degree of parallelism assumed for Exchange fragments whose
+    /// `dop` is `0` (= inherit from the execution config). `dop <= 1`
+    /// leaves every cost expression bit-identical to the serial model.
+    pub fn with_dop(mut self, dop: usize) -> Self {
+        self.dop = dop.max(1);
+        self
+    }
+
+    /// The degree of parallelism this model assumes.
+    pub fn dop(&self) -> usize {
+        self.dop
     }
 
     /// The buffer-pool budget this model assumes.
@@ -507,6 +531,45 @@ impl<'a> CostModel<'a> {
                         rows: Self::cap_rows((c.rows * 0.9).max(1.0), cap),
                     },
                     None,
+                )
+            }
+            PhysicalPlan::Exchange { input, dop } => {
+                // Materializing pipeline breaker: the fragment runs to
+                // completion across the workers before the gather hands up
+                // its first row, so no row cap reaches the input.
+                let (c, base) = self.cost_capped(input, None);
+                let eff_dop = if *dop == 0 { self.dop } else { *dop };
+                if eff_dop <= 1 {
+                    // DOP 1 delegates to the serial operator tree:
+                    // bit-identical cost, plus nothing.
+                    return (
+                        PlanCost {
+                            io: c.io,
+                            cpu: c.cpu,
+                            rows: Self::cap_rows(c.rows, cap),
+                        },
+                        base,
+                    );
+                }
+                // Morsels split the *source*, so size the queue from the
+                // base table when the fragment is single-sourced.
+                let src_rows = base
+                    .map(|t| self.stats.rows(t))
+                    .unwrap_or(c.rows)
+                    .max(c.rows)
+                    .max(1.0);
+                let morsels = (src_rows / DEFAULT_MORSEL_ROWS as f64).ceil().max(1.0);
+                // Workers beyond the morsel count sit idle.
+                let eff = (eff_dop as f64).min(morsels);
+                (
+                    PlanCost {
+                        io: c.io / eff,
+                        cpu: c.cpu / eff
+                            + morsels * MORSEL_STARTUP_CPU
+                            + eff_dop as f64 * WORKER_STARTUP_CPU,
+                        rows: Self::cap_rows(c.rows, cap),
+                    },
+                    base,
                 )
             }
             PhysicalPlan::Limit { input, n } => {
@@ -941,6 +1004,110 @@ mod tests {
             n: 3,
         };
         assert!(model.cost(&lim_scan).io < model.cost(&seq).io);
+    }
+
+    #[test]
+    fn dop_one_exchange_is_bit_identical_to_its_input() {
+        let (db, t) = setup(150);
+        let stats = Statistics::analyze(&db).unwrap();
+        let info = index_info(t);
+        let model = CostModel::new(&stats, &info);
+        let frag = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: true,
+            }),
+            pred: Expr::label_cmp("C", "Disease", CmpOp::Ge, 5),
+        };
+        let wrapped = PhysicalPlan::Exchange {
+            input: Box::new(frag.clone()),
+            dop: 1,
+        };
+        let a = model.cost(&frag);
+        let b = model.cost(&wrapped);
+        assert_eq!(a.io.to_bits(), b.io.to_bits());
+        assert_eq!(a.cpu.to_bits(), b.cpu.to_bits());
+        assert_eq!(a.rows.to_bits(), b.rows.to_bits());
+        // `dop: 0` with a serial model resolves to DOP 1: same bits.
+        let inherit = PhysicalPlan::Exchange {
+            input: Box::new(frag),
+            dop: 0,
+        };
+        let c = model.cost(&inherit);
+        assert_eq!(a.io.to_bits(), c.io.to_bits());
+        assert_eq!(a.cpu.to_bits(), c.cpu.to_bits());
+    }
+
+    #[test]
+    fn parallel_exchange_divides_scan_cost_but_taxes_startup() {
+        // A multi-morsel table (> DEFAULT_MORSEL_ROWS rows) without the
+        // quadratic annotation load of `setup`.
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "Wide",
+                Schema::of(&[("id", ColumnType::Int), ("descr", ColumnType::Text)]),
+            )
+            .unwrap();
+        for i in 0..(3 * DEFAULT_MORSEL_ROWS) {
+            db.insert_tuple(t, vec![Value::Int(i as i64), Value::Text("d".repeat(64))])
+                .unwrap();
+        }
+        let stats = Statistics::analyze(&db).unwrap();
+        let info = IndexInfo::default();
+        let model = CostModel::new(&stats, &info);
+        let frag = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: false,
+            }),
+            pred: Expr::col_cmp(0, CmpOp::Ge, Value::Int(1500)),
+        };
+        let wrap = |dop| PhysicalPlan::Exchange {
+            input: Box::new(frag.clone()),
+            dop,
+        };
+        let serial = model.cost(&frag);
+        let par4 = model.cost(&wrap(4));
+        // The big scan parallelizes: I/O divides by the effective DOP …
+        assert!(
+            par4.io < serial.io,
+            "par {} vs serial {}",
+            par4.io,
+            serial.io
+        );
+        assert_eq!(
+            par4.rows.to_bits(),
+            serial.rows.to_bits(),
+            "cardinality unchanged"
+        );
+        // … but the startup tax means higher DOP is not free: CPU grows
+        // with the per-worker spawn cost once the scan is split thin.
+        let par2 = model.cost(&wrap(2));
+        assert!(par4.cpu + 2.0 * WORKER_STARTUP_CPU > par2.cpu);
+        // `dop: 0` inherits the model's DOP.
+        let par_model = CostModel::new(&stats, &info).with_dop(4);
+        let inherited = par_model.cost(&wrap(0));
+        assert_eq!(inherited.io.to_bits(), par4.io.to_bits());
+    }
+
+    #[test]
+    fn startup_tax_keeps_tiny_fragments_serial() {
+        let (db, t) = setup(20);
+        let stats = Statistics::analyze(&db).unwrap();
+        let info = index_info(t);
+        let model = CostModel::new(&stats, &info);
+        let frag = PhysicalPlan::SeqScan {
+            table: t,
+            with_summaries: false,
+        };
+        let wrapped = PhysicalPlan::Exchange {
+            input: Box::new(frag.clone()),
+            dop: 8,
+        };
+        // 20 rows = one morsel: the worker startup tax dominates whatever
+        // the division saves, so the serial plan prices cheaper.
+        assert!(model.cost(&wrapped).total() > model.cost(&frag).total());
     }
 
     #[test]

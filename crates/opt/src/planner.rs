@@ -40,6 +40,10 @@ pub struct PlannerConfig {
     /// keeps costs identical to the uncached model; [`Optimizer::new`]
     /// fills it in from the database's pool when left at `0`.
     pub cache_pages: usize,
+    /// Degree of parallelism available to the executor. `1` (the default)
+    /// disables the parallelization post-pass and keeps every plan
+    /// identical to the serial planner's output.
+    pub dop: usize,
 }
 
 impl Default for PlannerConfig {
@@ -52,6 +56,7 @@ impl Default for PlannerConfig {
             sort_mem_tuples: instn_query::exec::DEFAULT_SORT_MEM,
             propagate_output: true,
             cache_pages: 0,
+            dop: 1,
         }
     }
 }
@@ -79,6 +84,14 @@ impl PlannerConfig {
     /// Assume a buffer pool of `pages` when costing repeated index probes.
     pub fn with_cache_pages(mut self, pages: usize) -> Self {
         self.cache_pages = pages;
+        self
+    }
+
+    /// Let the planner parallelize eligible fragments across `dop` workers
+    /// (cost-gated: a fragment is only wrapped in an Exchange when the
+    /// DOP-aware model prices the wrapped plan cheaper).
+    pub fn with_dop(mut self, dop: usize) -> Self {
+        self.dop = dop.max(1);
         self
     }
 
@@ -150,6 +163,7 @@ impl<'a> Optimizer<'a> {
     /// The cost model this optimizer prices plans with.
     fn model<'b>(&'b self, info: &'b IndexInfo) -> CostModel<'b> {
         CostModel::with_cache_pages(&self.stats, info, self.config.cache_pages)
+            .with_dop(self.config.dop)
     }
 
     /// Optimize a logical plan: enumerate, lower, cost, pick cheapest.
@@ -171,8 +185,26 @@ impl<'a> Optimizer<'a> {
                 best = Some((physical, cost, format!("{alt}")));
             }
         }
-        let (physical, cost, explain) =
+        let (physical, mut cost, explain) =
             best.ok_or_else(|| QueryError::BadPlan("no alternative lowered".into()))?;
+        // Parallelization post-pass: wrap eligible fragments in an Exchange
+        // wherever the DOP-aware model prices the parallel plan cheaper
+        // (small fragments stay serial — the morsel/worker startup tax
+        // outweighs the divided scan cost).
+        let physical = if self.config.dop > 1 {
+            let dop = self.config.dop;
+            let wrapped = instn_query::exec::parallelize_plan_where(&physical, dop, &|frag| {
+                let candidate = PhysicalPlan::Exchange {
+                    input: Box::new(frag.clone()),
+                    dop,
+                };
+                model.cost(&candidate).total() < model.cost(frag).total()
+            });
+            cost = model.cost(&wrapped);
+            wrapped
+        } else {
+            physical
+        };
         Ok(OptimizedPlan {
             physical,
             cost,
@@ -644,7 +676,8 @@ fn inner_lacks_instance(plan: &PhysicalPlan, instance: &str, db: &Database) -> b
         | PhysicalPlan::Sort { input, .. }
         | PhysicalPlan::GroupBy { input, .. }
         | PhysicalPlan::Distinct { input }
-        | PhysicalPlan::Limit { input, .. } => inner_lacks_instance(input, instance, db),
+        | PhysicalPlan::Limit { input, .. }
+        | PhysicalPlan::Exchange { input, .. } => inner_lacks_instance(input, instance, db),
         PhysicalPlan::NestedLoopJoin { left, right, .. } => {
             inner_lacks_instance(left, instance, db) && inner_lacks_instance(right, instance, db)
         }
@@ -848,6 +881,65 @@ mod tests {
         ));
         let plan = opt.optimize(&logical).unwrap();
         assert!(matches!(plan.physical, PhysicalPlan::Filter { .. }));
+    }
+
+    #[test]
+    fn planner_dop_post_pass_wraps_profitable_fragments() {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "Wide",
+                Schema::of(&[("id", ColumnType::Int), ("descr", ColumnType::Text)]),
+            )
+            .unwrap();
+        for i in 0..3000 {
+            db.insert_tuple(t, vec![Value::Int(i), Value::Text("d".repeat(64))])
+                .unwrap();
+        }
+        let logical =
+            LogicalPlan::scan("Wide").select(Expr::col_cmp(0, CmpOp::Ge, Value::Int(1500)));
+        // Serial planner (default DOP 1): no Exchange anywhere.
+        let serial = Optimizer::new(&db, PlannerConfig::default())
+            .unwrap()
+            .optimize(&logical)
+            .unwrap();
+        assert!(!matches!(serial.physical, PhysicalPlan::Exchange { .. }));
+        // DOP 4: the multi-morsel scan fragment prices cheaper divided
+        // across workers, so the post-pass wraps it.
+        let par = Optimizer::new(&db, PlannerConfig::default().with_dop(4))
+            .unwrap()
+            .optimize(&logical)
+            .unwrap();
+        match &par.physical {
+            PhysicalPlan::Exchange { dop, .. } => assert_eq!(*dop, 4),
+            other => panic!("expected Exchange at the root, got {other:?}"),
+        }
+        assert!(par.cost.total() < serial.cost.total());
+        // Both plans produce identical rows.
+        let mut ctx = ExecContext::new(&db);
+        let a = ctx.execute(&par.physical).unwrap();
+        let b = ctx.execute(&serial.physical).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn planner_dop_leaves_tiny_tables_serial() {
+        let (db, _, _, _) = setup(20);
+        let logical = LogicalPlan::scan("Birds").summary_select(Expr::label_cmp(
+            "ClassBird1",
+            "Disease",
+            CmpOp::Gt,
+            5,
+        ));
+        let plan = Optimizer::new(&db, PlannerConfig::default().with_dop(8))
+            .unwrap()
+            .optimize(&logical)
+            .unwrap();
+        assert!(
+            !matches!(plan.physical, PhysicalPlan::Exchange { .. }),
+            "single-morsel fragment stays serial: {:?}",
+            plan.physical
+        );
     }
 
     #[test]

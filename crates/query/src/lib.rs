@@ -35,7 +35,10 @@ pub mod plan;
 pub mod session;
 
 pub use dataindex::ColumnIndex;
-pub use exec::{ExecContext, IndexRegistry, OpMetrics, PhysicalPlan, TupleStream};
+pub use exec::{
+    default_dop, parallel_fragment_shape, parallelize_plan, parallelize_plan_where, ExecConfig,
+    ExecContext, IndexRegistry, OpMetrics, PhysicalPlan, TupleStream, DEFAULT_MORSEL_ROWS,
+};
 pub use expr::{CmpOp, Expr, ObjFunc, ObjRef, ObjectPred, SummaryExpr};
 pub use plan::{JoinPredicate, LogicalPlan, SortKey};
 pub use session::{Session, SharedDatabase};

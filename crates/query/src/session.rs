@@ -33,7 +33,9 @@ use instn_index::{BaselineIndex, PointerMode, SummaryBTree};
 use instn_storage::TableId;
 
 use crate::dataindex::ColumnIndex;
-use crate::exec::{ExecContext, IndexRegistry, OpMetrics, PhysicalPlan, DEFAULT_SORT_MEM};
+use crate::exec::{
+    ExecConfig, ExecContext, IndexRegistry, OpMetrics, PhysicalPlan, DEFAULT_SORT_MEM,
+};
 use crate::Result;
 
 /// A shareable, thread-safe handle over one [`Database`]: concurrent
@@ -57,6 +59,7 @@ impl SharedDatabase {
             shared: self.clone(),
             registry: IndexRegistry::default(),
             sort_mem: DEFAULT_SORT_MEM,
+            exec_config: ExecConfig::default(),
         }
     }
 
@@ -102,6 +105,9 @@ pub struct Session {
     registry: IndexRegistry,
     /// In-memory sort budget handed to each per-query context.
     pub sort_mem: usize,
+    /// Parallel-execution settings (DOP, morsel size) handed to each
+    /// per-query context.
+    pub exec_config: ExecConfig,
 }
 
 impl Session {
@@ -119,6 +125,7 @@ impl Session {
         let guard = self.shared.read();
         let mut ctx = ExecContext::with_registry(&guard, std::mem::take(&mut self.registry));
         ctx.sort_mem = self.sort_mem;
+        ctx.config = self.exec_config;
         let out = f(&mut ctx);
         self.registry = ctx.take_registry();
         out

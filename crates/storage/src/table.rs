@@ -188,6 +188,31 @@ impl Table {
         ScanCursor(self.oid_index.cursor(None, None))
     }
 
+    /// Open a resumable scan over the *inclusive* OID range `[lo, hi]`
+    /// (`None` = unbounded). Same order and I/O charging as
+    /// [`Table::scan_open`]; this is the morsel-granular entry point the
+    /// parallel executor uses — each worker walks one disjoint OID range.
+    pub fn scan_open_range(&self, lo: Option<Oid>, hi: Option<Oid>) -> ScanCursor {
+        let lo = lo.map(Oid::to_key);
+        let hi = hi.map(Oid::to_key);
+        ScanCursor(
+            self.oid_index
+                .cursor(lo.as_ref().map(|k| &k[..]), hi.as_ref().map(|k| &k[..])),
+        )
+    }
+
+    /// Split the live OID space into at most `ceil(len / morsel_rows)`
+    /// contiguous, disjoint, inclusive `[lo, hi]` ranges covering every
+    /// tuple in OID order. Concatenating range scans over the returned
+    /// ranges is equivalent to one full [`Table::scan`].
+    pub fn morsel_ranges(&self, morsel_rows: usize) -> Vec<(Oid, Oid)> {
+        let oids = self.oids();
+        let step = morsel_rows.max(1);
+        oids.chunks(step)
+            .map(|c| (c[0], *c.last().expect("chunks are non-empty")))
+            .collect()
+    }
+
     /// Pull the next `(oid, tuple)` from a resumable scan.
     pub fn scan_next(&self, cur: &mut ScanCursor) -> Option<(Oid, Tuple)> {
         loop {
@@ -308,6 +333,45 @@ mod tests {
         t.delete(Oid(5)).unwrap();
         let oids: Vec<u64> = t.scan().map(|(o, _)| o.0).collect();
         assert_eq!(oids, vec![1, 2, 3, 4, 6, 7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn morsel_ranges_cover_scan_exactly() {
+        let mut t = Table::new("birds", birds_schema(), IoStats::new());
+        for i in 0..23 {
+            t.insert(bird(i)).unwrap();
+        }
+        t.delete(Oid(4)).unwrap();
+        t.delete(Oid(17)).unwrap();
+        let full: Vec<(Oid, Tuple)> = t.scan().collect();
+        for morsel_rows in [1, 3, 7, 100] {
+            let ranges = t.morsel_ranges(morsel_rows);
+            // Disjoint and ordered.
+            assert!(ranges.windows(2).all(|w| w[0].1 < w[1].0));
+            let mut rejoined = Vec::new();
+            for (lo, hi) in &ranges {
+                let mut cur = t.scan_open_range(Some(*lo), Some(*hi));
+                while let Some(pair) = t.scan_next(&mut cur) {
+                    rejoined.push(pair);
+                }
+            }
+            assert_eq!(rejoined, full, "morsel_rows={morsel_rows}");
+        }
+        assert!(t.morsel_ranges(4).len() >= 21 / 4);
+    }
+
+    #[test]
+    fn range_scan_bounds_are_inclusive() {
+        let mut t = Table::new("birds", birds_schema(), IoStats::new());
+        for i in 0..10 {
+            t.insert(bird(i)).unwrap();
+        }
+        let mut cur = t.scan_open_range(Some(Oid(3)), Some(Oid(6)));
+        let mut got = Vec::new();
+        while let Some((oid, _)) = t.scan_next(&mut cur) {
+            got.push(oid.0);
+        }
+        assert_eq!(got, vec![3, 4, 5, 6]);
     }
 
     #[test]

@@ -115,6 +115,7 @@ fn main() {
         println!("  EXPLAIN SELECT id FROM Birds ORDER BY $.getSummaryObject('ClassBird1').getLabelValue('Disease') DESC;");
         println!("  EXPLAIN ANALYZE SELECT * FROM Birds r WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 2;");
         println!("  ZOOM IN ON ClassBird1 OF Birds TUPLE 8 LABEL 'Disease';");
+        println!("  \\set dop <N> to run eligible scans across N workers (0 = auto).");
         println!("  \\save <file> / \\load <file> to persist, \\q to quit.");
     }
     let stdin = std::io::stdin();
@@ -138,6 +139,20 @@ fn main() {
         }
         if line == "\\q" || line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
             break;
+        }
+        if let Some(arg) = line.strip_prefix("\\set dop") {
+            match arg.trim().parse::<usize>() {
+                Ok(0) => {
+                    session.exec_config.dop = default_dop();
+                    println!("dop = {} (auto)", session.exec_config.dop);
+                }
+                Ok(n) => {
+                    session.exec_config.dop = n;
+                    println!("dop = {n}");
+                }
+                Err(_) => eprintln!("usage: \\set dop <N>   (0 = available cores)"),
+            }
+            continue;
         }
         if let Some(path) = line.strip_prefix("\\save ") {
             match shared
@@ -167,9 +182,12 @@ fn main() {
         match shared.with_write(|db| execute_statement(db, &registry, line)) {
             Ok(SqlOutcome::Query(q)) => {
                 // Lower and execute under one read guard: one snapshot.
+                let dop = session.exec_config.dop;
                 let res = session.with_ctx(|ctx| {
                     let physical = lower_naive(ctx.db, &q.plan)?;
-                    ctx.execute(&physical)
+                    // Wrap eligible fragments in Exchange operators when the
+                    // session runs with DOP > 1 (\set dop N).
+                    ctx.execute(&parallelize_plan(&physical, dop))
                 });
                 match res {
                     Ok(rows) => {
@@ -196,8 +214,14 @@ fn main() {
                     Err(e) => eprintln!("query error: {e}"),
                 }
             }
-            Ok(SqlOutcome::Explain(text)) => print!("{text}"),
-            Ok(SqlOutcome::ExplainAnalyzed(analysis)) => print!("{analysis}"),
+            Ok(SqlOutcome::Explain(text)) => {
+                println!("dop: {}", session.exec_config.dop);
+                print!("{text}");
+            }
+            Ok(SqlOutcome::ExplainAnalyzed(analysis)) => {
+                println!("dop: {}", session.exec_config.dop);
+                print!("{analysis}");
+            }
             Ok(SqlOutcome::Analyzed(_)) => println!("statistics collected"),
             Ok(SqlOutcome::Altered {
                 instance,

@@ -84,7 +84,9 @@ pub mod prelude {
     pub use instn_mining::clustream::ClusterParams;
     pub use instn_mining::nb::NaiveBayes;
     pub use instn_opt::{Optimizer, PlannerConfig, Statistics};
-    pub use instn_query::exec::{ExecContext, IndexRegistry, PhysicalPlan};
+    pub use instn_query::exec::{
+        default_dop, parallelize_plan, ExecConfig, ExecContext, IndexRegistry, PhysicalPlan,
+    };
     pub use instn_query::expr::{CmpOp, Expr, ObjFunc, ObjRef, ObjectPred, SummaryExpr};
     pub use instn_query::lower::lower_naive;
     pub use instn_query::plan::{JoinPredicate, LogicalPlan, SortKey};

@@ -1,0 +1,180 @@
+//! Property-based tests for the morsel-driven parallel executor: for
+//! arbitrary annotation loads, morsel partitions, and DOP ∈ {1..8}, the
+//! Exchange/Gather pipeline must reproduce the serial executor's output —
+//! row for row for pipelined fragments, and group for group for the
+//! two-phase partial-aggregate merge (the serial single-phase `GroupBy`
+//! is the oracle).
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use insightnotes::annot::{Attachment, Category};
+use insightnotes::core::db::Database;
+use insightnotes::core::instance::InstanceKind;
+use insightnotes::mining::nb::NaiveBayes;
+use insightnotes::prelude::{
+    CmpOp, ExecConfig, ExecContext, Expr, PhysicalPlan, PointerMode, SummaryBTree,
+};
+use insightnotes::storage::{ColumnType, Schema, TableId, Value};
+
+/// Birds(id, family); tuple i carries `counts[i]` disease annotations and
+/// one behavior annotation, all row-attached.
+fn build(counts: &[usize]) -> (Database, TableId) {
+    let mut db = Database::new();
+    let t = db
+        .create_table(
+            "Birds",
+            Schema::of(&[("id", ColumnType::Int), ("family", ColumnType::Text)]),
+        )
+        .unwrap();
+    let mut model = NaiveBayes::new(vec!["Disease".into(), "Behavior".into()]);
+    model.train("disease outbreak infection virus", "Disease");
+    model.train("eating foraging migration song", "Behavior");
+    db.link_instance(t, "C", InstanceKind::Classifier { model }, true)
+        .unwrap();
+    for (i, &c) in counts.iter().enumerate() {
+        let oid = db
+            .insert_tuple(
+                t,
+                vec![Value::Int(i as i64), Value::Text(format!("fam{}", i % 3))],
+            )
+            .unwrap();
+        for _ in 0..c {
+            db.add_annotation(
+                t,
+                "disease outbreak infection",
+                Category::Disease,
+                "u",
+                vec![Attachment::row(oid)],
+            )
+            .unwrap();
+        }
+        db.add_annotation(
+            t,
+            "eating foraging song",
+            Category::Behavior,
+            "u",
+            vec![Attachment::row(oid)],
+        )
+        .unwrap();
+    }
+    (db, t)
+}
+
+fn parallel_ctx_config(morsel_rows: usize) -> ExecConfig {
+    ExecConfig {
+        morsel_rows,
+        ..ExecConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Pipelined fragment (summary-predicate filter over a heap scan):
+    /// the morsel-order gather is serial-identical for every partition
+    /// granularity and worker count.
+    #[test]
+    fn parallel_filter_scan_matches_serial(
+        counts in prop::collection::vec(0usize..6, 4..40),
+        morsel_rows in 1usize..16,
+        dop in 1usize..=8,
+        threshold in 0i64..6,
+    ) {
+        let (db, t) = build(&counts);
+        let plan = PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::SeqScan { table: t, with_summaries: true }),
+            pred: Expr::label_cmp("C", "Disease", CmpOp::Ge, threshold),
+        };
+        let mut ctx = ExecContext::new(&db);
+        let serial = ctx.execute(&plan).unwrap();
+        ctx.config = parallel_ctx_config(morsel_rows);
+        let parallel = ctx
+            .execute(&PhysicalPlan::Exchange { input: Box::new(plan), dop })
+            .unwrap();
+        prop_assert_eq!(parallel, serial);
+    }
+
+    /// Two-phase aggregation: per-worker partial `AggState`s merged at the
+    /// gather equal the serial single-phase group-by oracle for arbitrary
+    /// morsel partitions and DOP 1..8 (row-attached annotations).
+    #[test]
+    fn two_phase_group_by_matches_serial_oracle(
+        counts in prop::collection::vec(0usize..5, 4..32),
+        morsel_rows in 1usize..12,
+        dop in 1usize..=8,
+    ) {
+        let (db, t) = build(&counts);
+        let plan = PhysicalPlan::GroupBy {
+            input: Box::new(PhysicalPlan::SeqScan { table: t, with_summaries: true }),
+            cols: vec![1],
+        };
+        let mut ctx = ExecContext::new(&db);
+        let oracle = ctx.execute(&plan).unwrap();
+        ctx.config = parallel_ctx_config(morsel_rows);
+        let parallel = ctx
+            .execute(&PhysicalPlan::Exchange { input: Box::new(plan), dop })
+            .unwrap();
+        prop_assert_eq!(parallel, oracle);
+    }
+
+    /// Summary-BTree range-scan morsels (index entries in count order)
+    /// gather back into the serial key order.
+    #[test]
+    fn parallel_summary_index_scan_matches_serial(
+        counts in prop::collection::vec(0usize..6, 4..24),
+        morsel_rows in 1usize..8,
+        dop in 1usize..=8,
+        lo in 0u64..4,
+    ) {
+        let (db, t) = build(&counts);
+        let idx = SummaryBTree::bulk_build(&db, t, "C", PointerMode::Backward).unwrap();
+        let mut ctx = ExecContext::new(&db);
+        ctx.register_summary_index("idx", idx);
+        let plan = PhysicalPlan::SummaryIndexScan {
+            index: "idx".into(),
+            label: "Disease".into(),
+            lo: Some(lo),
+            hi: None,
+            propagate: true,
+            reverse: false,
+        };
+        let serial = ctx.execute(&plan).unwrap();
+        ctx.config = parallel_ctx_config(morsel_rows);
+        let parallel = ctx
+            .execute(&PhysicalPlan::Exchange { input: Box::new(plan), dop })
+            .unwrap();
+        prop_assert_eq!(parallel, serial);
+    }
+}
+
+/// A simulated per-morsel stall must not change results — only wall-clock.
+#[test]
+fn io_stall_changes_timing_not_results() {
+    let counts: Vec<usize> = (0..30).map(|i| i % 5).collect();
+    let (db, t) = build(&counts);
+    let plan = PhysicalPlan::Filter {
+        input: Box::new(PhysicalPlan::SeqScan {
+            table: t,
+            with_summaries: true,
+        }),
+        pred: Expr::label_cmp("C", "Disease", CmpOp::Ge, 2),
+    };
+    let mut ctx = ExecContext::new(&db);
+    let serial = ctx.execute(&plan).unwrap();
+    ctx.config = ExecConfig {
+        morsel_rows: 5,
+        io_stall: Duration::from_micros(200),
+        ..ExecConfig::default()
+    };
+    for dop in [1, 2, 4] {
+        let rows = ctx
+            .execute(&PhysicalPlan::Exchange {
+                input: Box::new(plan.clone()),
+                dop,
+            })
+            .unwrap();
+        assert_eq!(rows, serial, "dop {dop}");
+    }
+}
