@@ -11,7 +11,11 @@
 //! * one de-normalized [`SummaryStorage`] per relation.
 //!
 //! Every mutation returns [`SummaryDelta`]s so index layers can maintain
-//! their structures without this crate depending on them.
+//! their structures without this crate depending on them — and, since the
+//! delta journal (see [`crate::journal`]) exists, every sealed mutation
+//! also records its deltas under the revision it committed at, so index
+//! layers that *missed* the return value (a different session, a registry
+//! refreshed later) can replay the gap instead of rebuilding.
 
 use std::collections::HashMap;
 use std::sync::atomic::AtomicU64;
@@ -22,6 +26,7 @@ use instn_storage::io::IoStats;
 use instn_storage::{BufferPool, Catalog, Oid, Schema, Table, TableId, Tuple, Wal};
 
 use crate::instance::{InstanceKind, SummaryInstance};
+use crate::journal::{DataChange, DeltaJournal, DEFAULT_JOURNAL_RETENTION};
 use crate::maintain::{LabelChange, SummaryDelta};
 use crate::recover::WalOp;
 use crate::storage::SummaryStorage;
@@ -45,6 +50,10 @@ pub struct Database {
     pub(crate) next_instance: u32,
     pub(crate) next_obj: u64,
     pub(crate) revision: u64,
+    /// Revision-stamped maintenance feed (see [`crate::journal`]): every
+    /// sealed mutation's deltas, retained in a bounded ring for index
+    /// replay, plus per-table revision high-water marks.
+    pub(crate) journal: DeltaJournal,
     /// Write-ahead log, if durability was enabled (see [`crate::recover`]).
     pub(crate) wal: Option<Arc<Wal>>,
 }
@@ -76,6 +85,7 @@ impl Database {
             next_instance: 1,
             next_obj: 1,
             revision: 1,
+            journal: DeltaJournal::new(DEFAULT_JOURNAL_RETENTION),
             wal: None,
         }
     }
@@ -110,10 +120,25 @@ impl Database {
         self.revision
     }
 
+    /// The maintenance journal: sealed per-mutation deltas plus per-table
+    /// revision high-water marks (see [`crate::journal`]).
+    pub fn journal(&self) -> &DeltaJournal {
+        &self.journal
+    }
+
+    /// Resize the journal's retention window. Retention 0 disables replay
+    /// entirely (every consumer falls back to bulk rebuild — the
+    /// rebuild-on-stale baseline).
+    pub fn set_journal_retention(&mut self, retention: usize) {
+        self.journal.set_retention(retention);
+    }
+
     /// Advance the revision counter (used by versioned workloads).
     pub fn bump_revision(&mut self) -> u64 {
         self.wal_log(|| WalOp::BumpRevision);
         self.revision += 1;
+        // A bare bump touches no table: the journal records nothing and no
+        // high-water mark moves, so indexes correctly skip maintenance.
         // Keep the infallible signature: a failed commit force means a
         // simulated crash already latched, and the very next fallible
         // mutation surfaces it; recovery discards this uncommitted bump.
@@ -186,8 +211,18 @@ impl Database {
             table,
             tuple: tuple.clone(),
         });
+        let values = tuple.clone();
         let res = (|| Ok(self.catalog.table_mut(table)?.insert(tuple)?))();
-        self.finish_mutation(res)
+        let res = self.finish_mutation(res);
+        if let Ok(oid) = res {
+            self.journal.record(
+                self.revision,
+                false,
+                vec![DataChange::Insert { table, oid, values }],
+                Vec::new(),
+            );
+        }
+        res
     }
 
     /// Update a data tuple's values in place. Returns `true` when the tuple
@@ -200,16 +235,40 @@ impl Database {
             oid,
             tuple: tuple.clone(),
         });
+        let new_values = tuple.clone();
         let res = self.update_tuple_inner(table, oid, tuple);
-        self.finish_mutation(res)
+        match self.finish_mutation(res) {
+            Ok((relocated, old)) => {
+                self.journal.record(
+                    self.revision,
+                    false,
+                    vec![DataChange::Update {
+                        table,
+                        oid,
+                        old,
+                        new: new_values,
+                        relocated,
+                    }],
+                    Vec::new(),
+                );
+                Ok(relocated)
+            }
+            Err(e) => Err(e),
+        }
     }
 
-    fn update_tuple_inner(&mut self, table: TableId, oid: Oid, tuple: Tuple) -> Result<bool> {
+    fn update_tuple_inner(
+        &mut self,
+        table: TableId,
+        oid: Oid,
+        tuple: Tuple,
+    ) -> Result<(bool, Tuple)> {
         let t = self.catalog.table_mut(table)?;
+        let old = t.get(oid)?;
         let before = t.disk_tuple_loc(oid)?;
         t.update(oid, tuple)?;
         let after = t.disk_tuple_loc(oid)?;
-        Ok(before != after)
+        Ok((before != after, old))
     }
 
     /// Delete a data tuple, its summary row, and its annotation postings.
@@ -217,11 +276,24 @@ impl Database {
     pub fn delete_tuple(&mut self, table: TableId, oid: Oid) -> Result<SummaryDelta> {
         self.wal_log(|| WalOp::DeleteTuple { table, oid });
         let res = self.delete_tuple_inner(table, oid);
-        self.finish_mutation(res)
+        match self.finish_mutation(res) {
+            Ok((delta, values)) => {
+                self.journal.record(
+                    self.revision,
+                    false,
+                    vec![DataChange::Delete { table, oid, values }],
+                    vec![delta.clone()],
+                );
+                Ok(delta)
+            }
+            Err(e) => Err(e),
+        }
     }
 
-    fn delete_tuple_inner(&mut self, table: TableId, oid: Oid) -> Result<SummaryDelta> {
-        // Capture final label counts for index cleanup.
+    fn delete_tuple_inner(&mut self, table: TableId, oid: Oid) -> Result<(SummaryDelta, Tuple)> {
+        // Capture the data values (for column-index maintenance) and final
+        // label counts (for summary-index cleanup) before anything is gone.
+        let values = self.catalog.table(table)?.get(oid)?;
         let objects = self.summaries_of(table, oid)?;
         let mut changes = Vec::new();
         for obj in &objects {
@@ -257,13 +329,16 @@ impl Database {
             self.summaries.get_mut(&table).unwrap().delete(oid)?;
         }
         self.catalog.table_mut(table)?.delete(oid)?;
-        Ok(SummaryDelta {
-            table,
-            oid,
-            created_row: false,
-            deleted_row: true,
-            changes,
-        })
+        Ok((
+            SummaryDelta {
+                table,
+                oid,
+                created_row: false,
+                deleted_row: true,
+                changes,
+            },
+            values,
+        ))
     }
 
     // ------------------------------------------------------------------
@@ -303,7 +378,12 @@ impl Database {
             scope: scope.clone().unwrap_or_default(),
         });
         let res = self.link_instance_scoped_inner(table, name, kind, indexable, scope);
-        self.finish_mutation(res)
+        let res = self.finish_mutation(res);
+        if let Ok((_, deltas)) = &res {
+            self.journal
+                .record(self.revision, false, Vec::new(), deltas.clone());
+        }
+        res
     }
 
     fn link_instance_scoped_inner(
@@ -389,7 +469,13 @@ impl Database {
             name: name.to_string(),
         });
         let res = self.drop_instance_inner(table, name);
-        self.finish_mutation(res)
+        let res = self.finish_mutation(res);
+        if res.is_ok() {
+            // Removing an instance's objects from every summary row is not
+            // expressible as per-label deltas — consumers must rebuild.
+            self.journal.record_structural(self.revision, vec![table]);
+        }
+        res
     }
 
     fn drop_instance_inner(&mut self, table: TableId, name: &str) -> Result<()> {
@@ -449,7 +535,12 @@ impl Database {
             attachments: attachments.clone(),
         });
         let res = self.add_annotation_inner(table, text, category, author, attachments);
-        self.finish_mutation(res)
+        let res = self.finish_mutation(res);
+        if let Ok((_, deltas)) = &res {
+            self.journal
+                .record(self.revision, false, Vec::new(), deltas.clone());
+        }
+        res
     }
 
     fn add_annotation_inner(
@@ -494,7 +585,12 @@ impl Database {
             attachments: attachments.clone(),
         });
         let res = self.attach_annotation_inner(table, id, attachments);
-        self.finish_mutation(res)
+        let res = self.finish_mutation(res);
+        if let Ok(deltas) = &res {
+            self.journal
+                .record(self.revision, false, Vec::new(), deltas.clone());
+        }
+        res
     }
 
     fn attach_annotation_inner(
@@ -643,7 +739,12 @@ impl Database {
     pub fn delete_annotation(&mut self, id: AnnotId) -> Result<Vec<SummaryDelta>> {
         self.wal_log(|| WalOp::DeleteAnnotation { id });
         let res = self.delete_annotation_inner(id);
-        self.finish_mutation(res)
+        let res = self.finish_mutation(res);
+        if let Ok(deltas) = &res {
+            self.journal
+                .record(self.revision, false, Vec::new(), deltas.clone());
+        }
+        res
     }
 
     fn delete_annotation_inner(&mut self, id: AnnotId) -> Result<Vec<SummaryDelta>> {

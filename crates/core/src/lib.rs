@@ -26,6 +26,7 @@
 pub mod algebra;
 pub mod db;
 pub mod instance;
+pub mod journal;
 pub mod maintain;
 pub mod persist;
 pub mod recover;
@@ -37,6 +38,7 @@ pub mod zoom;
 pub use algebra::AnnotatedTuple;
 pub use db::Database;
 pub use instance::{InstanceKind, SummaryInstance};
+pub use journal::{DataChange, DeltaJournal, JournalEntry, DEFAULT_JOURNAL_RETENTION};
 pub use maintain::{LabelChange, SummaryDelta};
 pub use recover::RecoveryReport;
 pub use rollup::TableRollup;

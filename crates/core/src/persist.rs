@@ -400,6 +400,10 @@ impl Database {
             db.restore_annotation(id, home, cat, ann_revision, &author, &text, per_table)?;
         }
         db.revision = revision;
+        // Per-entry history does not survive a snapshot: declare everything
+        // up to the restored revision truncated so no consumer replays a
+        // gap the journal cannot vouch for.
+        db.journal.reset(revision);
         // Counters last: replay above advanced them from scratch, which can
         // fall short of the originals whenever deleted ids left gaps.
         db.annot_counter

@@ -19,6 +19,7 @@
 use std::sync::Arc;
 
 use instn_core::db::Database;
+use instn_core::journal::JournalEntry;
 use instn_core::maintain::SummaryDelta;
 use instn_core::summary::{ClassifierRep, InstanceId, ObjId, Rep, SummaryObject};
 use instn_core::Result;
@@ -27,6 +28,7 @@ use instn_storage::page::RecordId;
 use instn_storage::{HeapFile, Oid, TableId};
 
 use crate::itemize::{itemize_key, max_key, min_key, ItemizeWidth};
+use crate::maintainable::{EntryOutcome, MaintainableIndex};
 
 /// One normalized row: `(OID, Label, Count)`.
 #[derive(Debug, Clone, PartialEq)]
@@ -230,6 +232,57 @@ impl BaselineIndex {
         Ok(())
     }
 
+    /// Declare the scheme consistent with `revision` without touching rows
+    /// (sound only when no journal entry in the gap touches this table).
+    pub fn mark_synced(&mut self, revision: u64) {
+        self.built_revision = revision;
+    }
+
+    /// Full rebuild from the database's current state, in place.
+    pub fn rebuild_in_place(&mut self, db: &Database) -> Result<()> {
+        *self = BaselineIndex::bulk_build(db, self.table, &self.instance_name)?;
+        Ok(())
+    }
+
+    /// Fold one journal entry in (revision order). The baseline's delta
+    /// maintenance is purely local (normalized rows carry everything, width
+    /// growth re-keys from the replica without reading the database), so
+    /// replay never jumps ahead of the entry — only structural changes
+    /// force a rebuild.
+    pub fn apply_journal_entry(
+        &mut self,
+        db: &Database,
+        entry: &JournalEntry,
+    ) -> Result<EntryOutcome> {
+        if entry.structural && entry.touches(self.table) {
+            self.rebuild_in_place(db)?;
+            return Ok(EntryOutcome::rebuilt());
+        }
+        let mut applied = 0u64;
+        for delta in &entry.summary {
+            if delta.table != self.table {
+                continue;
+            }
+            self.apply_delta(db, delta)?;
+            applied += 1;
+        }
+        self.built_revision = entry.revision;
+        Ok(EntryOutcome::applied(applied))
+    }
+
+    /// Every normalized `(label, count, oid)` triple, sorted — the oracle
+    /// form for entry-for-entry comparison against a fresh bulk build.
+    pub fn dump_rows(&self) -> Vec<(String, u64, Oid)> {
+        let mut out: Vec<(String, u64, Oid)> = self
+            .norm
+            .scan()
+            .filter_map(|(_, bytes)| NormRow::decode(&bytes))
+            .map(|r| (r.label, r.count, r.oid))
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Re-key the derived index at a wider format.
     fn grow_width(&mut self, new_width: ItemizeWidth) {
         let mut pairs: Vec<(Vec<u8>, RecordId)> = Vec::new();
@@ -301,6 +354,28 @@ impl BaselineIndex {
             tuple_id: oid,
             rep: Rep::Classifier(rep),
         }))
+    }
+}
+
+impl MaintainableIndex for BaselineIndex {
+    fn table(&self) -> TableId {
+        BaselineIndex::table(self)
+    }
+
+    fn built_revision(&self) -> u64 {
+        BaselineIndex::built_revision(self)
+    }
+
+    fn mark_synced(&mut self, revision: u64) {
+        BaselineIndex::mark_synced(self, revision);
+    }
+
+    fn apply_entry(&mut self, db: &Database, entry: &JournalEntry) -> Result<EntryOutcome> {
+        self.apply_journal_entry(db, entry)
+    }
+
+    fn bulk_rebuild(&mut self, db: &Database) -> Result<()> {
+        self.rebuild_in_place(db)
     }
 }
 

@@ -23,9 +23,11 @@
 pub mod baseline;
 pub mod itemize;
 pub mod keyword;
+pub mod maintainable;
 pub mod summary_btree;
 
 pub use baseline::BaselineIndex;
 pub use itemize::{itemize_key, max_key, min_key, ItemizeWidth};
 pub use keyword::KeywordIndex;
+pub use maintainable::{EntryOutcome, MaintainableIndex};
 pub use summary_btree::{EntryCursor, IndexEntry, PointerMode, SummaryBTree};

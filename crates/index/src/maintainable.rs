@@ -1,0 +1,78 @@
+//! Uniform incremental-maintenance surface over every index kind.
+//!
+//! The delta journal (`instn_core::journal`) retains each sealed mutation's
+//! changes keyed by revision; an executor holding an index built at revision
+//! `B` catches it up by replaying the gap `(B, current]` entry by entry.
+//! [`MaintainableIndex`] is the contract that replay loop drives, so the
+//! Summary-BTree, the baseline scheme, and the data-column index (in
+//! `instn-query`) all maintain through one code path:
+//!
+//! * [`MaintainableIndex::apply_entry`] — fold one journal entry in. The
+//!   returned [`EntryOutcome`] says whether the entry was applied as deltas
+//!   or forced a full rebuild (width growth, structural change); after a
+//!   rebuild the index reflects the database's *current* state, so the
+//!   caller must stop replaying — later entries would double-apply.
+//! * [`MaintainableIndex::bulk_rebuild`] — the fallback when the journal
+//!   was truncated past the gap or replay is estimated costlier than a
+//!   fresh build.
+//! * [`MaintainableIndex::mark_synced`] — stamp freshness without touching
+//!   keys (used when the table's high-water mark proves nothing relevant
+//!   happened — the zero-work case).
+
+use instn_core::db::Database;
+use instn_core::journal::JournalEntry;
+use instn_core::Result;
+use instn_storage::TableId;
+
+/// What applying one journal entry did to an index.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EntryOutcome {
+    /// Individual changes (summary deltas, data changes) folded in.
+    pub changes_applied: u64,
+    /// The entry forced a full rebuild (width growth or structural change).
+    /// The index now reflects the database's current state: the caller must
+    /// stop replaying this gap.
+    pub rebuilt: bool,
+}
+
+impl EntryOutcome {
+    /// An outcome recording `n` incremental changes.
+    pub fn applied(n: u64) -> Self {
+        Self {
+            changes_applied: n,
+            rebuilt: false,
+        }
+    }
+
+    /// An outcome recording a full rebuild.
+    pub fn rebuilt() -> Self {
+        Self {
+            changes_applied: 0,
+            rebuilt: true,
+        }
+    }
+}
+
+/// An index that can be caught up from the delta journal.
+pub trait MaintainableIndex {
+    /// The table whose mutations invalidate this index.
+    fn table(&self) -> TableId;
+
+    /// Revision the index last matched (build, replay, or sync time).
+    fn built_revision(&self) -> u64;
+
+    /// Declare the index consistent with `revision` without touching keys.
+    /// Only sound when no journal entry in `(built_revision, revision]`
+    /// touches [`MaintainableIndex::table`].
+    fn mark_synced(&mut self, revision: u64);
+
+    /// Fold one journal entry into the index. Entries must be applied in
+    /// revision order; on success `built_revision` advances to the entry's
+    /// revision (or the database's current revision if the entry forced a
+    /// rebuild — see [`EntryOutcome::rebuilt`]).
+    fn apply_entry(&mut self, db: &Database, entry: &JournalEntry) -> Result<EntryOutcome>;
+
+    /// Rebuild from the database's current state (the fallback when the
+    /// journal cannot vouch for the gap).
+    fn bulk_rebuild(&mut self, db: &Database) -> Result<()>;
+}

@@ -22,6 +22,7 @@
 use std::sync::Arc;
 
 use instn_core::db::Database;
+use instn_core::journal::{DataChange, JournalEntry};
 use instn_core::maintain::SummaryDelta;
 use instn_core::summary::{InstanceId, Rep};
 use instn_core::{CoreError, Result};
@@ -31,6 +32,7 @@ use instn_storage::page::RecordId;
 use instn_storage::{Oid, TableId, Tuple};
 
 use crate::itemize::{itemize_key, max_key, min_key, ItemizeWidth};
+use crate::maintainable::{EntryOutcome, MaintainableIndex};
 
 /// Where leaf entries point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -329,6 +331,149 @@ impl SummaryBTree {
         Ok(())
     }
 
+    /// Declare the index consistent with `revision` without touching keys
+    /// (sound only when no journal entry in the gap touches this table).
+    pub fn mark_synced(&mut self, revision: u64) {
+        self.built_revision = revision;
+    }
+
+    /// Full rebuild from the database's current state, *in place*: the
+    /// operation counters survive (the rebuild is counted, not forgotten),
+    /// which is what lets regression tests pin rebuild counts across the
+    /// executor's refresh path.
+    pub fn rebuild_in_place(&mut self, db: &Database) -> Result<()> {
+        let rebuilt = SummaryBTree::bulk_build(db, self.table, &self.instance_name, self.mode)?;
+        self.tree = rebuilt.tree;
+        self.width = rebuilt.width;
+        self.ops.rebuilds += 1;
+        self.ops.key_inserts += rebuilt.ops.key_inserts;
+        self.built_revision = db.revision();
+        Ok(())
+    }
+
+    /// Fold one journal entry in (revision order). Differs from the live
+    /// [`SummaryBTree::apply_delta`] path in three ways replay demands:
+    ///
+    /// * width growth rebuilds from the *current* database state and
+    ///   reports [`EntryOutcome::rebuilt`] so the caller stops replaying
+    ///   (later entries are already reflected and would double-apply),
+    /// * a tuple that vanished later in the gap resolves to a placeholder
+    ///   location — deletes match on OID alone, so the gap's own deletion
+    ///   entry removes those keys before any search can chase the pointer,
+    /// * `built_revision` advances to the entry's revision, not the
+    ///   database's (the index has only vouched for the prefix it replayed).
+    pub fn apply_journal_entry(
+        &mut self,
+        db: &Database,
+        entry: &JournalEntry,
+    ) -> Result<EntryOutcome> {
+        if entry.structural && entry.touches(self.table) {
+            self.rebuild_in_place(db)?;
+            return Ok(EntryOutcome::rebuilt());
+        }
+        let needs = entry
+            .summary
+            .iter()
+            .filter(|d| d.table == self.table)
+            .flat_map(|d| d.changes.iter())
+            .filter(|c| c.instance == self.instance)
+            .filter_map(|c| c.new)
+            .max()
+            .unwrap_or(0);
+        if !self.width.fits(needs) {
+            self.rebuild_in_place(db)?;
+            return Ok(EntryOutcome::rebuilt());
+        }
+        let mut applied = 0u64;
+        for change in &entry.data {
+            if let DataChange::Update {
+                table,
+                oid,
+                relocated: true,
+                ..
+            } = change
+            {
+                if *table == self.table {
+                    match self.refresh_tuple(db, *oid) {
+                        Ok(()) => applied += 1,
+                        // Deleted later in the gap: the deletion entry
+                        // removes its keys, nothing to re-point.
+                        Err(e) if is_oid_missing(&e) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+        for delta in &entry.summary {
+            if delta.table != self.table {
+                continue;
+            }
+            self.apply_delta_replay(db, delta)?;
+            applied += 1;
+        }
+        self.built_revision = entry.revision;
+        Ok(EntryOutcome::applied(applied))
+    }
+
+    /// [`SummaryBTree::apply_delta`]'s key maintenance, minus the width
+    /// check (pre-checked per entry) and revision stamping, tolerating
+    /// tuples the gap later deletes.
+    fn apply_delta_replay(&mut self, db: &Database, delta: &SummaryDelta) -> Result<()> {
+        let entry = if delta.deleted_row {
+            IndexEntry {
+                oid: delta.oid,
+                loc: RecordId::new(0, 0),
+            }
+        } else {
+            match resolve_entry(db, self.table, delta.oid, self.mode) {
+                Ok(e) => e,
+                // The tuple no longer exists in the current state: a later
+                // entry in this same gap deletes it. Equality matches on
+                // OID alone, so the placeholder keys are removed then.
+                Err(e) if is_oid_missing(&e) => IndexEntry {
+                    oid: delta.oid,
+                    loc: RecordId::new(0, 0),
+                },
+                Err(e) => return Err(e),
+            }
+        };
+        for change in &delta.changes {
+            if change.instance != self.instance {
+                continue;
+            }
+            if let Some(old) = change.old {
+                if !(delta.created_row && change.new.is_some()) {
+                    let key = itemize_key(&change.label, old, self.width);
+                    if self.tree.delete(&key, &entry).is_ok() {
+                        self.ops.key_deletes += 1;
+                    }
+                }
+            }
+            if let Some(new) = change.new {
+                let key = itemize_key(&change.label, new, self.width);
+                self.tree.insert(&key, entry);
+                self.ops.key_inserts += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Every indexed `(label, count, oid)` triple, sorted — the oracle form
+    /// for entry-for-entry comparison against a fresh bulk build (decoded,
+    /// so two indexes at different key widths still compare equal).
+    pub fn dump_entries(&self) -> Vec<(String, u64, Oid)> {
+        let mut out: Vec<(String, u64, Oid)> = self
+            .tree
+            .range(None, None)
+            .map(|(key, e)| {
+                let (label, count) = split_key(&key);
+                (label, count, e.oid)
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
     /// Equality search: tuples whose `label` count equals `count`.
     pub fn search_eq(&mut self, label: &str, count: u64) -> Vec<IndexEntry> {
         self.ops.searches += 1;
@@ -441,6 +586,37 @@ pub enum EntryCursor {
     Asc(instn_storage::Cursor),
     /// Descending count order.
     Desc(instn_storage::CursorDesc),
+}
+
+impl MaintainableIndex for SummaryBTree {
+    fn table(&self) -> TableId {
+        SummaryBTree::table(self)
+    }
+
+    fn built_revision(&self) -> u64 {
+        SummaryBTree::built_revision(self)
+    }
+
+    fn mark_synced(&mut self, revision: u64) {
+        SummaryBTree::mark_synced(self, revision);
+    }
+
+    fn apply_entry(&mut self, db: &Database, entry: &JournalEntry) -> Result<EntryOutcome> {
+        self.apply_journal_entry(db, entry)
+    }
+
+    fn bulk_rebuild(&mut self, db: &Database) -> Result<()> {
+        self.rebuild_in_place(db)
+    }
+}
+
+/// Whether an error means "this OID no longer exists" (tolerated during
+/// journal replay: the gap's own deletion entry cleans up).
+fn is_oid_missing(e: &CoreError) -> bool {
+    matches!(
+        e,
+        CoreError::Storage(instn_storage::StorageError::OidNotFound(_))
+    )
 }
 
 /// Resolve the pointer target for a tuple under a mode.

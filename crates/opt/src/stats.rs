@@ -6,10 +6,20 @@
 //! instance's `AvgObjectSize`. The statistics are built by an ANALYZE-style
 //! pass and maintained incrementally "whenever a summary object is updated"
 //! — driven here by the same [`SummaryDelta`] stream the indexes consume.
+//!
+//! Since the delta-journal refactor the statistics are *revision-stamped*:
+//! [`Statistics::analyze`] records the database revision it observed, and
+//! [`Statistics::catch_up`] replays the [`instn_core::DeltaJournal`] gap
+//! `(as_of, current]` — folding summary deltas into the per-label
+//! structures and tuple-level changes into the row counts — so planner
+//! statistics stop going stale between explicit ANALYZE passes. When the
+//! journal has been truncated past the stamp, `catch_up` falls back to a
+//! full re-analyze.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use instn_core::db::Database;
+use instn_core::journal::DataChange;
 use instn_core::maintain::SummaryDelta;
 use instn_core::summary::Rep;
 use instn_core::Result;
@@ -149,6 +159,8 @@ pub struct Statistics {
     table_pages: HashMap<TableId, u64>,
     /// Per-table SummaryStorage pages.
     summary_pages: HashMap<TableId, u64>,
+    /// Database revision these statistics reflect (0 = never analyzed).
+    as_of: u64,
 }
 
 impl Statistics {
@@ -187,7 +199,71 @@ impl Statistics {
             }
             tid += 1;
         }
+        stats.as_of = db.revision();
         Ok(stats)
+    }
+
+    /// The database revision these statistics reflect.
+    pub fn as_of(&self) -> u64 {
+        self.as_of
+    }
+
+    /// Bring the statistics up to the database's current revision by
+    /// replaying the delta journal over the gap `(as_of, current]`.
+    ///
+    /// Summary deltas fold into the per-label structures exactly as the
+    /// live [`Statistics::apply_delta`] path would; tuple inserts and
+    /// deletes adjust the per-table row counts; page counts of touched
+    /// tables are re-read from the live tables (an O(1) accessor). A
+    /// structural change (instance drop) or a journal truncated past
+    /// `as_of` cannot be replayed — those fall back to a full re-analyze.
+    ///
+    /// Returns `true` when the fallback re-analyze ran, `false` when the
+    /// gap was replayed (or there was no gap at all).
+    pub fn catch_up(&mut self, db: &Database) -> Result<bool> {
+        let current = db.revision();
+        if current == self.as_of {
+            return Ok(false);
+        }
+        let journal = db.journal();
+        let Some(entries) = journal.replay_range(self.as_of) else {
+            *self = Statistics::analyze(db)?;
+            return Ok(true);
+        };
+        let mut touched: HashSet<TableId> = HashSet::new();
+        let mut row_adjust: HashMap<TableId, i64> = HashMap::new();
+        let mut deltas: Vec<SummaryDelta> = Vec::new();
+        for entry in entries {
+            if entry.structural {
+                *self = Statistics::analyze(db)?;
+                return Ok(true);
+            }
+            touched.extend(entry.tables.iter().copied());
+            for ch in &entry.data {
+                match ch {
+                    DataChange::Insert { table, .. } => *row_adjust.entry(*table).or_insert(0) += 1,
+                    DataChange::Delete { table, .. } => *row_adjust.entry(*table).or_insert(0) -= 1,
+                    DataChange::Update { .. } => {}
+                }
+            }
+            deltas.extend(entry.summary.iter().cloned());
+        }
+        for d in &deltas {
+            self.apply_delta(d);
+        }
+        for (table, adj) in row_adjust {
+            let rows = self.table_rows.entry(table).or_insert(0);
+            *rows = rows.saturating_add_signed(adj);
+        }
+        for table in touched {
+            if let Ok(t) = db.table(table) {
+                self.table_pages.insert(table, t.page_count() as u64);
+                self.summary_pages
+                    .insert(table, db.summary_storage(table).page_count() as u64);
+            }
+        }
+        self.as_of = current;
+        Ok(false)
     }
 
     /// Incrementally fold a summary delta into the statistics.
@@ -347,6 +423,59 @@ mod tests {
         let ls = stats.label_stats(t, "C", "Disease").unwrap();
         assert_eq!(ls.max, 5, "tuple 4 moved from 4 to 5 disease annots");
         assert_eq!(ls.total, 5);
+    }
+
+    #[test]
+    fn catch_up_replays_journal_gap() {
+        let (mut db, t, oids) = setup(5);
+        let mut stats = Statistics::analyze(&db).unwrap();
+        assert_eq!(stats.as_of(), db.revision());
+        // No gap: nothing to do.
+        assert!(!stats.catch_up(&db).unwrap());
+        // Mutate past the stamp: annotations + a tuple insert + a delete.
+        db.add_annotation(
+            t,
+            "disease outbreak",
+            Category::Disease,
+            "u",
+            vec![Attachment::row(oids[4])],
+        )
+        .unwrap();
+        db.insert_tuple(t, vec![Value::Int(99)]).unwrap();
+        db.delete_tuple(t, oids[0]).unwrap();
+        assert!(stats.as_of() < db.revision());
+        let reanalyzed = stats.catch_up(&db).unwrap();
+        assert!(!reanalyzed, "retained gap must replay, not re-analyze");
+        assert_eq!(stats.as_of(), db.revision());
+        let fresh = Statistics::analyze(&db).unwrap();
+        assert_eq!(stats.rows(t), fresh.rows(t), "row counts track the journal");
+        let (ls, lf) = (
+            stats.label_stats(t, "C", "Disease").unwrap(),
+            fresh.label_stats(t, "C", "Disease").unwrap(),
+        );
+        assert_eq!((ls.min, ls.max, ls.total), (lf.min, lf.max, lf.total));
+    }
+
+    #[test]
+    fn catch_up_falls_back_when_truncated() {
+        let (mut db, t, oids) = setup(5);
+        let mut stats = Statistics::analyze(&db).unwrap();
+        // Retention 0: every entry is truncated immediately, so the gap
+        // is unreplayable and catch_up must re-analyze.
+        db.set_journal_retention(0);
+        db.delete_tuple(t, oids[0]).unwrap();
+        assert!(stats.catch_up(&db).unwrap(), "truncated gap re-analyzes");
+        assert_eq!(stats.as_of(), db.revision());
+        assert_eq!(stats.rows(t), 4.0);
+    }
+
+    #[test]
+    fn catch_up_falls_back_on_structural_change() {
+        let (mut db, t, _) = setup(5);
+        let mut stats = Statistics::analyze(&db).unwrap();
+        db.drop_instance(t, "C").unwrap();
+        assert!(stats.catch_up(&db).unwrap(), "instance drop re-analyzes");
+        assert!(!stats.has_instance(t, "C"));
     }
 
     #[test]

@@ -10,6 +10,8 @@
 use std::sync::Arc;
 
 use instn_core::db::Database;
+use instn_core::journal::{DataChange, JournalEntry};
+use instn_index::{EntryOutcome, MaintainableIndex};
 use instn_storage::btree::BTree;
 use instn_storage::{Oid, TableId, Value};
 
@@ -164,6 +166,88 @@ impl ColumnIndex {
     /// Maintain on delete.
     pub fn delete(&mut self, v: &Value, oid: Oid) {
         let _ = self.tree.delete(&value_key(v), &oid);
+    }
+
+    /// Full rebuild from the table's current contents, in place.
+    pub fn rebuild_in_place(&mut self, db: &Database) -> Result<()> {
+        *self = ColumnIndex::build(db, self.table, self.column)?;
+        Ok(())
+    }
+
+    /// Fold one journal entry in (revision order): data-column indexes
+    /// consume the raw [`DataChange`] stream — summary deltas carry label
+    /// counts, not column values, so they are irrelevant here, as are
+    /// structural (instance) changes.
+    pub fn apply_journal_entry(
+        &mut self,
+        _db: &Database,
+        entry: &JournalEntry,
+    ) -> Result<EntryOutcome> {
+        let mut applied = 0u64;
+        for change in &entry.data {
+            if change.table() != self.table {
+                continue;
+            }
+            match change {
+                DataChange::Insert { oid, values, .. } => {
+                    self.insert(&values[self.column], *oid);
+                    applied += 1;
+                }
+                DataChange::Update { oid, old, new, .. } => {
+                    if old[self.column] != new[self.column] {
+                        self.delete(&old[self.column], *oid);
+                        self.insert(&new[self.column], *oid);
+                        applied += 1;
+                    }
+                }
+                DataChange::Delete { oid, values, .. } => {
+                    self.delete(&values[self.column], *oid);
+                    applied += 1;
+                }
+            }
+        }
+        self.built_revision = entry.revision;
+        Ok(EntryOutcome::applied(applied))
+    }
+
+    /// Every indexed `(key, oid)` pair, sorted — the oracle form for
+    /// entry-for-entry comparison against a fresh build.
+    pub fn dump_entries(&self) -> Vec<(Vec<u8>, Oid)> {
+        let mut out: Vec<(Vec<u8>, Oid)> = self.tree.range(None, None).collect();
+        out.sort();
+        out
+    }
+}
+
+impl MaintainableIndex for ColumnIndex {
+    fn table(&self) -> TableId {
+        ColumnIndex::table(self)
+    }
+
+    fn built_revision(&self) -> u64 {
+        ColumnIndex::built_revision(self)
+    }
+
+    fn mark_synced(&mut self, revision: u64) {
+        ColumnIndex::mark_synced(self, revision);
+    }
+
+    fn apply_entry(
+        &mut self,
+        db: &Database,
+        entry: &JournalEntry,
+    ) -> instn_core::Result<EntryOutcome> {
+        self.apply_journal_entry(db, entry).map_err(|e| match e {
+            crate::QueryError::Core(c) => c,
+            other => instn_core::CoreError::Corrupt(other.to_string()),
+        })
+    }
+
+    fn bulk_rebuild(&mut self, db: &Database) -> instn_core::Result<()> {
+        self.rebuild_in_place(db).map_err(|e| match e {
+            crate::QueryError::Core(c) => c,
+            other => instn_core::CoreError::Corrupt(other.to_string()),
+        })
     }
 }
 

@@ -30,8 +30,8 @@ use std::time::Duration;
 use instn_core::algebra::{merge_summary_sets, project_eliminate};
 use instn_core::db::Database;
 use instn_core::summary::{decode_objects, encode_objects};
-use instn_core::AnnotatedTuple;
-use instn_index::{BaselineIndex, SummaryBTree};
+use instn_core::{AnnotatedTuple, CoreError};
+use instn_index::{BaselineIndex, MaintainableIndex, SummaryBTree};
 use instn_storage::io::IoStats;
 use instn_storage::tuple::{decode_tuple, encode_tuple};
 use instn_storage::{HeapFile, TableId, Value};
@@ -426,10 +426,179 @@ impl IndexRegistry {
         self.summary.len() + self.baseline.len() + self.column.len()
     }
 
+    /// A registered Summary-BTree, by name.
+    pub fn summary_index(&self, name: &str) -> Option<&SummaryBTree> {
+        self.summary.get(name)
+    }
+
+    /// A registered baseline index, by name.
+    pub fn baseline_index(&self, name: &str) -> Option<&BaselineIndex> {
+        self.baseline.get(name)
+    }
+
+    /// A registered data-column index.
+    pub fn column_index(&self, table: TableId, col: usize) -> Option<&ColumnIndex> {
+        self.column.get(&(table, col))
+    }
+
     /// Whether no index is registered.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+}
+
+/// Work performed by one index-maintenance pass at plan open (the
+/// `maintenance:` section of EXPLAIN ANALYZE).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Registered indexes examined.
+    pub indexes_checked: u64,
+    /// Indexes already stamped at the current revision (no work).
+    pub indexes_fresh: u64,
+    /// Stale-stamped indexes whose table's high-water mark proved untouched:
+    /// re-stamped with zero maintenance work.
+    pub indexes_skipped: u64,
+    /// Indexes caught up by replaying the journal gap.
+    pub indexes_replayed: u64,
+    /// Individual journal changes folded into replayed indexes.
+    pub deltas_applied: u64,
+    /// Indexes bulk-rebuilt because the journal was truncated past their
+    /// gap or replay was estimated costlier than a fresh build.
+    pub indexes_rebuilt: u64,
+    /// Rebuilds forced mid-replay (key-width growth, structural change).
+    pub forced_rebuilds: u64,
+    /// Registrations dropped because their summary instance no longer
+    /// exists (an `ALTER TABLE … DROP` landed since the index was built).
+    pub indexes_evicted: u64,
+    /// Physical page transfers charged to the whole pass.
+    pub physical_io: u64,
+    /// Logical page accesses charged to the whole pass.
+    pub logical_io: u64,
+}
+
+impl MaintenanceReport {
+    /// Whether the pass did any index work at all (skips are free).
+    pub fn did_work(&self) -> bool {
+        self.indexes_replayed + self.indexes_rebuilt + self.forced_rebuilds > 0
+    }
+
+    /// Render as the indented `maintenance:` block of EXPLAIN ANALYZE.
+    pub fn render(&self) -> String {
+        let mut out = String::from("maintenance:\n");
+        out.push_str(&format!(
+            "  indexes: {} checked, {} fresh, {} skipped (untouched table), {} replayed, {} rebuilt\n",
+            self.indexes_checked,
+            self.indexes_fresh,
+            self.indexes_skipped,
+            self.indexes_replayed,
+            self.indexes_rebuilt + self.forced_rebuilds,
+        ));
+        out.push_str(&format!(
+            "  replay: {} deltas applied; io: {} physical, {} logical\n",
+            self.deltas_applied, self.physical_io, self.logical_io,
+        ));
+        if self.indexes_evicted > 0 {
+            out.push_str(&format!(
+                "  evicted: {} (instance dropped)\n",
+                self.indexes_evicted
+            ));
+        }
+        out
+    }
+}
+
+/// Replay beats a bulk rebuild when the gap is small relative to the
+/// table: one replayed change costs a few B-Tree node touches, a rebuild
+/// scans the whole summary storage / heap and re-sorts every key. The
+/// optimizer's `CostModel::refresh_cost` (in `instn-opt`) prices the same
+/// trade in io/cpu units; this is the executor's dimensionless mirror of
+/// it, kept inline because `instn-query` cannot depend on `instn-opt`.
+pub(crate) const REPLAY_CHANGE_FACTOR: u64 = 4;
+
+/// Whether replaying `gap_changes` journal changes is estimated cheaper
+/// than bulk-rebuilding an index over a table of `table_rows` rows.
+pub(crate) fn replay_cheaper(gap_changes: u64, table_rows: u64) -> bool {
+    gap_changes.saturating_mul(REPLAY_CHANGE_FACTOR) <= table_rows.max(16)
+}
+
+/// Catch one index up with the database: skip if its table is untouched,
+/// replay the journal gap when possible and cheap, bulk rebuild otherwise.
+///
+/// Returns `Ok(false)` when the index's summary instance no longer exists
+/// (an `ALTER TABLE … DROP` landed since it was built) — the registration
+/// is unsalvageable and the caller must evict it.
+fn refresh_index<I: MaintainableIndex>(
+    db: &Database,
+    idx: &mut I,
+    report: &mut MaintenanceReport,
+) -> Result<bool> {
+    let rev = db.revision();
+    report.indexes_checked += 1;
+    let built = idx.built_revision();
+    if built == rev {
+        report.indexes_fresh += 1;
+        return Ok(true);
+    }
+    let journal = db.journal();
+    let table = idx.table();
+    if journal.table_high_water(table) <= built {
+        // Nothing touched this table since the index was built: the stamp
+        // alone advances. This is the zero-work case the per-table
+        // high-water marks exist for.
+        idx.mark_synced(rev);
+        report.indexes_skipped += 1;
+        return Ok(true);
+    }
+    let table_rows = db.table(table)?.len() as u64;
+    let replayable = journal
+        .gap_changes(built, table)
+        .is_some_and(|gap| replay_cheaper(gap, table_rows));
+    if !replayable {
+        return match idx.bulk_rebuild(db) {
+            Ok(()) => {
+                report.indexes_rebuilt += 1;
+                Ok(true)
+            }
+            Err(CoreError::InstanceNotFound(_)) => {
+                report.indexes_evicted += 1;
+                Ok(false)
+            }
+            Err(e) => Err(e.into()),
+        };
+    }
+    let mut rebuilt_mid_replay = false;
+    for entry in journal
+        .replay_range(built)
+        .expect("gap verified replayable")
+    {
+        if !entry.touches(table) {
+            continue;
+        }
+        match idx.apply_entry(db, entry) {
+            Ok(out) => {
+                report.deltas_applied += out.changes_applied;
+                if out.rebuilt {
+                    // The rebuild reflects the current state; later entries
+                    // are already in and replaying them would double-apply.
+                    report.forced_rebuilds += 1;
+                    rebuilt_mid_replay = true;
+                    break;
+                }
+            }
+            // A structural entry whose forced rebuild finds the instance
+            // gone: the registration points at a dropped instance.
+            Err(CoreError::InstanceNotFound(_)) => {
+                report.indexes_evicted += 1;
+                return Ok(false);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+    if !rebuilt_mid_replay {
+        idx.mark_synced(rev);
+        report.indexes_replayed += 1;
+    }
+    Ok(true)
 }
 
 /// Execution context: the database plus registered indexes.
@@ -443,6 +612,8 @@ pub struct ExecContext<'a> {
     pub sort_mem: usize,
     /// Parallel-execution knobs consulted by [`PhysicalPlan::Exchange`].
     pub config: ExecConfig,
+    /// What the most recent [`ExecContext::refresh_stale_indexes`] pass did.
+    last_maintenance: MaintenanceReport,
 }
 
 impl<'a> ExecContext<'a> {
@@ -455,6 +626,7 @@ impl<'a> ExecContext<'a> {
             column_indexes: HashMap::new(),
             sort_mem: DEFAULT_SORT_MEM,
             config: ExecConfig::default(),
+            last_maintenance: MaintenanceReport::default(),
         }
     }
 
@@ -481,35 +653,61 @@ impl<'a> ExecContext<'a> {
         self.column_indexes.extend(registry.column);
     }
 
-    /// Rebuild every registered index whose `built_revision` no longer
-    /// matches the database's revision.
+    /// Catch every registered index up with the database's revision.
     ///
     /// An index registration outlives the mutations that happen around it;
     /// without this check a scan over a stale tree silently returns
     /// pre-mutation rows (deleted tuples resurface, inserts are invisible).
-    /// Runs at every plan execution; a fresh registry costs three integer
-    /// comparisons per index, a stale one pays a bulk rebuild.
+    /// Runs at every plan open. Per index, in order of preference:
+    ///
+    /// 1. fresh stamp → nothing,
+    /// 2. table high-water mark `<= built_revision` → re-stamp, zero work
+    ///    (a mutation elsewhere cannot invalidate this index),
+    /// 3. journal gap `(built_revision, current]` retained and small →
+    ///    replay it delta by delta ([`MaintainableIndex::apply_entry`]),
+    /// 4. otherwise (journal truncated past the gap, or replay estimated
+    ///    costlier than a fresh build) → bulk rebuild.
+    ///
+    /// The pass's work is recorded in the [`MaintenanceReport`] available
+    /// from [`ExecContext::maintenance_report`] (EXPLAIN ANALYZE's
+    /// `maintenance:` section).
     pub fn refresh_stale_indexes(&mut self) -> Result<()> {
-        let rev = self.db.revision();
-        for idx in self.summary_indexes.values_mut() {
-            if idx.built_revision() != rev {
-                let (table, name, mode) =
-                    (idx.table(), idx.instance_name().to_string(), idx.mode());
-                *idx = SummaryBTree::bulk_build(self.db, table, &name, mode)?;
+        let mut report = MaintenanceReport::default();
+        let before = self.db.stats().snapshot();
+        let mut dead_summary = Vec::new();
+        for (name, idx) in self.summary_indexes.iter_mut() {
+            if !refresh_index(self.db, idx, &mut report)? {
+                dead_summary.push(name.clone());
             }
         }
-        for idx in self.baseline_indexes.values_mut() {
-            if idx.built_revision() != rev {
-                let (table, name) = (idx.table(), idx.instance_name().to_string());
-                *idx = BaselineIndex::bulk_build(self.db, table, &name)?;
+        for name in dead_summary {
+            self.summary_indexes.remove(&name);
+        }
+        let mut dead_baseline = Vec::new();
+        for (name, idx) in self.baseline_indexes.iter_mut() {
+            if !refresh_index(self.db, idx, &mut report)? {
+                dead_baseline.push(name.clone());
             }
+        }
+        for name in dead_baseline {
+            self.baseline_indexes.remove(&name);
         }
         for idx in self.column_indexes.values_mut() {
-            if idx.built_revision() != rev {
-                *idx = ColumnIndex::build(self.db, idx.table(), idx.column())?;
-            }
+            // Column indexes reference no summary instance; eviction
+            // cannot trigger.
+            refresh_index(self.db, idx, &mut report)?;
         }
+        let spent = self.db.stats().snapshot().since(&before);
+        report.physical_io = spent.total();
+        report.logical_io = spent.logical_total();
+        self.last_maintenance = report;
         Ok(())
+    }
+
+    /// What the most recent maintenance pass did (set by
+    /// [`ExecContext::refresh_stale_indexes`] at every plan open).
+    pub fn maintenance_report(&self) -> MaintenanceReport {
+        self.last_maintenance
     }
 
     /// Register a Summary-BTree under a name.

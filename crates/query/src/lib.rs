@@ -37,7 +37,8 @@ pub mod session;
 pub use dataindex::ColumnIndex;
 pub use exec::{
     default_dop, parallel_fragment_shape, parallelize_plan, parallelize_plan_where, ExecConfig,
-    ExecContext, IndexRegistry, OpMetrics, PhysicalPlan, TupleStream, DEFAULT_MORSEL_ROWS,
+    ExecContext, IndexRegistry, MaintenanceReport, OpMetrics, PhysicalPlan, TupleStream,
+    DEFAULT_MORSEL_ROWS,
 };
 pub use expr::{CmpOp, Expr, ObjFunc, ObjRef, ObjectPred, SummaryExpr};
 pub use plan::{JoinPredicate, LogicalPlan, SortKey};

@@ -34,7 +34,10 @@ pub mod lower;
 pub mod parser;
 
 pub use ast::{AstExpr, SelectStmt, Statement};
-pub use lower::{lower_select, LoweredQuery};
+pub use lower::{
+    execute_statement, explain_analyze_in_ctx, lower_select, ExplainAnalysis, LoweredQuery,
+    SqlOutcome,
+};
 pub use parser::parse;
 
 /// Errors raised by the SQL front end.

@@ -54,7 +54,15 @@ pub enum SqlOutcome {
     Altered {
         /// The linked instance, if an ADD.
         instance: Option<InstanceId>,
-        /// Maintenance deltas for index layers.
+        /// The table the statement altered.
+        table: TableId,
+        /// The instance name named in the statement (for registering a
+        /// session-level index over the new instance).
+        name: String,
+        /// Maintenance deltas for index layers. The engine journals the
+        /// same deltas revision-stamped (see `instn_core::DeltaJournal`),
+        /// so session indexes refresh from the journal; this copy is for
+        /// callers that maintain out-of-engine structures directly.
         deltas: Vec<SummaryDelta>,
         /// Whether an index was requested (`INDEXABLE`).
         indexable: bool,
@@ -84,10 +92,17 @@ pub struct ExplainAnalysis {
     /// I/O charged during execution: physical transfers, logical accesses,
     /// and buffer-pool traffic.
     pub io: instn_storage::IoSnapshot,
+    /// Index-maintenance work performed before the plan opened: stale
+    /// registered indexes caught up by journal replay or bulk rebuild
+    /// (see `instn_query::MaintenanceReport`).
+    pub maintenance: instn_query::MaintenanceReport,
 }
 
 impl std::fmt::Display for ExplainAnalysis {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.maintenance.indexes_checked > 0 {
+            write!(f, "{}", self.maintenance.render())?;
+        }
         write!(f, "{}", self.operators.render())?;
         writeln!(
             f,
@@ -142,23 +157,13 @@ pub fn execute_statement(
             Ok(SqlOutcome::Explain(format!("{}", lowered.plan)))
         }
         Statement::ExplainAnalyze(sel) => {
-            let lowered = lower_select(db, &sel)?;
-            let physical = instn_query::lower::lower_naive(db, &lowered.plan)
-                .map_err(|e| SqlError::Bind(e.to_string()))?;
-            let before = db.stats().snapshot();
-            let start = std::time::Instant::now();
-            let (rows, operators) = instn_query::exec::ExecContext::new(db)
-                .execute_with_metrics(&physical)
-                .map_err(|e| SqlError::Bind(e.to_string()))?;
-            let elapsed = start.elapsed();
-            let io = db.stats().snapshot().since(&before);
-            Ok(SqlOutcome::ExplainAnalyzed(ExplainAnalysis {
-                plan: format!("{physical}"),
-                operators,
-                rows: rows.len(),
-                elapsed,
-                io,
-            }))
+            // A throwaway context: no registered indexes, so no
+            // maintenance work will show. Callers holding a session should
+            // prefer [`explain_analyze_in_ctx`], which runs against the
+            // session's registry and surfaces the `maintenance:` section.
+            let mut ctx = instn_query::exec::ExecContext::new(db);
+            let analysis = run_explain_analyze(&mut ctx, &sel)?;
+            Ok(SqlOutcome::ExplainAnalyzed(analysis))
         }
         Statement::Analyze => {
             let stats =
@@ -182,6 +187,8 @@ pub fn execute_statement(
                         .map_err(|e| SqlError::Bind(e.to_string()))?;
                     Ok(SqlOutcome::Altered {
                         instance: Some(id),
+                        table: tid,
+                        name: instance,
                         deltas,
                         indexable,
                     })
@@ -191,6 +198,8 @@ pub fn execute_statement(
                         .map_err(|e| SqlError::Bind(e.to_string()))?;
                     Ok(SqlOutcome::Altered {
                         instance: None,
+                        table: tid,
+                        name: instance,
                         deltas: Vec::new(),
                         indexable: false,
                     })
@@ -216,6 +225,51 @@ pub fn execute_statement(
             Ok(SqlOutcome::Zoom(annots))
         }
     }
+}
+
+/// Parse `input` and, when it is an `EXPLAIN ANALYZE SELECT …`, execute it
+/// inside the caller's [`instn_query::ExecContext`] — typically one
+/// borrowed from a `Session`, so the session's registered indexes are
+/// refreshed from the delta journal before the plan opens and the work
+/// shows up in the analysis' `maintenance:` section.
+///
+/// Returns `Ok(None)` when `input` is any other statement (or does not
+/// parse): the caller should fall through to [`execute_statement`].
+pub fn explain_analyze_in_ctx(
+    ctx: &mut instn_query::ExecContext<'_>,
+    input: &str,
+) -> Result<Option<ExplainAnalysis>> {
+    let Ok(Statement::ExplainAnalyze(sel)) = crate::parser::parse(input) else {
+        return Ok(None);
+    };
+    run_explain_analyze(ctx, &sel).map(Some)
+}
+
+/// Lower and execute one `EXPLAIN ANALYZE` body against `ctx`, collecting
+/// plan text, operator metrics, observed I/O, and the index-maintenance
+/// report of the refresh pass the executor ran before the plan opened.
+fn run_explain_analyze(
+    ctx: &mut instn_query::ExecContext<'_>,
+    sel: &SelectStmt,
+) -> Result<ExplainAnalysis> {
+    let lowered = lower_select(ctx.db, sel)?;
+    let physical = instn_query::lower::lower_naive(ctx.db, &lowered.plan)
+        .map_err(|e| SqlError::Bind(e.to_string()))?;
+    let before = ctx.db.stats().snapshot();
+    let start = std::time::Instant::now();
+    let (rows, operators) = ctx
+        .execute_with_metrics(&physical)
+        .map_err(|e| SqlError::Bind(e.to_string()))?;
+    let elapsed = start.elapsed();
+    let io = ctx.db.stats().snapshot().since(&before);
+    Ok(ExplainAnalysis {
+        plan: format!("{physical}"),
+        operators,
+        rows: rows.len(),
+        elapsed,
+        io,
+        maintenance: ctx.maintenance_report(),
+    })
 }
 
 /// One bound FROM item.

@@ -79,6 +79,7 @@ fn main() {
                 instance,
                 deltas,
                 indexable,
+                ..
             }) => {
                 println!(
                     "     linked/dropped (instance={instance:?}, {} deltas, indexable={indexable})\n",

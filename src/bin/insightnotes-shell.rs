@@ -179,6 +179,21 @@ fn main() {
             }
             continue;
         }
+        // EXPLAIN ANALYZE runs against the session's own context so the
+        // registered indexes are refreshed from the delta journal first and
+        // the work shows up in the `maintenance:` section.
+        match session.with_ctx(|ctx| explain_analyze_in_ctx(ctx, line)) {
+            Ok(Some(analysis)) => {
+                println!("dop: {}", session.exec_config.dop);
+                print!("{analysis}");
+                continue;
+            }
+            Ok(None) => {} // not EXPLAIN ANALYZE — fall through
+            Err(e) => {
+                eprintln!("error: {e}");
+                continue;
+            }
+        }
         match shared.with_write(|db| execute_statement(db, &registry, line)) {
             Ok(SqlOutcome::Query(q)) => {
                 // Lower and execute under one read guard: one snapshot.
@@ -225,12 +240,32 @@ fn main() {
             Ok(SqlOutcome::Analyzed(_)) => println!("statistics collected"),
             Ok(SqlOutcome::Altered {
                 instance,
+                table,
+                name,
                 deltas,
                 indexable,
-            }) => println!(
-                "ok (instance={instance:?}, {} deltas, indexable={indexable})",
-                deltas.len()
-            ),
+            }) => {
+                // The engine journals the link's deltas revision-stamped,
+                // so they maintain session indexes instead of being
+                // dropped on the floor here. An INDEXABLE link also gets a
+                // Summary-BTree registered in this session, kept fresh by
+                // journal replay on every later query.
+                if instance.is_some() && indexable {
+                    match session.register_summary_index(&name, table, &name, PointerMode::Backward)
+                    {
+                        Ok(()) => println!(
+                            "ok (linked {name}, {} deltas journaled, summary index registered)",
+                            deltas.len()
+                        ),
+                        Err(e) => eprintln!("linked {name}, but index build failed: {e}"),
+                    }
+                } else {
+                    println!(
+                        "ok (instance={instance:?}, {} deltas journaled, indexable={indexable})",
+                        deltas.len()
+                    );
+                }
+            }
             Ok(SqlOutcome::Zoom(annots)) => {
                 for a in annots.iter().take(20) {
                     println!("[{}] {}", a.author, a.text);

@@ -92,7 +92,10 @@ pub mod prelude {
     pub use instn_query::plan::{JoinPredicate, LogicalPlan, SortKey};
     pub use instn_query::session::{Session, SharedDatabase};
     pub use instn_query::ColumnIndex;
-    pub use instn_sql::lower::{execute_statement, lower_select, ExplainAnalysis, SqlOutcome};
+    pub use instn_query::MaintenanceReport;
+    pub use instn_sql::lower::{
+        execute_statement, explain_analyze_in_ctx, lower_select, ExplainAnalysis, SqlOutcome,
+    };
     pub use instn_sql::parse;
     pub use instn_storage::{ColumnType, IoStats, Oid, Schema, TableId, Value};
 }

@@ -377,6 +377,114 @@ fn parallel_executor_vs_writers_matches_serial_snapshot() {
     assert_eq!(par, serial);
 }
 
+/// N reader sessions, each owning a registered Summary-BTree kept current
+/// by delta-journal replay, race one writer applying the scripted mutation
+/// stream with interleaved checkpoints. Every iteration runs the index
+/// scan and the filter-scan oracle under one read guard (one snapshot), so
+/// a single stale, lost, or double-applied delta surfaces as a row diff.
+/// Afterwards a controlled one-change gap must be *replayed* — never
+/// rebuilt — by a fresh session.
+#[test]
+fn reader_index_replay_vs_writer_stays_oracle_identical() {
+    const STEPS: usize = 48;
+    const READERS: usize = 6;
+    const READS_PER_READER: usize = 24;
+
+    let (mut db, t) = build(40);
+    db.enable_wal();
+    let oid0 = db.scan_annotated(t).unwrap()[0].source.unwrap().1;
+    let shared = SharedDatabase::new(db);
+
+    let index_plan = PhysicalPlan::SummaryIndexScan {
+        index: "C_idx".into(),
+        label: "Disease".into(),
+        lo: Some(1),
+        hi: None,
+        propagate: false,
+        reverse: false,
+    };
+    let scan_plan = PhysicalPlan::Filter {
+        input: Box::new(PhysicalPlan::SeqScan {
+            table: t,
+            with_summaries: true,
+        }),
+        pred: Expr::label_cmp("C", "Disease", CmpOp::Ge, 1),
+    };
+    // Index scans emit in key order, seq scans in heap order; compare as
+    // (oid, data values) sets.
+    let keyed = |rows: &[AnnotatedTuple]| {
+        let mut v: Vec<(u64, Vec<Value>)> = rows
+            .iter()
+            .map(|r| (r.source.unwrap().1 .0, r.values.clone()))
+            .collect();
+        v.sort_by_key(|(oid, _)| *oid);
+        v
+    };
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..READERS {
+            let shared = shared.clone();
+            let (index_plan, scan_plan, keyed) = (&index_plan, &scan_plan, &keyed);
+            scope.spawn(move |_| {
+                let mut sess = shared.session();
+                sess.register_summary_index("C_idx", t, "C", PointerMode::Backward)
+                    .unwrap();
+                for _ in 0..READS_PER_READER {
+                    sess.with_ctx(|ctx| {
+                        let via_index = ctx.execute(index_plan).expect("index scan");
+                        let report = ctx.maintenance_report();
+                        let oracle = ctx.execute(scan_plan).expect("oracle scan");
+                        assert_eq!(
+                            keyed(&via_index),
+                            keyed(&oracle),
+                            "replayed index diverged from its snapshot's oracle \
+                             (maintenance: {report:?})"
+                        );
+                    });
+                    std::thread::yield_now();
+                }
+            });
+        }
+        let shared = shared.clone();
+        scope.spawn(move |_| {
+            for step in 0..STEPS {
+                shared.with_write(|db| stress_mutation(db, t, oid0, step));
+                std::thread::yield_now();
+            }
+        });
+    })
+    .expect("no reader or writer panicked (lock never poisoned)");
+
+    // Deterministic tail: a fresh session, then exactly one journaled
+    // change. The 1-change gap is far under the replay threshold, so the
+    // refresh must replay it — a rebuild here is the over-rebuild bug.
+    let mut sess = shared.session();
+    sess.register_summary_index("C_idx", t, "C", PointerMode::Backward)
+        .unwrap();
+    shared.with_write(|db| {
+        db.add_annotation(
+            t,
+            "disease outbreak",
+            Category::Disease,
+            "w",
+            vec![Attachment::row(oid0)],
+        )
+        .unwrap();
+    });
+    let report = sess.with_ctx(|ctx| {
+        let via_index = ctx.execute(&index_plan).expect("index scan");
+        // Snapshot before the oracle scan: its own (fresh, zero-work)
+        // refresh pass overwrites the context's last report.
+        let report = ctx.maintenance_report();
+        let oracle = ctx.execute(&scan_plan).expect("oracle scan");
+        assert_eq!(keyed(&via_index), keyed(&oracle));
+        report
+    });
+    assert_eq!(report.indexes_replayed, 1, "one-change gap: {report:?}");
+    assert_eq!(report.indexes_rebuilt + report.forced_rebuilds, 0);
+    assert!(report.deltas_applied >= 1);
+}
+
 #[test]
 fn parallel_index_probes_agree_with_sequential() {
     let (db, t) = build(50);

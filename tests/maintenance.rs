@@ -1,0 +1,344 @@
+//! Delta-journal maintenance pipeline tests.
+//!
+//! * The over-rebuild regression: a mutation on table B must cause *zero*
+//!   maintenance work on indexes over table A (the per-table high-water
+//!   marks), and small gaps must replay instead of rebuilding.
+//! * The proptest oracle: after an arbitrary interleaved stream of
+//!   inserts/updates/deletes/annotations, every registered index caught up
+//!   by journal replay is entry-for-entry identical to a fresh bulk build —
+//!   for all three index kinds, including the journal-truncation fallback
+//!   and the key-width-growth forced-rebuild paths.
+
+use proptest::prelude::*;
+
+use insightnotes::prelude::*;
+use insightnotes::storage::Oid;
+
+fn classifier_kind() -> InstanceKind {
+    let mut model = NaiveBayes::new(vec!["Disease".into(), "Behavior".into()]);
+    model.train("disease outbreak infection virus", "Disease");
+    model.train("eating foraging migration song", "Behavior");
+    InstanceKind::Classifier { model }
+}
+
+/// A table with an indexable classifier instance, `n` tuples, and `i % 3`
+/// disease annotations on tuple `i`.
+fn annotated_table(db: &mut Database, name: &str, n: usize) -> (TableId, Vec<Oid>) {
+    let t = db
+        .create_table(
+            name,
+            Schema::of(&[("id", ColumnType::Int), ("descr", ColumnType::Text)]),
+        )
+        .unwrap();
+    db.link_instance(t, "C", classifier_kind(), true).unwrap();
+    let mut oids = Vec::new();
+    for i in 0..n {
+        let oid = db
+            .insert_tuple(t, vec![Value::Int(i as i64), Value::Text(format!("t{i}"))])
+            .unwrap();
+        for _ in 0..(i % 3) {
+            db.add_annotation(
+                t,
+                "disease outbreak",
+                Category::Disease,
+                "u",
+                vec![Attachment::row(oid)],
+            )
+            .unwrap();
+        }
+        oids.push(oid);
+    }
+    (t, oids)
+}
+
+/// Register all three index kinds over `t` in a registry.
+fn build_registry(db: &Database, t: TableId) -> IndexRegistry {
+    let mut ctx = ExecContext::new(db);
+    ctx.register_summary_index(
+        "sb",
+        SummaryBTree::bulk_build(db, t, "C", PointerMode::Backward).unwrap(),
+    );
+    ctx.register_baseline_index("bl", BaselineIndex::bulk_build(db, t, "C").unwrap());
+    ctx.register_column_index(ColumnIndex::build(db, t, 0).unwrap());
+    ctx.take_registry()
+}
+
+/// Run one maintenance pass over the registry and hand both back.
+fn refresh(db: &Database, registry: IndexRegistry) -> (IndexRegistry, MaintenanceReport) {
+    let mut ctx = ExecContext::with_registry(db, registry);
+    ctx.refresh_stale_indexes().unwrap();
+    let report = ctx.maintenance_report();
+    (ctx.take_registry(), report)
+}
+
+/// Assert every registered index equals a fresh bulk build, entry for
+/// entry (decoded, so a wider-than-necessary key format still matches).
+fn assert_oracle_identical(db: &Database, t: TableId, registry: &IndexRegistry) {
+    let fresh_sb = SummaryBTree::bulk_build(db, t, "C", PointerMode::Backward).unwrap();
+    assert_eq!(
+        registry.summary_index("sb").unwrap().dump_entries(),
+        fresh_sb.dump_entries(),
+        "Summary-BTree diverged from fresh build"
+    );
+    let fresh_bl = BaselineIndex::bulk_build(db, t, "C").unwrap();
+    assert_eq!(
+        registry.baseline_index("bl").unwrap().dump_rows(),
+        fresh_bl.dump_rows(),
+        "baseline index diverged from fresh build"
+    );
+    let fresh_col = ColumnIndex::build(db, t, 0).unwrap();
+    assert_eq!(
+        registry.column_index(t, 0).unwrap().dump_entries(),
+        fresh_col.dump_entries(),
+        "column index diverged from fresh build"
+    );
+}
+
+// --------------------------------------------------------------------
+// Over-rebuild regression: mutations elsewhere are free.
+// --------------------------------------------------------------------
+
+#[test]
+fn untouched_table_mutations_cause_zero_index_work() {
+    let mut db = Database::new();
+    let (a, _) = annotated_table(&mut db, "A", 20);
+    let (b, b_oids) = annotated_table(&mut db, "B", 5);
+    let registry = build_registry(&db, a);
+    let (rebuilds_before, inserts_before) = {
+        let sb = registry.summary_index("sb").unwrap();
+        (sb.ops.rebuilds, sb.ops.key_inserts)
+    };
+
+    // Mutate ONLY table B: revision advances, A's high-water mark doesn't.
+    for i in 0..10 {
+        db.insert_tuple(b, vec![Value::Int(100 + i), Value::Text("x".into())])
+            .unwrap();
+    }
+    db.delete_tuple(b, b_oids[0]).unwrap();
+    db.add_annotation(
+        b,
+        "disease outbreak",
+        Category::Disease,
+        "u",
+        vec![Attachment::row(b_oids[1])],
+    )
+    .unwrap();
+
+    let io_before = db.stats().snapshot();
+    let (registry, report) = refresh(&db, registry);
+    let io_spent = db.stats().snapshot().since(&io_before);
+
+    assert_eq!(report.indexes_checked, 3);
+    assert_eq!(
+        report.indexes_skipped, 3,
+        "all three stale stamps resolve via the high-water mark"
+    );
+    assert_eq!(report.indexes_replayed, 0);
+    assert_eq!(report.indexes_rebuilt + report.forced_rebuilds, 0);
+    assert_eq!(report.deltas_applied, 0);
+    assert!(!report.did_work());
+    assert_eq!(
+        io_spent.total(),
+        0,
+        "zero physical I/O for untouched tables"
+    );
+    let sb = registry.summary_index("sb").unwrap();
+    assert_eq!(
+        (sb.ops.rebuilds, sb.ops.key_inserts),
+        (rebuilds_before, inserts_before),
+        "pre-journal executors rebuilt here; the journal must not"
+    );
+    // And the pass left the stamps current: a second pass is all-fresh.
+    let (_, report) = refresh(&db, registry);
+    assert_eq!(report.indexes_fresh, 3);
+}
+
+#[test]
+fn small_gap_replays_instead_of_rebuilding() {
+    let mut db = Database::new();
+    let (t, oids) = annotated_table(&mut db, "A", 40);
+    let registry = build_registry(&db, t);
+    let rebuilds_before = registry.summary_index("sb").unwrap().ops.rebuilds;
+
+    // A small gap: 2 annotations on a 40-row table (2×4 ≤ 40 → replay).
+    for _ in 0..2 {
+        db.add_annotation(
+            t,
+            "disease outbreak",
+            Category::Disease,
+            "u",
+            vec![Attachment::row(oids[7])],
+        )
+        .unwrap();
+    }
+
+    let (registry, report) = refresh(&db, registry);
+    assert_eq!(report.indexes_replayed, 3, "summary + baseline + column");
+    assert_eq!(report.indexes_rebuilt + report.forced_rebuilds, 0);
+    assert!(report.deltas_applied > 0);
+    assert_eq!(
+        registry.summary_index("sb").unwrap().ops.rebuilds,
+        rebuilds_before,
+        "replay must not bulk-rebuild"
+    );
+    assert_oracle_identical(&db, t, &registry);
+}
+
+#[test]
+fn truncated_journal_falls_back_to_rebuild() {
+    let mut db = Database::new();
+    let (t, oids) = annotated_table(&mut db, "A", 10);
+    let registry = build_registry(&db, t);
+
+    // Retention 0 reproduces the old rebuild-on-stale behaviour: every
+    // entry is truncated as soon as it is recorded.
+    db.set_journal_retention(0);
+    db.delete_tuple(t, oids[3]).unwrap();
+
+    let (registry, report) = refresh(&db, registry);
+    assert_eq!(
+        report.indexes_rebuilt, 3,
+        "truncated past the gap: replay impossible"
+    );
+    assert_eq!(report.indexes_replayed, 0);
+    assert_oracle_identical(&db, t, &registry);
+}
+
+#[test]
+fn width_growth_forces_rebuild_mid_replay() {
+    let mut db = Database::new();
+    let (t, oids) = annotated_table(&mut db, "A", 20);
+    // Push one tuple to 998 disease annotations: still width 3.
+    for _ in 0..996 {
+        db.add_annotation(
+            t,
+            "disease outbreak",
+            Category::Disease,
+            "u",
+            vec![Attachment::row(oids[2])],
+        )
+        .unwrap();
+    }
+    let registry = build_registry(&db, t);
+    assert_eq!(registry.summary_index("sb").unwrap().width().0, 3);
+
+    // A 3-change gap (3×4 ≤ 20... no: 12 ≤ 20 → replay) crossing count
+    // 1000, which no 3-character key can hold.
+    for _ in 0..3 {
+        db.add_annotation(
+            t,
+            "disease outbreak",
+            Category::Disease,
+            "u",
+            vec![Attachment::row(oids[2])],
+        )
+        .unwrap();
+    }
+
+    let (registry, report) = refresh(&db, registry);
+    assert!(
+        report.forced_rebuilds >= 1,
+        "width growth mid-replay must force a rebuild: {report:?}"
+    );
+    assert!(registry.summary_index("sb").unwrap().width().0 >= 4);
+    assert_oracle_identical(&db, t, &registry);
+}
+
+// --------------------------------------------------------------------
+// Proptest oracle: arbitrary interleaved mutation streams.
+// --------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(i64),
+    /// Update tuple `i % live` — a large `grow` forces heap relocation,
+    /// exercising the `relocated` replay path.
+    Update(usize, i64, bool),
+    Delete(usize),
+    /// Annotate tuple `i % live`; `true` = disease, `false` = behavior.
+    Annotate(usize, bool),
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        any::<i64>().prop_map(|v| Op::Insert(v % 1000)),
+        (any::<usize>(), any::<i64>(), any::<bool>()).prop_map(|(i, v, grow)| Op::Update(
+            i,
+            v % 1000,
+            grow
+        )),
+        any::<usize>().prop_map(Op::Delete),
+        (any::<usize>(), any::<bool>()).prop_map(|(i, d)| Op::Annotate(i, d)),
+    ]
+}
+
+fn apply_ops(db: &mut Database, t: TableId, oids: &mut Vec<Oid>, ops: &[Op]) {
+    for op in ops {
+        match op {
+            Op::Insert(v) => {
+                let oid = db
+                    .insert_tuple(t, vec![Value::Int(*v), Value::Text("new".into())])
+                    .unwrap();
+                oids.push(oid);
+            }
+            Op::Update(i, v, grow) => {
+                if oids.is_empty() {
+                    continue;
+                }
+                let oid = oids[i % oids.len()];
+                let text = if *grow { "g".repeat(6000) } else { "s".into() };
+                db.update_tuple(t, oid, vec![Value::Int(*v), Value::Text(text)])
+                    .unwrap();
+            }
+            Op::Delete(i) => {
+                if oids.is_empty() {
+                    continue;
+                }
+                let oid = oids.remove(i % oids.len());
+                db.delete_tuple(t, oid).unwrap();
+            }
+            Op::Annotate(i, disease) => {
+                if oids.is_empty() {
+                    continue;
+                }
+                let oid = oids[i % oids.len()];
+                let (text, cat) = if *disease {
+                    ("disease outbreak infection", Category::Disease)
+                } else {
+                    ("eating foraging song", Category::Behavior)
+                };
+                db.add_annotation(t, text, cat, "u", vec![Attachment::row(oid)])
+                    .unwrap();
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The pipeline's core guarantee: whatever interleaving of mutations
+    /// lands in the journal gap — and whatever ladder arm the executor
+    /// picks (skip, replay, truncation fallback, forced rebuild) — the
+    /// refreshed indexes are entry-for-entry identical to fresh builds.
+    #[test]
+    fn replayed_indexes_match_fresh_builds(
+        before in prop::collection::vec(op(), 0..12),
+        after in prop::collection::vec(op(), 1..25),
+        retention in prop_oneof![Just(0usize), Just(3), Just(4096)],
+    ) {
+        let mut db = Database::new();
+        db.set_journal_retention(retention);
+        let (t, mut oids) = annotated_table(&mut db, "A", 8);
+        apply_ops(&mut db, t, &mut oids, &before);
+        let registry = build_registry(&db, t);
+        apply_ops(&mut db, t, &mut oids, &after);
+        let (registry, report) = refresh(&db, registry);
+        prop_assert_eq!(report.indexes_checked, 3);
+        assert_oracle_identical(&db, t, &registry);
+        // A second pass over the caught-up registry is free.
+        let (_, report) = refresh(&db, registry);
+        prop_assert_eq!(report.indexes_fresh, 3);
+        prop_assert_eq!(report.deltas_applied, 0);
+    }
+}
