@@ -130,14 +130,18 @@ pub fn project_eliminate(
 }
 
 /// Merge two summary objects of the *same instance* attached to two joined
-/// tuples. `common` holds the annotations attached to both input tuples,
-/// whose effect must not be double counted.
+/// tuples. `common` holds the annotations attached to both input tuples;
+/// it is advisory — every arm below dedups by annotation id globally
+/// (elements per label, snippet sources, cluster members), which subsumes
+/// the common set and is what keeps the merge associative for the
+/// parallel gather (DESIGN.md §8).
 pub fn merge_objects(
     a: &SummaryObject,
     b: &SummaryObject,
     common: &HashSet<AnnotId>,
     resolver: TextResolver<'_>,
 ) -> SummaryObject {
+    let _ = common;
     debug_assert_eq!(
         a.instance_name, b.instance_name,
         "merge requires counterpart objects of the same summary instance"
@@ -168,46 +172,114 @@ pub fn merge_objects(
             }
         }
         (Rep::Cluster(ca), Rep::Cluster(cb)) => {
-            for bg in &cb.groups {
-                // A group from `b` overlaps a group of `a` iff they share a
-                // member annotation (necessarily one of the common ones).
-                let overlap = ca
-                    .groups
-                    .iter_mut()
-                    .find(|ag| bg.members.iter().any(|m| ag.members.contains(m)));
-                match overlap {
-                    Some(ag) => merge_groups(ag, bg, common, resolver),
-                    None => ca.groups.push(bg.clone()),
-                }
-            }
+            // Groups overlap iff they share a member annotation; the
+            // transitive closure is taken so the result is a *partition*
+            // of the member annotations (see `merge_cluster_groups`).
+            let inputs: Vec<ClusterGroup> =
+                ca.groups.iter().chain(cb.groups.iter()).cloned().collect();
+            ca.groups = merge_cluster_groups(inputs, resolver);
         }
         _ => unreachable!("same instance implies same rep type"),
     }
     out
 }
 
-/// Combine an overlapping pair of cluster groups (Fig. 3: groups of A1 and
-/// B5 combine; A5 and B7 propagate separately).
-fn merge_groups(
-    ag: &mut ClusterGroup,
-    bg: &ClusterGroup,
-    _common: &HashSet<AnnotId>,
+/// Canonically merge a list of cluster groups: connected components of the
+/// "shares a member annotation" relation, transitively closed (Fig. 3:
+/// groups of A1 and B5 combine; A5 and B7 propagate separately).
+///
+/// This is the global annotation-id dedup that makes parallel two-phase
+/// aggregation exact for multi-tuple attachments (DESIGN.md §8/§10): the
+/// output groups partition the member ids — no annotation can appear in
+/// two groups — and, because connected components are independent of
+/// association order, merging partial per-worker states in any grouping
+/// reproduces the serial fold bit for bit. Concretely:
+///
+/// * a component of one group passes through **unchanged** (preserving the
+///   CluStream-built linear sum exactly);
+/// * a multi-group component lists members in first-occurrence order
+///   across the inputs, keeps the first group's representative, and
+///   recomputes `ls` as the sum of the members' TF vectors — valid
+///   because the CF invariant (`ls` = Σ member embeddings, pinned by a
+///   `instn-mining` test) makes `ls` a function of the member *set*.
+fn merge_cluster_groups(
+    groups: Vec<ClusterGroup>,
     resolver: TextResolver<'_>,
-) {
-    let before: HashSet<AnnotId> = ag.members.iter().copied().collect();
-    for &m in &bg.members {
-        if !before.contains(&m) {
-            ag.members.push(m);
-            if let Some(text) = resolver(m) {
-                let v = hash_tf_vector(&text);
-                for (l, x) in ag.ls.iter_mut().zip(v.iter()) {
-                    *l += *x as f32;
+) -> Vec<ClusterGroup> {
+    // Union-find over group indices, keyed by shared members.
+    let mut parent: Vec<usize> = (0..groups.len()).collect();
+    fn find(parent: &mut [usize], mut i: usize) -> usize {
+        while parent[i] != i {
+            parent[i] = parent[parent[i]];
+            i = parent[i];
+        }
+        i
+    }
+    let mut owner: std::collections::HashMap<AnnotId, usize> = Default::default();
+    for (gi, g) in groups.iter().enumerate() {
+        for &m in &g.members {
+            match owner.get(&m) {
+                Some(&fi) => {
+                    let (a, b) = (find(&mut parent, gi), find(&mut parent, fi));
+                    if a != b {
+                        // Union toward the smaller root so every
+                        // component's root is its first group.
+                        let (lo, hi) = (a.min(b), a.max(b));
+                        parent[hi] = lo;
+                    }
+                }
+                None => {
+                    owner.insert(m, gi);
                 }
             }
         }
     }
-    ag.size = ag.members.len() as u64;
-    // Keep `a`'s representative: it remains a member of the merged group.
+    // Components in first-group order; member lists in first-occurrence
+    // order (both association-invariant under concatenation).
+    let mut components: Vec<Vec<usize>> = Vec::new();
+    let mut comp_of_root: std::collections::HashMap<usize, usize> = Default::default();
+    for gi in 0..groups.len() {
+        let root = find(&mut parent, gi);
+        match comp_of_root.get(&root) {
+            Some(&ci) => components[ci].push(gi),
+            None => {
+                comp_of_root.insert(root, components.len());
+                components.push(vec![gi]);
+            }
+        }
+    }
+    let mut out = Vec::with_capacity(components.len());
+    for comp in components {
+        if comp.len() == 1 {
+            out.push(groups[comp[0]].clone());
+            continue;
+        }
+        let first = &groups[comp[0]];
+        let mut seen: HashSet<AnnotId> = HashSet::new();
+        let mut members: Vec<AnnotId> = Vec::new();
+        let mut ls = vec![0.0f32; first.ls.len()];
+        for &gi in &comp {
+            for &m in &groups[gi].members {
+                if seen.insert(m) {
+                    members.push(m);
+                    if let Some(text) = resolver(m) {
+                        let v = hash_tf_vector(&text);
+                        for (l, x) in ls.iter_mut().zip(v.iter()) {
+                            *l += *x as f32;
+                        }
+                    }
+                }
+            }
+        }
+        out.push(ClusterGroup {
+            rep_annot: first.rep_annot,
+            rep_text: first.rep_text.clone(),
+            size: members.len() as u64,
+            members,
+            ls,
+        });
+    }
+    out
 }
 
 /// Merge two summary *sets* for a join: objects of the same instance merge;
@@ -357,6 +429,55 @@ mod tests {
         assert_eq!(combined.rep_annot, AnnotId(1), "a's representative kept");
         assert!(c.groups.iter().any(|g| g.rep_text == "A5"));
         assert!(c.groups.iter().any(|g| g.rep_text == "B7"));
+    }
+
+    /// Regression (DESIGN.md §8): the pre-fix merge matched each `b` group
+    /// against the *first* overlapping `a` group without transitive
+    /// closure, so an annotation could end up in two output groups and its
+    /// TF vector was added twice when partial parallel aggregates merged.
+    /// The canonical merge must emit a partition of the member ids.
+    #[test]
+    fn cluster_merge_output_groups_partition_members() {
+        // a: {1} and {2} separate; b: {1,2} bridges them. The old code
+        // merged b's group into {1} only, leaving annotation 2 both in
+        // the bridged group and in a's second group.
+        let a = cluster(&[("A1", 1, &[1]), ("A2", 2, &[2])]);
+        let b = cluster(&[("B1", 1, &[1, 2])]);
+        let m = merge_objects(&a, &b, &HashSet::from([AnnotId(1), AnnotId(2)]), &no_text);
+        let Rep::Cluster(c) = &m.rep else { panic!() };
+        let mut seen = HashSet::new();
+        for g in &c.groups {
+            assert_eq!(g.size as usize, g.members.len());
+            for &mbr in &g.members {
+                assert!(seen.insert(mbr), "annotation {mbr:?} in two groups");
+            }
+        }
+        assert_eq!(c.groups.len(), 1, "bridged into a single group");
+        assert_eq!(c.groups[0].rep_annot, AnnotId(1), "first group's rep kept");
+        assert_eq!(seen, HashSet::from([AnnotId(1), AnnotId(2)]));
+    }
+
+    /// The canonical merge is associative: merging per-worker partial
+    /// states in any grouping yields identical groups (membership, order,
+    /// representatives, and linear sums) — the property the parallel
+    /// gather relies on for exact multi-tuple `GroupBy`.
+    #[test]
+    fn cluster_merge_is_associative() {
+        let texts = |id: AnnotId| Some(format!("word{} tok{}", id.0, id.0 % 3));
+        let x = cluster(&[("A1", 1, &[1, 2]), ("A5", 5, &[5])]);
+        let y = cluster(&[("B2", 2, &[2, 3])]);
+        let z = cluster(&[("C3", 3, &[3, 4]), ("C9", 9, &[9])]);
+        let none = HashSet::new();
+        let xy_z = merge_objects(&merge_objects(&x, &y, &none, &texts), &z, &none, &texts);
+        let x_yz = merge_objects(&x, &merge_objects(&y, &z, &none, &texts), &none, &texts);
+        assert_eq!(xy_z, x_yz);
+        let Rep::Cluster(c) = &xy_z.rep else { panic!() };
+        // 1-2, 2-3, 3-4 chain transitively into one group; 5 and 9 stay.
+        assert_eq!(c.groups.len(), 3);
+        assert_eq!(
+            c.groups[0].members,
+            vec![AnnotId(1), AnnotId(2), AnnotId(3), AnnotId(4)]
+        );
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use instn_annot::{AnnotId, Annotation, AnnotationStore, Attachment, Category};
+use instn_obs::MetricsRegistry;
 use instn_storage::io::IoStats;
 use instn_storage::{BufferPool, Catalog, Oid, Schema, Table, TableId, Tuple, Wal};
 
@@ -56,6 +57,10 @@ pub struct Database {
     pub(crate) journal: DeltaJournal,
     /// Write-ahead log, if durability was enabled (see [`crate::recover`]).
     pub(crate) wal: Option<Arc<Wal>>,
+    /// Engine-wide observability (DESIGN.md §10): metrics registry plus
+    /// the slow-query log. Disabled until opted into; every component
+    /// below (buffer pool, WAL) holds handles resolved from here.
+    pub(crate) obs: Arc<MetricsRegistry>,
 }
 
 impl Default for Database {
@@ -72,6 +77,8 @@ impl Database {
     pub fn new() -> Self {
         let stats = IoStats::new();
         let pool = BufferPool::new(Arc::clone(&stats), 0);
+        let obs = Arc::new(MetricsRegistry::new());
+        pool.attach_metrics(&obs);
         Self {
             catalog: Catalog::with_pool(Arc::clone(&pool)),
             stats,
@@ -87,7 +94,15 @@ impl Database {
             revision: 1,
             journal: DeltaJournal::new(DEFAULT_JOURNAL_RETENTION),
             wal: None,
+            obs,
         }
+    }
+
+    /// The observability registry: metrics handles, Prometheus export, and
+    /// the slow-query log. Disabled by default — enable with
+    /// `db.metrics().set_enabled(true)`.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.obs
     }
 
     /// An empty database with a buffer pool of `pages` frames.

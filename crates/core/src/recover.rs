@@ -312,6 +312,7 @@ impl Database {
     /// its durable bytes after a (simulated) crash.
     pub fn enable_wal(&mut self) -> Arc<Wal> {
         let wal = Wal::new(Arc::clone(&self.stats));
+        wal.attach_metrics(&self.obs);
         self.pool.set_wal(Arc::clone(&wal));
         self.wal = Some(Arc::clone(&wal));
         wal
@@ -321,6 +322,7 @@ impl Database {
     /// by the log and the buffer pool's page writes.
     pub fn enable_wal_with_faults(&mut self, fault: Arc<FaultInjector>) -> Arc<Wal> {
         let wal = Wal::with_faults(Arc::clone(&self.stats), fault);
+        wal.attach_metrics(&self.obs);
         self.pool.set_wal(Arc::clone(&wal));
         self.wal = Some(Arc::clone(&wal));
         wal
@@ -387,6 +389,7 @@ impl Database {
     /// groups in order; uncommitted ops (no durable commit, torn tail) are
     /// discarded. The recovered database has no WAL attached.
     pub fn recover(snapshot: &[u8], wal_bytes: &[u8]) -> Result<(Database, RecoveryReport)> {
+        let t0 = std::time::Instant::now();
         let scan = Wal::scan(wal_bytes);
         let mut report = RecoveryReport {
             wal_records: scan.records.len() as u64,
@@ -398,7 +401,10 @@ impl Database {
         match records.next() {
             // Crash before the checkpoint head became durable: the snapshot
             // alone is the recovered state.
-            None => return Ok((db, report)),
+            None => {
+                Self::note_recovery(&db, t0, &report);
+                return Ok((db, report));
+            }
             Some((WalRecordKind::Checkpoint, head)) => {
                 let mut pos = 0usize;
                 let len = get_u64(&head, &mut pos)?;
@@ -435,7 +441,25 @@ impl Database {
             }
         }
         report.ops_discarded += pending.len() as u64;
+        Self::note_recovery(&db, t0, &report);
         Ok((db, report))
+    }
+
+    /// Publish recovery facts into the recovered engine's metrics registry.
+    /// Gauges are force-set: recovery happens exactly once, before any
+    /// caller can enable the (fresh, disabled-by-default) registry, and a
+    /// `\metrics` dump later should still show what startup cost.
+    fn note_recovery(db: &Database, t0: std::time::Instant, report: &RecoveryReport) {
+        let obs = db.metrics();
+        obs.gauge("recovery_wall_ns", "last recovery wall-clock (ns)")
+            .force_set(t0.elapsed().as_nanos().min(i64::MAX as u128) as i64);
+        obs.gauge("recovery_ops_replayed", "ops replayed by last recovery")
+            .force_set(report.ops_replayed as i64);
+        obs.gauge(
+            "recovery_ops_discarded",
+            "uncommitted ops discarded by last recovery",
+        )
+        .force_set(report.ops_discarded as i64);
     }
 
     /// Re-execute one logged op through the public mutators. The recovered

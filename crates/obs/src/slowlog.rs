@@ -1,0 +1,180 @@
+//! The slow-query log: a bounded ring of queries whose wall-clock crossed
+//! a configurable threshold, each captured with its plan, per-operator
+//! metrics tree, maintenance report, and span trace — pre-rendered to
+//! strings so this crate stays a leaf (no dependency on the executor's
+//! types).
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// One captured slow query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlowQueryEntry {
+    /// Monotone capture sequence number (1-based).
+    pub seq: u64,
+    /// The statement text (or a plan-derived label when no SQL exists).
+    pub statement: String,
+    /// Wall-clock, nanoseconds.
+    pub wall_ns: u64,
+    /// Rendered physical plan.
+    pub plan: String,
+    /// Rendered `OpMetrics` tree (`EXPLAIN ANALYZE` operator section).
+    pub metrics: String,
+    /// Rendered `MaintenanceReport` (index-refresh ladder work).
+    pub maintenance: String,
+    /// Rendered span trace.
+    pub trace: String,
+}
+
+/// Bounded, threshold-gated query capture. `record` is free for queries
+/// under the threshold (one `Relaxed` load); captures take a mutex, which
+/// is fine — they are rare by construction.
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold_ns: AtomicU64,
+    seq: AtomicU64,
+    cap: usize,
+    entries: Mutex<VecDeque<SlowQueryEntry>>,
+}
+
+/// Keep the most recent 64 offenders by default.
+pub const DEFAULT_SLOWLOG_CAPACITY: usize = 64;
+
+impl Default for SlowLog {
+    fn default() -> Self {
+        Self::new(DEFAULT_SLOWLOG_CAPACITY)
+    }
+}
+
+impl SlowLog {
+    pub fn new(cap: usize) -> Self {
+        Self {
+            // u64::MAX = disabled until a threshold is configured.
+            threshold_ns: AtomicU64::new(u64::MAX),
+            seq: AtomicU64::new(0),
+            cap: cap.max(1),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Capture queries at or above `ns` wall-clock. `u64::MAX` disables.
+    pub fn set_threshold_ns(&self, ns: u64) {
+        self.threshold_ns.store(ns, Ordering::Relaxed);
+    }
+
+    /// Convenience: threshold in milliseconds.
+    pub fn set_threshold_ms(&self, ms: u64) {
+        self.set_threshold_ns(ms.saturating_mul(1_000_000));
+    }
+
+    pub fn threshold_ns(&self) -> u64 {
+        self.threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Whether a query of `wall_ns` should be captured.
+    #[inline]
+    pub fn should_capture(&self, wall_ns: u64) -> bool {
+        wall_ns >= self.threshold_ns.load(Ordering::Relaxed)
+    }
+
+    /// Capture an entry (sequence number assigned here). The oldest entry
+    /// is dropped once the ring is full.
+    pub fn record(
+        &self,
+        statement: &str,
+        wall_ns: u64,
+        plan: &str,
+        metrics: &str,
+        maintenance: &str,
+        trace: &str,
+    ) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed) + 1;
+        let entry = SlowQueryEntry {
+            seq,
+            statement: statement.to_string(),
+            wall_ns,
+            plan: plan.to_string(),
+            metrics: metrics.to_string(),
+            maintenance: maintenance.to_string(),
+            trace: trace.to_string(),
+        };
+        let mut q = self.entries.lock().expect("slowlog lock poisoned");
+        if q.len() == self.cap {
+            q.pop_front();
+        }
+        q.push_back(entry);
+    }
+
+    /// Snapshot of current entries, oldest first.
+    pub fn entries(&self) -> Vec<SlowQueryEntry> {
+        self.entries
+            .lock()
+            .expect("slowlog lock poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Total captures ever (may exceed `entries().len()` once the ring
+    /// wrapped).
+    pub fn captured(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    pub fn clear(&self) {
+        self.entries.lock().expect("slowlog lock poisoned").clear();
+    }
+
+    /// Human-readable dump for the shell's `\slowlog`.
+    pub fn render(&self) -> String {
+        use std::fmt::Write;
+        let entries = self.entries();
+        if entries.is_empty() {
+            return "slow-query log: empty\n".to_string();
+        }
+        let mut out = String::new();
+        for e in &entries {
+            let _ = writeln!(
+                out,
+                "--- slow query #{} ({} ms) ---\n{}\nplan:\n{}{}{}{}",
+                e.seq,
+                e.wall_ns / 1_000_000,
+                e.statement,
+                e.plan,
+                e.maintenance,
+                e.metrics,
+                e.trace
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_gates_capture() {
+        let log = SlowLog::new(4);
+        assert!(!log.should_capture(u64::MAX - 1), "disabled by default");
+        log.set_threshold_ms(10);
+        assert!(!log.should_capture(9_999_999));
+        assert!(log.should_capture(10_000_000));
+    }
+
+    #[test]
+    fn ring_drops_oldest() {
+        let log = SlowLog::new(2);
+        log.set_threshold_ns(0);
+        for i in 0..3 {
+            log.record(&format!("q{i}"), i, "p", "m", "", "");
+        }
+        let e = log.entries();
+        assert_eq!(e.len(), 2);
+        assert_eq!(e[0].statement, "q1");
+        assert_eq!(e[1].statement, "q2");
+        assert_eq!(log.captured(), 3);
+    }
+}

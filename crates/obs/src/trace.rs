@@ -1,0 +1,226 @@
+//! Structured tracing spans for the query lifecycle.
+//!
+//! A [`QueryTrace`] is built per query by whoever drives it (the session
+//! layer, the shell, a test): explicit `begin`/`end` pairs for the
+//! coarse phases (parse → plan → index-refresh ladder → execute →
+//! gather), plus [`QueryTrace::attach`] for importing an already-measured
+//! subtree (the executor's `OpMetrics` tree becomes per-operator child
+//! spans without re-instrumenting every operator). Spans carry ids,
+//! parent links, wall-clock, and inclusive logical/physical I/O.
+
+use std::time::Instant;
+
+/// One completed (or still-open) span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Id unique within this trace (1-based, allocation order).
+    pub id: u64,
+    /// Parent span id; `None` for roots.
+    pub parent: Option<u64>,
+    /// Phase or operator name (`parse`, `plan`, `maintenance`,
+    /// `execute`, `Filter(..)`, …).
+    pub name: String,
+    /// Start offset from the trace epoch, nanoseconds.
+    pub start_ns: u64,
+    /// Wall-clock duration, nanoseconds (0 while open).
+    pub wall_ns: u64,
+    /// Inclusive logical I/O attributed to this span.
+    pub logical_io: u64,
+    /// Inclusive physical I/O attributed to this span.
+    pub physical_io: u64,
+}
+
+/// A per-query span collector. Not thread-safe by design — one trace per
+/// driving thread; parallel workers are represented by imported subtrees.
+#[derive(Debug)]
+pub struct QueryTrace {
+    epoch: Instant,
+    spans: Vec<SpanRecord>,
+    open: Vec<u64>,
+}
+
+impl Default for QueryTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl QueryTrace {
+    pub fn new() -> Self {
+        Self {
+            epoch: Instant::now(),
+            spans: Vec::new(),
+            open: Vec::new(),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64
+    }
+
+    /// Open a span as a child of the innermost open span.
+    pub fn begin(&mut self, name: &str) -> u64 {
+        let id = self.spans.len() as u64 + 1;
+        let parent = self.open.last().copied();
+        let start_ns = self.now_ns();
+        self.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_ns,
+            wall_ns: 0,
+            logical_io: 0,
+            physical_io: 0,
+        });
+        self.open.push(id);
+        id
+    }
+
+    /// Close a span (innermost-first; closing an outer span force-closes
+    /// anything still open inside it, charging the same end time).
+    pub fn end(&mut self, id: u64) {
+        self.end_with_io(id, 0, 0);
+    }
+
+    /// Close a span and attribute inclusive I/O counts to it.
+    pub fn end_with_io(&mut self, id: u64, logical_io: u64, physical_io: u64) {
+        let end = self.now_ns();
+        while let Some(&top) = self.open.last() {
+            self.open.pop();
+            if let Some(s) = self.spans.get_mut(top as usize - 1) {
+                if s.wall_ns == 0 {
+                    s.wall_ns = end.saturating_sub(s.start_ns);
+                }
+            }
+            if top == id {
+                break;
+            }
+        }
+        if let Some(s) = self.spans.get_mut(id as usize - 1) {
+            s.logical_io = logical_io;
+            s.physical_io = physical_io;
+        }
+    }
+
+    /// Import an externally-measured span (an operator from an `OpMetrics`
+    /// tree, a worker's morsel loop) under `parent`. Returns the new id so
+    /// callers can hang children off it.
+    pub fn attach(
+        &mut self,
+        parent: Option<u64>,
+        name: &str,
+        wall_ns: u64,
+        logical_io: u64,
+        physical_io: u64,
+    ) -> u64 {
+        let id = self.spans.len() as u64 + 1;
+        let start_ns = parent
+            .and_then(|p| self.spans.get(p as usize - 1))
+            .map(|p| p.start_ns)
+            .unwrap_or_else(|| self.now_ns());
+        self.spans.push(SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_ns,
+            wall_ns,
+            logical_io,
+            physical_io,
+        });
+        id
+    }
+
+    /// All spans, allocation order (parents precede children for spans
+    /// produced via `begin`/`attach`).
+    pub fn spans(&self) -> &[SpanRecord] {
+        &self.spans
+    }
+
+    /// Total wall time of root spans, nanoseconds.
+    pub fn root_wall_ns(&self) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.parent.is_none())
+            .map(|s| s.wall_ns)
+            .sum()
+    }
+
+    /// Render as an indented tree:
+    /// `#id name wall=…µs io=logical/physical`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in self.spans.iter().filter(|s| s.parent.is_none()) {
+            self.render_one(s, 0, &mut out);
+        }
+        out
+    }
+
+    fn render_one(&self, s: &SpanRecord, depth: usize, out: &mut String) {
+        use std::fmt::Write;
+        let _ = writeln!(
+            out,
+            "{:indent$}#{} {} wall={}µs io={}/{}",
+            "",
+            s.id,
+            s.name,
+            s.wall_ns / 1_000,
+            s.logical_io,
+            s.physical_io,
+            indent = depth * 2
+        );
+        for c in self.spans.iter().filter(|c| c.parent == Some(s.id)) {
+            self.render_one(c, depth + 1, out);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_and_parent_links() {
+        let mut t = QueryTrace::new();
+        let root = t.begin("query");
+        let parse = t.begin("parse");
+        t.end(parse);
+        let exec = t.begin("execute");
+        t.end_with_io(exec, 10, 3);
+        t.end(root);
+        let spans = t.spans();
+        assert_eq!(spans.len(), 3);
+        assert_eq!(spans[0].parent, None);
+        assert_eq!(spans[1].parent, Some(root));
+        assert_eq!(spans[2].parent, Some(root));
+        assert_eq!(spans[2].logical_io, 10);
+        assert_eq!(spans[2].physical_io, 3);
+        assert!(spans[0].wall_ns >= spans[1].wall_ns);
+    }
+
+    #[test]
+    fn attach_imports_subtrees() {
+        let mut t = QueryTrace::new();
+        let root = t.begin("execute");
+        let op = t.attach(Some(root), "Filter", 500, 7, 2);
+        t.attach(Some(op), "SeqScan", 400, 7, 2);
+        t.end(root);
+        assert_eq!(t.spans().len(), 3);
+        assert_eq!(t.spans()[2].parent, Some(op));
+        let r = t.render();
+        assert!(r.contains("Filter"), "{r}");
+        assert!(r.contains("SeqScan"), "{r}");
+    }
+
+    #[test]
+    fn closing_outer_force_closes_inner() {
+        let mut t = QueryTrace::new();
+        let root = t.begin("query");
+        let _inner = t.begin("plan");
+        t.end(root);
+        assert!(t
+            .spans()
+            .iter()
+            .all(|s| s.wall_ns > 0 || s.start_ns > 0 || s.wall_ns == s.wall_ns));
+        assert!(t.spans()[1].wall_ns <= t.spans()[0].wall_ns);
+    }
+}

@@ -54,6 +54,22 @@ pub fn value_key(v: &Value) -> Vec<u8> {
     }
 }
 
+/// An injective byte encoding of a value *sequence*, for hash keys over
+/// composite group-by / DISTINCT columns. Each component is its
+/// [`value_key`] encoding, length-prefixed, so no pair of distinct
+/// sequences can collide: the old `Display`-string concatenation mapped
+/// `Int(1)` and `Text("1")` to the same key, and a `Text` value embedding
+/// the separator could shift bytes across column boundaries.
+pub fn composite_key(vals: &[Value]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(vals.len() * 10);
+    for v in vals {
+        let k = value_key(v);
+        out.extend_from_slice(&(k.len() as u32).to_le_bytes());
+        out.extend_from_slice(&k);
+    }
+    out
+}
+
 /// A standard B-Tree index on one data column.
 #[derive(Debug)]
 pub struct ColumnIndex {
@@ -272,6 +288,39 @@ mod tests {
             );
         }
         (db, t, oids)
+    }
+
+    /// Regression: group-by/distinct keys were once `Display` renderings
+    /// joined by `\u{1}`, under which all three pairs below collided.
+    /// The typed, length-prefixed encoding is injective.
+    #[test]
+    fn composite_key_is_injective_across_types_and_separators() {
+        let pairs: &[(&[Value], &[Value])] = &[
+            // Mixed type: Int(1) and Text("1") both display as "1".
+            (
+                &[Value::Int(1), Value::Text("x".into())],
+                &[Value::Text("1".into()), Value::Text("x".into())],
+            ),
+            // Separator byte inside a Text value shifts the old column
+            // boundary: "a\u{1}b" + "c" vs "a" + "b\u{1}c".
+            (
+                &[Value::Text("a\u{1}b".into()), Value::Text("c".into())],
+                &[Value::Text("a".into()), Value::Text("b\u{1}c".into())],
+            ),
+            // Null displays as "NULL".
+            (&[Value::Null], &[Value::Text("NULL".into())]),
+        ];
+        for (a, b) in pairs {
+            assert_ne!(
+                composite_key(a),
+                composite_key(b),
+                "{a:?} and {b:?} must encode differently"
+            );
+        }
+        // Equal value lists still encode equally.
+        let v = [Value::Int(7), Value::Text("a\u{1}".into()), Value::Null];
+        let w = v.clone();
+        assert_eq!(composite_key(&v), composite_key(&w));
     }
 
     #[test]

@@ -614,6 +614,11 @@ pub struct ExecContext<'a> {
     pub config: ExecConfig,
     /// What the most recent [`ExecContext::refresh_stale_indexes`] pass did.
     last_maintenance: MaintenanceReport,
+    /// Span collector for the current query, when the driver asked for one
+    /// (see [`Session::execute_observed`](crate::session::Session));
+    /// `execute_with_metrics` adds refresh/execute spans and imports the
+    /// finished `OpMetrics` tree as per-operator child spans.
+    pub trace: Option<instn_obs::QueryTrace>,
 }
 
 impl<'a> ExecContext<'a> {
@@ -627,6 +632,7 @@ impl<'a> ExecContext<'a> {
             sort_mem: DEFAULT_SORT_MEM,
             config: ExecConfig::default(),
             last_maintenance: MaintenanceReport::default(),
+            trace: None,
         }
     }
 
@@ -701,6 +707,38 @@ impl<'a> ExecContext<'a> {
         report.physical_io = spent.total();
         report.logical_io = spent.logical_total();
         self.last_maintenance = report;
+        // Publish the refresh ladder's decisions (replay vs rebuild vs
+        // skip, and how many journal deltas were folded in) so `\metrics`
+        // can show maintenance behavior across sessions. Registration is
+        // idempotent; the lock here is per plan open, off the row path.
+        let obs = self.db.metrics();
+        if obs.is_enabled() && report.indexes_checked > 0 {
+            obs.counter(
+                "index_refresh_replays_total",
+                "Indexes caught up by replaying the journal gap",
+            )
+            .add(report.indexes_replayed);
+            obs.counter(
+                "index_refresh_rebuilds_total",
+                "Indexes bulk-rebuilt (journal truncated, replay costlier, or forced mid-replay)",
+            )
+            .add(report.indexes_rebuilt + report.forced_rebuilds);
+            obs.counter(
+                "index_refresh_skips_total",
+                "Stale-stamped indexes re-stamped with zero work (table untouched)",
+            )
+            .add(report.indexes_skipped);
+            obs.counter(
+                "index_refresh_deltas_total",
+                "Journal changes folded into replayed indexes",
+            )
+            .add(report.deltas_applied);
+            obs.counter(
+                "index_refresh_evictions_total",
+                "Registrations dropped because their instance no longer exists",
+            )
+            .add(report.indexes_evicted);
+        }
         Ok(())
     }
 
@@ -755,7 +793,15 @@ impl<'a> ExecContext<'a> {
         &mut self,
         plan: &PhysicalPlan,
     ) -> Result<(Vec<AnnotatedTuple>, OpMetrics)> {
+        let refresh_span = self.trace.as_mut().map(|t| t.begin("index-refresh"));
         self.refresh_stale_indexes()?;
+        if let Some(id) = refresh_span {
+            let m = self.last_maintenance;
+            if let Some(t) = self.trace.as_mut() {
+                t.end_with_io(id, m.logical_io, m.physical_io);
+            }
+        }
+        let exec_span = self.trace.as_mut().map(|t| t.begin("execute"));
         let mut root = compile(plan);
         root.open(self)?;
         let mut out = Vec::new();
@@ -763,7 +809,12 @@ impl<'a> ExecContext<'a> {
             out.push(t);
         }
         root.close(self)?;
-        Ok((out, root.metrics()))
+        let metrics = root.metrics();
+        if let (Some(id), Some(t)) = (exec_span, self.trace.as_mut()) {
+            t.end_with_io(id, metrics.logical_io, metrics.physical_io);
+            metrics.attach_spans(t, Some(id));
+        }
+        Ok((out, metrics))
     }
 
     /// Open a plan as a pull stream without draining it. The caller pulls
@@ -893,6 +944,27 @@ impl OpMetrics {
         }
         for oc in other.children.iter().skip(overlap) {
             self.children.push(oc.clone());
+        }
+    }
+
+    /// Import this metrics tree into a [`instn_obs::QueryTrace`] as
+    /// per-operator child spans under `parent`. Operator counters carry no
+    /// wall-clock of their own (the executor charges I/O, not time, per
+    /// node), so imported spans report inclusive I/O with zero wall;
+    /// per-worker Exchange breakdowns attach as `worker-N` children.
+    fn attach_spans(&self, trace: &mut instn_obs::QueryTrace, parent: Option<u64>) {
+        let id = trace.attach(parent, &self.label, 0, self.logical_io, self.physical_io);
+        for (i, w) in self.workers.iter().enumerate() {
+            trace.attach(
+                Some(id),
+                &format!("worker-{i} ({})", w.label),
+                0,
+                w.logical_io,
+                w.physical_io,
+            );
+        }
+        for c in &self.children {
+            c.attach_spans(trace, Some(id));
         }
     }
 
@@ -2397,6 +2469,30 @@ impl ExchangeOp {
         // gets one worker so the gather path is uniform.
         let worker_cap = morsels.len().clamp(1, instn_storage::io::PIN_STRIPES - 1);
         let n_workers = dop.clamp(1, worker_cap);
+        // Morsel/gather timing handles, resolved once per Exchange run (the
+        // registry mutex is never taken inside the worker loop). `None`
+        // when observability is off: workers then skip the clock entirely.
+        let obs = db.metrics();
+        let morsel_obs = if obs.is_enabled() {
+            Some((
+                obs.histogram(
+                    "exchange_morsel_ns",
+                    "Per-morsel worker execution wall time (ns)",
+                ),
+                obs.counter(
+                    "exchange_morsels_total",
+                    "Morsels executed by parallel workers",
+                ),
+            ))
+        } else {
+            None
+        };
+        let gather_hist = obs.is_enabled().then(|| {
+            obs.histogram(
+                "exchange_gather_ns",
+                "Gather-phase merge wall time per Exchange run (ns)",
+            )
+        });
         let next = AtomicUsize::new(0);
         let stall = ctx.config.io_stall;
         let frag_ref = &frag;
@@ -2408,6 +2504,7 @@ impl ExchangeOp {
                 let handles: Vec<_> = (0..n_workers)
                     .map(|w| {
                         let stats = Arc::clone(&stats);
+                        let morsel_obs = morsel_obs.clone();
                         scope.spawn(move |_| -> Result<WorkerOut> {
                             let _pin = IoStats::pin_worker(w);
                             let before = stats.worker_snapshot(w);
@@ -2423,6 +2520,7 @@ impl ExchangeOp {
                                 if i >= morsels_ref.len() {
                                     break;
                                 }
+                                let t0 = morsel_obs.as_ref().map(|_| std::time::Instant::now());
                                 let m = run_morsel(
                                     db,
                                     sidx,
@@ -2431,6 +2529,10 @@ impl ExchangeOp {
                                     &morsels_ref[i],
                                     &mut wo.stage_rows,
                                 )?;
+                                if let (Some((hist, count)), Some(t0)) = (morsel_obs.as_ref(), t0) {
+                                    hist.record(instn_obs::elapsed_ns(t0));
+                                    count.inc();
+                                }
                                 wo.rows_out += match &m {
                                     MorselOut::Rows(r) => r.len() as u64,
                                     MorselOut::Agg(st) => st.len() as u64,
@@ -2460,6 +2562,7 @@ impl ExchangeOp {
         }
 
         // Gather in morsel order: deterministic, serial-identical output.
+        let gather_t0 = gather_hist.as_ref().map(|_| std::time::Instant::now());
         let mut slots: Vec<Option<MorselOut>> = morsels.iter().map(|_| None).collect();
         for wo in &mut workers {
             for (i, m) in wo.outs.drain(..) {
@@ -2485,6 +2588,9 @@ impl ExchangeOp {
             }
             v
         };
+        if let (Some(hist), Some(t0)) = (gather_hist.as_ref(), gather_t0) {
+            hist.record(instn_obs::elapsed_ns(t0));
+        }
 
         let coord_io = stats.worker_snapshot(coord_slot).since(&coord_before);
         let mut total_io = coord_io;
@@ -2616,10 +2722,13 @@ fn merge_pair(db: &Database, l: &AnnotatedTuple, r: &AnnotatedTuple) -> Annotate
 /// their summary sets merge with common-annotation dedup.
 fn distinct_rows(db: &Database, rows: Vec<AnnotatedTuple>) -> Vec<AnnotatedTuple> {
     let resolver = db.text_resolver();
-    let mut order: Vec<String> = Vec::new();
-    let mut seen: HashMap<String, AnnotatedTuple> = HashMap::new();
+    let mut order: Vec<Vec<u8>> = Vec::new();
+    let mut seen: HashMap<Vec<u8>, AnnotatedTuple> = HashMap::new();
     for t in rows {
-        let key: String = t.values.iter().map(|v| format!("{v}\u{1}")).collect();
+        // Typed, injective key: `Display` concatenation collided
+        // `Int(1)` with `Text("1")` and separator-embedding strings
+        // across columns.
+        let key = crate::dataindex::composite_key(&t.values);
         match seen.get_mut(&key) {
             None => {
                 order.push(key.clone());
@@ -2658,14 +2767,17 @@ fn group_rows(db: &Database, rows: Vec<AnnotatedTuple>, cols: &[usize]) -> Vec<A
 /// operator feeds one of these every input tuple; under the parallel
 /// executor each worker builds one per morsel and the gather folds them
 /// together with [`AggState::merge`] in morsel order. Merging counts is
-/// exact; merging summary sets matches the serial fold exactly whenever
-/// each annotation attaches to a single tuple (the row-attachment case),
-/// because the pairwise common-annotation dedup then never fires across
-/// a morsel boundary — see DESIGN.md §8 for the multi-tuple caveat.
+/// exact, and merging summary sets matches the serial fold bit for bit
+/// even when an annotation attaches to *multiple* tuples that straddle a
+/// morsel boundary: classifier and snippet merges dedup by annotation id
+/// and source, and the cluster merge is a canonical connected-components
+/// partition of the member ids (`merge_cluster_groups` in
+/// `instn-core::algebra`), so no annotation is ever counted twice and
+/// the fold is associative — see DESIGN.md §8.
 struct AggState {
     cols: Vec<usize>,
-    order: Vec<String>,
-    groups: HashMap<String, (Vec<Value>, u64, AnnotatedTuple)>,
+    order: Vec<Vec<u8>>,
+    groups: HashMap<Vec<u8>, (Vec<Value>, u64, AnnotatedTuple)>,
 }
 
 impl AggState {
@@ -2683,14 +2795,16 @@ impl AggState {
 
     /// Fold one input tuple into the state (the serial per-row step).
     fn absorb(&mut self, db: &Database, t: AnnotatedTuple) {
-        // Group keys must hash; render values to a canonical string key
-        // while keeping the first occurrence's values for output.
+        // Group keys must hash; encode values with the typed, injective
+        // `composite_key` (a `Display`-string key collided across types
+        // and columns) while keeping the first occurrence's values for
+        // output.
         let key_vals: Vec<Value> = self
             .cols
             .iter()
             .map(|&i| t.values.get(i).cloned().unwrap_or(Value::Null))
             .collect();
-        let key: String = key_vals.iter().map(|v| format!("{v}\u{1}")).collect();
+        let key = crate::dataindex::composite_key(&key_vals);
         match self.groups.get_mut(&key) {
             None => {
                 self.order.push(key.clone());

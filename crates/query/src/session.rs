@@ -25,11 +25,13 @@
 //! panicked mid-mutation leaves the engine in an unknown state, and every
 //! later acquisition fails fast instead of serving it.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use instn_core::db::Database;
 use instn_core::AnnotatedTuple;
 use instn_index::{BaselineIndex, PointerMode, SummaryBTree};
+use instn_obs::{Counter, QueryTrace};
 use instn_storage::TableId;
 
 use crate::dataindex::ColumnIndex;
@@ -55,11 +57,14 @@ impl SharedDatabase {
 
     /// Open a new session (its own index registry, its own sort budget).
     pub fn session(&self) -> Session {
+        static NEXT_SESSION_ID: AtomicU64 = AtomicU64::new(1);
         Session {
             shared: self.clone(),
             registry: IndexRegistry::default(),
             sort_mem: DEFAULT_SORT_MEM,
             exec_config: ExecConfig::default(),
+            id: NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed),
+            query_counter: None,
         }
     }
 
@@ -108,6 +113,10 @@ pub struct Session {
     /// Parallel-execution settings (DOP, morsel size) handed to each
     /// per-query context.
     pub exec_config: ExecConfig,
+    /// Process-unique session number (used to name per-session metrics).
+    id: u64,
+    /// Lazily registered `session_<id>_queries_total` handle.
+    query_counter: Option<Counter>,
 }
 
 impl Session {
@@ -142,6 +151,70 @@ impl Session {
         plan: &PhysicalPlan,
     ) -> Result<(Vec<AnnotatedTuple>, OpMetrics)> {
         self.with_ctx(|ctx| ctx.execute_with_metrics(plan))
+    }
+
+    /// This session's process-unique number.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// The observed execution path (DESIGN.md §10): [`Session::execute`]
+    /// plus, when the engine's metrics registry is enabled,
+    ///
+    /// * per-session and engine-wide query counters,
+    /// * an end-to-end wall-clock histogram (`query_wall_ns`),
+    /// * a span trace (index-refresh ladder, execute, per-operator and
+    ///   per-worker subtrees), and
+    /// * a slow-query-log capture — statement, rendered plan, `OpMetrics`
+    ///   tree, and `MaintenanceReport` — when wall-clock crosses the
+    ///   configured threshold.
+    ///
+    /// With the registry disabled (the default) this is `execute` plus one
+    /// atomic load — the clock is never read.
+    pub fn execute_observed(
+        &mut self,
+        statement: &str,
+        plan: &PhysicalPlan,
+    ) -> Result<Vec<AnnotatedTuple>> {
+        let enabled = self.shared.with_read(|db| db.metrics().is_enabled());
+        if !enabled {
+            return self.execute(plan);
+        }
+        let started = std::time::Instant::now();
+        let (rows, metrics, maintenance, trace, registry) = self.with_ctx(|ctx| {
+            let registry = Arc::clone(ctx.db.metrics());
+            ctx.trace = Some(QueryTrace::new());
+            let res = ctx.execute_with_metrics(plan);
+            let trace = ctx.trace.take().expect("installed above");
+            let maintenance = ctx.maintenance_report();
+            res.map(|(rows, m)| (rows, m, maintenance, trace, registry))
+        })?;
+        let wall = instn_obs::elapsed_ns(started);
+        self.query_counter
+            .get_or_insert_with(|| {
+                registry.counter(
+                    &format!("session_{}_queries_total", self.id),
+                    "Queries executed by this session",
+                )
+            })
+            .inc();
+        registry
+            .counter("queries_total", "Queries executed across all sessions")
+            .inc();
+        registry
+            .histogram("query_wall_ns", "End-to-end query wall time (ns)")
+            .record(wall);
+        if registry.slow_log().should_capture(wall) {
+            registry.slow_log().record(
+                statement,
+                wall,
+                &plan.to_string(),
+                &metrics.render(),
+                &maintenance.render(),
+                &trace.render(),
+            );
+        }
+        Ok(rows)
     }
 
     /// Build and register a Summary-BTree over `instance` on `table`.

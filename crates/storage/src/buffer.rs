@@ -50,7 +50,9 @@ use crate::io::IoStats;
 use crate::wal::{Lsn, Wal};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use instn_obs::{Counter, Gauge, MetricsRegistry};
 
 /// Which counter family a registered file charges.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -115,6 +117,19 @@ struct PoolState {
     wal: Option<Arc<Wal>>,
 }
 
+/// Observability handles resolved once from a [`MetricsRegistry`]
+/// (`BufferPool::attach_metrics`). Recording is striped-atomic and
+/// no-ops while the registry is disabled; the counters shadow the
+/// `IoStats` cache fields so a live `\metrics` dump sees them without
+/// snapshotting I/O stripes.
+#[derive(Debug)]
+struct PoolObs {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    resident: Gauge,
+}
+
 /// Shared, thread-safe buffer-pool manager. See the module docs for the
 /// charging rules.
 #[derive(Debug)]
@@ -122,6 +137,7 @@ pub struct BufferPool {
     stats: Arc<IoStats>,
     capacity: AtomicUsize,
     state: Mutex<PoolState>,
+    obs: OnceLock<PoolObs>,
 }
 
 impl BufferPool {
@@ -134,7 +150,44 @@ impl BufferPool {
             stats,
             capacity: AtomicUsize::new(capacity),
             state: Mutex::new(PoolState::default()),
+            obs: OnceLock::new(),
         })
+    }
+
+    /// Resolve metric handles from `registry` (idempotent; the first call
+    /// wins). Until attached — and while the registry is disabled — every
+    /// access records exactly what it did before this subsystem existed.
+    pub fn attach_metrics(&self, registry: &MetricsRegistry) {
+        let _ = self.obs.set(PoolObs {
+            hits: registry.counter("bufferpool_hits_total", "buffer-pool page hits"),
+            misses: registry.counter("bufferpool_misses_total", "buffer-pool page misses"),
+            evictions: registry
+                .counter("bufferpool_evictions_total", "buffer-pool frame evictions"),
+            resident: registry.gauge("bufferpool_resident_pages", "frames currently resident"),
+        });
+    }
+
+    #[inline]
+    fn note_hit(&self) {
+        self.stats.cache_hit(1);
+        if let Some(o) = self.obs.get() {
+            o.hits.inc();
+        }
+    }
+
+    #[inline]
+    fn note_miss(&self) {
+        self.stats.cache_miss(1);
+        if let Some(o) = self.obs.get() {
+            o.misses.inc();
+        }
+    }
+
+    #[inline]
+    fn note_resident(&self, frames: usize) {
+        if let Some(o) = self.obs.get() {
+            o.resident.set(frames as i64);
+        }
     }
 
     /// Create a disabled (capacity 0) pool — the compatibility default.
@@ -202,13 +255,13 @@ impl BufferPool {
         let key = FrameKey { file, page };
         if let Some(&slot) = st.map.get(&key) {
             st.frames[slot].referenced = true;
-            self.stats.cache_hit(1);
+            self.note_hit();
             return Access {
                 hit: true,
                 evicted: Vec::new(),
             };
         }
-        self.stats.cache_miss(1);
+        self.note_miss();
         self.charge_physical_read(&st, file);
         let evicted = self.admit(&mut st, cap, key, false);
         Access {
@@ -237,13 +290,13 @@ impl BufferPool {
             frame.referenced = true;
             frame.dirty = true;
             frame.rec_lsn = rec_lsn;
-            self.stats.cache_hit(1);
+            self.note_hit();
             return Access {
                 hit: true,
                 evicted: Vec::new(),
             };
         }
-        self.stats.cache_miss(1);
+        self.note_miss();
         self.charge_physical_read(&st, file);
         let evicted = self.admit(&mut st, cap, key, true);
         Access {
@@ -272,13 +325,13 @@ impl BufferPool {
             frame.referenced = true;
             frame.dirty = true;
             frame.rec_lsn = rec_lsn;
-            self.stats.cache_hit(1);
+            self.note_hit();
             return Access {
                 hit: true,
                 evicted: Vec::new(),
             };
         }
-        self.stats.cache_miss(1);
+        self.note_miss();
         self.charge_physical_read(&st, file);
         let evicted = self.admit(&mut st, cap, key, true);
         Access {
@@ -421,6 +474,7 @@ impl BufferPool {
             rec_lsn,
         });
         st.map.insert(key, slot);
+        self.note_resident(st.frames.len());
         evicted
     }
 
@@ -468,6 +522,10 @@ impl BufferPool {
             self.charge_physical_write(st, frame.key.file, frame.rec_lsn);
         }
         self.stats.cache_eviction(1);
+        if let Some(o) = self.obs.get() {
+            o.evictions.inc();
+        }
+        self.note_resident(st.frames.len());
         Evicted {
             key: frame.key,
             dirty: frame.dirty,

@@ -196,6 +196,18 @@ struct WalState {
     flushed: u64,
 }
 
+/// Observability handles (`Wal::attach_metrics`): append/force latency
+/// histograms plus an append/bytes counter pair mirroring the `IoStats`
+/// fields for live export.
+#[derive(Debug)]
+struct WalObs {
+    append_ns: instn_obs::Histogram,
+    fsync_ns: instn_obs::Histogram,
+    appends: instn_obs::Counter,
+    forces: instn_obs::Counter,
+    bytes: instn_obs::Counter,
+}
+
 /// The physical write-ahead log. See the module docs for format and model.
 #[derive(Debug)]
 pub struct Wal {
@@ -206,6 +218,7 @@ pub struct Wal {
     /// mirrored atomically so the buffer pool can stamp `rec_lsn` without
     /// taking the log lock.
     appended: AtomicU64,
+    obs: std::sync::OnceLock<WalObs>,
 }
 
 impl Wal {
@@ -216,6 +229,7 @@ impl Wal {
             fault: None,
             state: Mutex::new(WalState::default()),
             appended: AtomicU64::new(0),
+            obs: std::sync::OnceLock::new(),
         })
     }
 
@@ -226,7 +240,22 @@ impl Wal {
             fault: Some(fault),
             state: Mutex::new(WalState::default()),
             appended: AtomicU64::new(0),
+            obs: std::sync::OnceLock::new(),
         })
+    }
+
+    /// Resolve metric handles from `registry` (idempotent). Appends and
+    /// forces then record latency histograms (`wal_append_ns`,
+    /// `wal_fsync_ns`) and counters; the timing pair is skipped entirely
+    /// while the registry is disabled.
+    pub fn attach_metrics(&self, registry: &instn_obs::MetricsRegistry) {
+        let _ = self.obs.set(WalObs {
+            append_ns: registry.histogram("wal_append_ns", "WAL append latency (ns)"),
+            fsync_ns: registry.histogram("wal_fsync_ns", "WAL force/fsync latency (ns)"),
+            appends: registry.counter("wal_appends_total", "WAL records appended"),
+            forces: registry.counter("wal_forces_total", "WAL forces"),
+            bytes: registry.counter("wal_bytes_total", "WAL bytes made durable"),
+        });
     }
 
     /// The fault injector wired into this log, if any.
@@ -237,6 +266,11 @@ impl Wal {
     /// Append a record to the in-memory tail. Nothing is durable until a
     /// [`Wal::force`] covers the returned [`Lsn`].
     pub fn append(&self, kind: WalRecordKind, payload: &[u8]) -> Lsn {
+        let timer = self
+            .obs
+            .get()
+            .filter(|o| o.append_ns.is_enabled())
+            .map(|_| std::time::Instant::now());
         let mut st = self.state.lock().expect("wal poisoned");
         let mut body = Vec::with_capacity(1 + payload.len());
         body.push(kind.tag());
@@ -248,6 +282,12 @@ impl Wal {
         let end = st.flushed + st.pending.len() as u64;
         self.appended.store(end, Ordering::Relaxed);
         self.stats.wal_append(1);
+        if let Some(o) = self.obs.get() {
+            o.appends.inc();
+            if let Some(t) = timer {
+                o.append_ns.record_duration(t.elapsed());
+            }
+        }
         Lsn(end)
     }
 
@@ -265,6 +305,11 @@ impl Wal {
     /// covered. Returns [`StorageError::Crashed`] when the fault injector
     /// kills the write — cleanly (no bytes land) or torn (half land).
     pub fn force(&self, upto: Lsn) -> Result<()> {
+        let timer = self
+            .obs
+            .get()
+            .filter(|o| o.fsync_ns.is_enabled())
+            .map(|_| std::time::Instant::now());
         let mut st = self.state.lock().expect("wal poisoned");
         if st.flushed >= upto.0 {
             return Ok(());
@@ -276,6 +321,15 @@ impl Wal {
             .as_ref()
             .map(|f| f.on_write())
             .unwrap_or(WriteOutcome::Full);
+        let done = |bytes: u64| {
+            if let Some(o) = self.obs.get() {
+                o.forces.inc();
+                o.bytes.add(bytes);
+                if let Some(t) = timer {
+                    o.fsync_ns.record_duration(t.elapsed());
+                }
+            }
+        };
         match outcome {
             WriteOutcome::Full => {
                 let moved: Vec<u8> = st.pending.drain(..take).collect();
@@ -283,6 +337,7 @@ impl Wal {
                 st.flushed = upto.0;
                 self.stats.wal_force(1);
                 self.stats.wal_bytes(take as u64);
+                done(take as u64);
                 Ok(())
             }
             WriteOutcome::Torn => {
@@ -292,6 +347,7 @@ impl Wal {
                 // `flushed` does not advance: the force failed.
                 self.stats.wal_force(1);
                 self.stats.wal_bytes(half as u64);
+                done(half as u64);
                 Err(StorageError::Crashed)
             }
             WriteOutcome::Dropped => Err(StorageError::Crashed),

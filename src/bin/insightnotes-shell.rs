@@ -106,6 +106,10 @@ fn main() {
     // the exclusive guard. A second shell thread could clone `shared` and
     // serve concurrently.
     let mut shared = SharedDatabase::new(db);
+    // Observability on for the interactive engine: buffer-pool, WAL,
+    // index-maintenance, and per-session counters are live from the first
+    // statement (`\metrics` to dump, `\set slowlog <ms>` to arm capture).
+    shared.with_read(|db| db.metrics().set_enabled(true));
     let mut session = shared.session();
     let interactive = std::io::IsTerminal::is_terminal(&std::io::stdin());
     if interactive {
@@ -116,6 +120,8 @@ fn main() {
         println!("  EXPLAIN ANALYZE SELECT * FROM Birds r WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 2;");
         println!("  ZOOM IN ON ClassBird1 OF Birds TUPLE 8 LABEL 'Disease';");
         println!("  \\set dop <N> to run eligible scans across N workers (0 = auto).");
+        println!("  \\metrics to dump engine metrics (Prometheus text format).");
+        println!("  \\set slowlog <ms> to capture slow queries, \\slowlog to list them.");
         println!("  \\save <file> / \\load <file> to persist, \\q to quit.");
     }
     let stdin = std::io::stdin();
@@ -154,6 +160,35 @@ fn main() {
             }
             continue;
         }
+        if let Some(arg) = line.strip_prefix("\\set slowlog") {
+            match arg.trim().parse::<u64>() {
+                Ok(ms) => {
+                    shared.with_read(|db| db.metrics().slow_log().set_threshold_ms(ms));
+                    println!("slow-query log captures queries ≥ {ms} ms");
+                }
+                Err(_) => eprintln!("usage: \\set slowlog <ms>"),
+            }
+            continue;
+        }
+        if line == "\\metrics" {
+            print!(
+                "{}",
+                shared.with_read(|db| db.metrics().render_prometheus())
+            );
+            continue;
+        }
+        if line == "\\slowlog" {
+            print!(
+                "{}",
+                shared.with_read(|db| db.metrics().slow_log().render())
+            );
+            continue;
+        }
+        if line == "\\slowlog clear" {
+            shared.with_read(|db| db.metrics().slow_log().clear());
+            println!("slow-query log cleared");
+            continue;
+        }
         if let Some(path) = line.strip_prefix("\\save ") {
             match shared
                 .with_read(|db| db.dump())
@@ -170,6 +205,7 @@ fn main() {
                 Ok(bytes) => match Database::restore(&bytes) {
                     Ok(restored) => {
                         shared = SharedDatabase::new(restored);
+                        shared.with_read(|db| db.metrics().set_enabled(true));
                         session = shared.session();
                         println!("loaded {}", path.trim());
                     }
@@ -196,14 +232,18 @@ fn main() {
         }
         match shared.with_write(|db| execute_statement(db, &registry, line)) {
             Ok(SqlOutcome::Query(q)) => {
-                // Lower and execute under one read guard: one snapshot.
                 let dop = session.exec_config.dop;
-                let res = session.with_ctx(|ctx| {
-                    let physical = lower_naive(ctx.db, &q.plan)?;
+                // Lower under a read guard, then run through the observed
+                // path: per-session counters, `query_wall_ns`, span trace,
+                // and slow-log capture when the threshold is armed. The
+                // single-writer shell means the snapshot cannot shift
+                // between the two guards.
+                let res = session
+                    .with_ctx(|ctx| lower_naive(ctx.db, &q.plan))
                     // Wrap eligible fragments in Exchange operators when the
                     // session runs with DOP > 1 (\set dop N).
-                    ctx.execute(&parallelize_plan(&physical, dop))
-                });
+                    .map(|physical| parallelize_plan(&physical, dop))
+                    .and_then(|physical| session.execute_observed(line, &physical));
                 match res {
                     Ok(rows) => {
                         println!("{}", q.columns.join(" | "));

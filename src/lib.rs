@@ -18,6 +18,7 @@
 //!
 //! | Layer | Crate |
 //! |---|---|
+//! | Metrics registry, tracing spans, slow-query log | [`obs`] |
 //! | Paged storage, heap files, B-Trees, I/O accounting | [`storage`] |
 //! | Raw annotations, attachments, synthetic birds corpus | [`annot`] |
 //! | Naive Bayes / CluStream-style clustering / LSA snippets | [`mining`] |
@@ -65,6 +66,7 @@ pub use instn_annot as annot;
 pub use instn_core as core;
 pub use instn_index as index;
 pub use instn_mining as mining;
+pub use instn_obs as obs;
 pub use instn_opt as opt;
 pub use instn_query as query;
 pub use instn_sql as sql;
@@ -83,6 +85,7 @@ pub mod prelude {
     pub use instn_index::{BaselineIndex, PointerMode, SummaryBTree};
     pub use instn_mining::clustream::ClusterParams;
     pub use instn_mining::nb::NaiveBayes;
+    pub use instn_obs::{parse_prometheus, MetricsRegistry, QueryTrace, SlowLog, SlowQueryEntry};
     pub use instn_opt::{Optimizer, PlannerConfig, Statistics};
     pub use instn_query::exec::{
         default_dop, parallelize_plan, ExecConfig, ExecContext, IndexRegistry, PhysicalPlan,

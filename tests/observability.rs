@@ -1,0 +1,206 @@
+//! Observability must not perturb the engine (DESIGN.md §10):
+//!
+//! * **Neutrality** — executing with the metrics registry enabled returns
+//!   byte-identical rows and charges identical logical I/O as with it
+//!   disabled, serial and parallel, for arbitrary workloads (proptest).
+//! * **Liveness under concurrency** — many sessions recording metrics
+//!   while other threads render Prometheus dumps and toggle the enabled
+//!   flag never deadlock, and the striped counters/histograms stay exact
+//!   (no lost or duplicated increments).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use insightnotes::annot::{Attachment, Category};
+use insightnotes::core::db::Database;
+use insightnotes::core::instance::InstanceKind;
+use insightnotes::mining::nb::NaiveBayes;
+use insightnotes::prelude::{
+    parse_prometheus, CmpOp, ExecConfig, ExecContext, Expr, PhysicalPlan, SharedDatabase,
+};
+use insightnotes::storage::{ColumnType, Schema, TableId, Value};
+
+/// Birds(id, family); tuple i carries `counts[i]` disease annotations and
+/// one behavior annotation, all row-attached. Deterministic: two calls
+/// with the same `counts` build bit-identical databases.
+fn build(counts: &[usize]) -> (Database, TableId) {
+    let mut db = Database::new();
+    let t = db
+        .create_table(
+            "Birds",
+            Schema::of(&[("id", ColumnType::Int), ("family", ColumnType::Text)]),
+        )
+        .unwrap();
+    let mut model = NaiveBayes::new(vec!["Disease".into(), "Behavior".into()]);
+    model.train("disease outbreak infection virus", "Disease");
+    model.train("eating foraging migration song", "Behavior");
+    db.link_instance(t, "C", InstanceKind::Classifier { model }, true)
+        .unwrap();
+    for (i, &c) in counts.iter().enumerate() {
+        let oid = db
+            .insert_tuple(
+                t,
+                vec![Value::Int(i as i64), Value::Text(format!("fam{}", i % 3))],
+            )
+            .unwrap();
+        for _ in 0..c {
+            db.add_annotation(
+                t,
+                "disease outbreak infection",
+                Category::Disease,
+                "u",
+                vec![Attachment::row(oid)],
+            )
+            .unwrap();
+        }
+        db.add_annotation(
+            t,
+            "eating foraging song",
+            Category::Behavior,
+            "u",
+            vec![Attachment::row(oid)],
+        )
+        .unwrap();
+    }
+    (db, t)
+}
+
+fn filter_group_plan(t: TableId, threshold: i64) -> PhysicalPlan {
+    PhysicalPlan::GroupBy {
+        input: Box::new(PhysicalPlan::Filter {
+            input: Box::new(PhysicalPlan::SeqScan {
+                table: t,
+                with_summaries: true,
+            }),
+            pred: Expr::label_cmp("C", "Disease", CmpOp::Ge, threshold),
+        }),
+        cols: vec![1],
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Metrics recording is an observer, not a participant: the same
+    /// workload on two identically-built databases — registry disabled
+    /// (default) vs enabled with an armed slow log — returns identical
+    /// rows, per-operator counters, and logical I/O, serial and parallel.
+    #[test]
+    fn enabled_metrics_are_execution_neutral(
+        counts in prop::collection::vec(0usize..5, 4..24),
+        threshold in 0i64..5,
+        morsel_rows in 1usize..8,
+        dop in 1usize..=4,
+    ) {
+        let plan_of = |t| PhysicalPlan::Exchange {
+            input: Box::new(filter_group_plan(t, threshold)),
+            dop,
+        };
+
+        let (db_off, t_off) = build(&counts);
+        let mut ctx = ExecContext::new(&db_off);
+        ctx.config = ExecConfig { dop, morsel_rows, io_stall: Duration::ZERO };
+        let (rows_off, metrics_off) = ctx.execute_with_metrics(&plan_of(t_off)).unwrap();
+        let io_off = db_off.stats().snapshot();
+
+        let (db_on, t_on) = build(&counts);
+        db_on.metrics().set_enabled(true);
+        db_on.metrics().slow_log().set_threshold_ns(0);
+        let mut ctx = ExecContext::new(&db_on);
+        ctx.config = ExecConfig { dop, morsel_rows, io_stall: Duration::ZERO };
+        ctx.trace = Some(insightnotes::prelude::QueryTrace::new());
+        let (rows_on, metrics_on) = ctx.execute_with_metrics(&plan_of(t_on)).unwrap();
+        let io_on = db_on.stats().snapshot();
+
+        prop_assert_eq!(rows_on, rows_off, "rows changed under metrics");
+        // Which worker won which morsel is a work-stealing race, metrics
+        // or not — compare the scheduling-independent aggregate tree.
+        fn strip_workers(m: &insightnotes::query::exec::OpMetrics)
+            -> insightnotes::query::exec::OpMetrics {
+            let mut out = m.clone();
+            out.workers.clear();
+            out.children = m.children.iter().map(strip_workers).collect();
+            out
+        }
+        prop_assert_eq!(
+            strip_workers(&metrics_on), strip_workers(&metrics_off),
+            "operator counters changed"
+        );
+        prop_assert_eq!(
+            io_on.logical_total(), io_off.logical_total(),
+            "logical I/O changed under metrics"
+        );
+        let trace = ctx.trace.take().unwrap();
+        prop_assert!(!trace.spans().is_empty(), "trace collected no spans");
+    }
+}
+
+/// N sessions hammer observed queries while a renderer thread dumps
+/// Prometheus text and a toggler flips the enabled flag: no deadlock
+/// (the test finishes), every dump parses, and with the flag finally on,
+/// a known number of increments lands exactly.
+#[test]
+fn concurrent_sessions_never_deadlock_or_skew_counters() {
+    const SESSIONS: usize = 4;
+    const QUERIES: usize = 25;
+    let (db, t) = build(&[3, 1, 4, 1, 5, 2, 0, 3]);
+    db.metrics().set_enabled(true);
+    let registry = std::sync::Arc::clone(db.metrics());
+    let shared = SharedDatabase::new(db);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|scope| {
+        let mut workers = Vec::new();
+        for _ in 0..SESSIONS {
+            let mut session = shared.session();
+            let plan = filter_group_plan(t, 1);
+            workers.push(scope.spawn(move || {
+                for _ in 0..QUERIES {
+                    let rows = session
+                        .execute_observed("stress", &plan)
+                        .expect("stress query");
+                    assert!(!rows.is_empty());
+                }
+            }));
+        }
+        // Concurrent renders take the registry mutex against registration.
+        let renderer = scope.spawn(|| {
+            let mut dumps = 0usize;
+            while !stop.load(Ordering::Relaxed) {
+                let text = registry.render_prometheus();
+                parse_prometheus(&text).expect("mid-flight dump parses");
+                dumps += 1;
+            }
+            dumps
+        });
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+        stop.store(true, Ordering::Relaxed);
+        assert!(renderer.join().expect("renderer panicked") > 0);
+    });
+
+    // The flag stayed on throughout, so the counts are exact: striped
+    // counters lose nothing under contention.
+    let text = registry.render_prometheus();
+    let samples = parse_prometheus(&text).expect("final dump parses");
+    let get = |n: &str| {
+        samples
+            .iter()
+            .find(|(s, _)| s == n)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing sample {n}"))
+    };
+    let expected = (SESSIONS * QUERIES) as f64;
+    assert_eq!(get("queries_total"), expected);
+    assert_eq!(get("query_wall_ns_count"), expected, "histogram skewed");
+    // Per-session counters partition the total.
+    let per_session: f64 = samples
+        .iter()
+        .filter(|(s, _)| s.starts_with("session_") && s.ends_with("_queries_total"))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(per_session, expected);
+}
