@@ -59,6 +59,10 @@ pub enum QueryError {
     NotBoolean(String),
     /// Plan shape not executable (e.g. summary sort on unordered input).
     BadPlan(String),
+    /// The engine `RwLock` is poisoned: a thread panicked while holding the
+    /// exclusive write guard, so the engine state is unknown. Serving paths
+    /// surface this as a fail-fast error instead of a process abort.
+    EnginePoisoned,
 }
 
 impl std::fmt::Display for QueryError {
@@ -70,6 +74,11 @@ impl std::fmt::Display for QueryError {
             QueryError::UnknownIndex(i) => write!(f, "unknown index: {i}"),
             QueryError::NotBoolean(e) => write!(f, "predicate is not boolean: {e}"),
             QueryError::BadPlan(m) => write!(f, "bad plan: {m}"),
+            QueryError::EnginePoisoned => write!(
+                f,
+                "engine lock poisoned: a writer panicked mid-mutation and the \
+                 engine state is unknown"
+            ),
         }
     }
 }

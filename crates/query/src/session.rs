@@ -23,7 +23,10 @@
 //! interior locks are never held across calls back into the engine, so the
 //! hierarchy is acyclic. Lock poisoning is not papered over: a thread that
 //! panicked mid-mutation leaves the engine in an unknown state, and every
-//! later acquisition fails fast instead of serving it.
+//! later acquisition fails fast instead of serving it — as a panic through
+//! [`SharedDatabase::read`]/[`SharedDatabase::write`], or as a structured
+//! [`QueryError::EnginePoisoned`] through the `try_*` variants serving
+//! layers use (`instn-serve` turns it into a wire error, not an abort).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -38,7 +41,7 @@ use crate::dataindex::ColumnIndex;
 use crate::exec::{
     ExecConfig, ExecContext, IndexRegistry, OpMetrics, PhysicalPlan, DEFAULT_SORT_MEM,
 };
-use crate::Result;
+use crate::{QueryError, Result};
 
 /// A shareable, thread-safe handle over one [`Database`]: concurrent
 /// readers, single writer. Clones are cheap and refer to the same engine.
@@ -65,6 +68,7 @@ impl SharedDatabase {
             exec_config: ExecConfig::default(),
             id: NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed),
             query_counter: None,
+            failed_counter: None,
         }
     }
 
@@ -78,6 +82,20 @@ impl SharedDatabase {
     /// index registrations.
     pub fn write(&self) -> RwLockWriteGuard<'_, Database> {
         self.inner.write().expect("engine lock poisoned")
+    }
+
+    /// [`SharedDatabase::read`], but poisoning surfaces as
+    /// [`QueryError::EnginePoisoned`] instead of a panic. Serving layers
+    /// use this so one writer panic degrades into per-request errors, not
+    /// a cascade of worker aborts.
+    pub fn try_read(&self) -> Result<RwLockReadGuard<'_, Database>> {
+        self.inner.read().map_err(|_| QueryError::EnginePoisoned)
+    }
+
+    /// [`SharedDatabase::write`] with fail-fast poisoning, like
+    /// [`SharedDatabase::try_read`].
+    pub fn try_write(&self) -> Result<RwLockWriteGuard<'_, Database>> {
+        self.inner.write().map_err(|_| QueryError::EnginePoisoned)
     }
 
     /// Run a closure under a read guard.
@@ -117,6 +135,27 @@ pub struct Session {
     id: u64,
     /// Lazily registered `session_<id>_queries_total` handle.
     query_counter: Option<Counter>,
+    /// Lazily registered `session_<id>_queries_failed_total` handle.
+    failed_counter: Option<Counter>,
+}
+
+/// Drop-guard for [`Session::with_ctx`]: holds the transient
+/// [`ExecContext`] and unconditionally moves the index registry back into
+/// the session's slot when dropped — including during a panic unwind. A
+/// panicking query used to unwind past `std::mem::take(&mut self.registry)`
+/// and silently drop every index the session had registered; with this
+/// guard the registry survives the panic and the session keeps serving.
+struct RegistryRestore<'s, 'g> {
+    slot: &'s mut IndexRegistry,
+    ctx: Option<ExecContext<'g>>,
+}
+
+impl Drop for RegistryRestore<'_, '_> {
+    fn drop(&mut self) {
+        if let Some(mut ctx) = self.ctx.take() {
+            *self.slot = ctx.take_registry();
+        }
+    }
 }
 
 impl Session {
@@ -130,14 +169,41 @@ impl Session {
     /// closure, so every query inside sees one consistent snapshot; stale
     /// indexes are refreshed when a plan opens (see
     /// [`ExecContext::refresh_stale_indexes`]).
+    ///
+    /// Panic containment: if `f` panics, the panic propagates, but the
+    /// session's index registry is restored first (see [`RegistryRestore`])
+    /// — a caught panic leaves the session fully usable. Engine-lock
+    /// poisoning still panics here; serving paths that must degrade
+    /// gracefully use [`Session::try_with_ctx`].
     pub fn with_ctx<R>(&mut self, f: impl FnOnce(&mut ExecContext<'_>) -> R) -> R {
-        let guard = self.shared.read();
-        let mut ctx = ExecContext::with_registry(&guard, std::mem::take(&mut self.registry));
+        match self.try_with_ctx(f) {
+            Ok(out) => out,
+            Err(_) => panic!("engine lock poisoned"),
+        }
+    }
+
+    /// [`Session::with_ctx`], but engine-lock poisoning comes back as
+    /// `Err(QueryError::EnginePoisoned)` instead of a panic. The registry
+    /// drop-guard applies on this path too.
+    pub fn try_with_ctx<R>(&mut self, f: impl FnOnce(&mut ExecContext<'_>) -> R) -> Result<R> {
+        let guard = self
+            .shared
+            .inner
+            .read()
+            .map_err(|_| QueryError::EnginePoisoned)?;
+        let taken = std::mem::take(&mut self.registry);
+        let mut hold = RegistryRestore {
+            slot: &mut self.registry,
+            ctx: Some(ExecContext::with_registry(&guard, taken)),
+        };
+        let ctx = hold.ctx.as_mut().expect("installed above");
         ctx.sort_mem = self.sort_mem;
         ctx.config = self.exec_config;
-        let out = f(&mut ctx);
-        self.registry = ctx.take_registry();
-        out
+        let out = f(ctx);
+        // Normal path: the guard's Drop moves the registry back right here;
+        // on unwind the same Drop runs during unwinding.
+        drop(hold);
+        Ok(out)
     }
 
     /// Execute a plan against the current snapshot, materializing its rows.
@@ -171,23 +237,31 @@ impl Session {
     ///
     /// With the registry disabled (the default) this is `execute` plus one
     /// atomic load — the clock is never read.
+    ///
+    /// Both outcomes are observed: a query that returns `Err` still
+    /// records its wall time in `query_wall_ns`, increments
+    /// `queries_total` plus the global and per-session
+    /// `queries_failed_total` counters, and — when over the slow-log
+    /// threshold — lands in the slow log with the error text in place of
+    /// the plan. (Failed queries used to early-return before any of this,
+    /// making exactly the statements an operator needs to see invisible.)
     pub fn execute_observed(
         &mut self,
         statement: &str,
         plan: &PhysicalPlan,
     ) -> Result<Vec<AnnotatedTuple>> {
-        let enabled = self.shared.with_read(|db| db.metrics().is_enabled());
+        let enabled = self.shared.try_read().map(|db| db.metrics().is_enabled())?;
         if !enabled {
-            return self.execute(plan);
+            return self.try_with_ctx(|ctx| ctx.execute(plan))?;
         }
         let started = std::time::Instant::now();
-        let (rows, metrics, maintenance, trace, registry) = self.with_ctx(|ctx| {
+        let (res, maintenance, trace, registry) = self.try_with_ctx(|ctx| {
             let registry = Arc::clone(ctx.db.metrics());
             ctx.trace = Some(QueryTrace::new());
             let res = ctx.execute_with_metrics(plan);
             let trace = ctx.trace.take().expect("installed above");
             let maintenance = ctx.maintenance_report();
-            res.map(|(rows, m)| (rows, m, maintenance, trace, registry))
+            (res, maintenance, trace, registry)
         })?;
         let wall = instn_obs::elapsed_ns(started);
         self.query_counter
@@ -204,17 +278,48 @@ impl Session {
         registry
             .histogram("query_wall_ns", "End-to-end query wall time (ns)")
             .record(wall);
-        if registry.slow_log().should_capture(wall) {
-            registry.slow_log().record(
-                statement,
-                wall,
-                &plan.to_string(),
-                &metrics.render(),
-                &maintenance.render(),
-                &trace.render(),
-            );
+        match res {
+            Ok((rows, metrics)) => {
+                if registry.slow_log().should_capture(wall) {
+                    registry.slow_log().record(
+                        statement,
+                        wall,
+                        &plan.to_string(),
+                        &metrics.render(),
+                        &maintenance.render(),
+                        &trace.render(),
+                    );
+                }
+                Ok(rows)
+            }
+            Err(e) => {
+                self.failed_counter
+                    .get_or_insert_with(|| {
+                        registry.counter(
+                            &format!("session_{}_queries_failed_total", self.id),
+                            "Queries that returned an error in this session",
+                        )
+                    })
+                    .inc();
+                registry
+                    .counter(
+                        "queries_failed_total",
+                        "Queries that returned an error across all sessions",
+                    )
+                    .inc();
+                if registry.slow_log().should_capture(wall) {
+                    registry.slow_log().record(
+                        statement,
+                        wall,
+                        &format!("error: {e}\n"),
+                        "",
+                        &maintenance.render(),
+                        &trace.render(),
+                    );
+                }
+                Err(e)
+            }
         }
-        Ok(rows)
     }
 
     /// Build and register a Summary-BTree over `instance` on `table`.

@@ -1,0 +1,155 @@
+//! Blocking client for the instn-serve wire protocol.
+//!
+//! [`Client::connect`] performs the versioned handshake; a non-`Ok`
+//! handshake status (busy server, draining server, protocol mismatch)
+//! surfaces as [`ClientError::Rejected`] so callers can retry or back
+//! off. All calls are synchronous request/response over one socket.
+
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use crate::wire::{
+    read_frame, write_frame, ClientHello, ErrorCode, HandshakeStatus, Request, Response, WireError,
+    PROTOCOL_VERSION,
+};
+
+/// Client-side failure modes.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// A frame decoded to something the protocol does not allow here.
+    Protocol(String),
+    /// The server answered the handshake with a non-`Ok` status.
+    Rejected(HandshakeStatus),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Rejected(s) => write!(f, "handshake rejected: {s:?}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<WireError> for ClientError {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(e) => ClientError::Io(e),
+            other => ClientError::Protocol(other.to_string()),
+        }
+    }
+}
+
+/// Crate-level client result alias.
+pub type ClientResult<T> = Result<T, ClientError>;
+
+/// A connected, handshaken client session.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect and handshake. Fails with [`ClientError::Rejected`] if the
+    /// server is at capacity, draining, or speaks another protocol
+    /// version.
+    pub fn connect(addr: impl ToSocketAddrs) -> ClientResult<Self> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        write_frame(
+            &mut stream,
+            &ClientHello {
+                version: PROTOCOL_VERSION,
+            }
+            .encode(),
+        )?;
+        let hello = crate::wire::ServerHello::decode(&read_frame(&mut stream)?)?;
+        if hello.status != HandshakeStatus::Ok {
+            return Err(ClientError::Rejected(hello.status));
+        }
+        Ok(Client { stream })
+    }
+
+    /// Set a socket read timeout for responses (`None` blocks forever).
+    /// Useful when the request deadline should also bound the client-side
+    /// wait.
+    pub fn set_response_timeout(&mut self, t: Option<Duration>) -> ClientResult<()> {
+        self.stream.set_read_timeout(t)?;
+        Ok(())
+    }
+
+    fn roundtrip(&mut self, req: &Request) -> ClientResult<Vec<u8>> {
+        write_frame(&mut self.stream, &req.encode())?;
+        Ok(read_frame(&mut self.stream)?)
+    }
+
+    /// Run `statement` under the server's default deadline and decode the
+    /// response.
+    pub fn query(&mut self, statement: &str) -> ClientResult<Response> {
+        self.query_deadline(statement, Duration::ZERO)
+    }
+
+    /// Run `statement` with an explicit wall-clock budget
+    /// (`Duration::ZERO` means "server default").
+    pub fn query_deadline(
+        &mut self,
+        statement: &str,
+        deadline: Duration,
+    ) -> ClientResult<Response> {
+        let raw = self.query_raw(statement, deadline)?;
+        Ok(Response::decode(&raw)?)
+    }
+
+    /// Like [`Client::query_deadline`] but returns the raw response
+    /// payload bytes without decoding. The encoding is canonical (one
+    /// byte sequence per logical response), so raw payloads can be
+    /// compared byte-for-byte against an oracle's encoding — this is what
+    /// the `serve` benchmark's correctness assert uses.
+    pub fn query_raw(&mut self, statement: &str, deadline: Duration) -> ClientResult<Vec<u8>> {
+        let ms = deadline.as_millis().min(u32::MAX as u128) as u32;
+        self.roundtrip(&Request::Query {
+            deadline_ms: ms,
+            statement: statement.to_string(),
+        })
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> ClientResult<()> {
+        match Response::decode(&self.roundtrip(&Request::Ping)?)? {
+            Response::Text(t) if t == "pong" => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected ping response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Ask the server to drain (honored only when the server was started
+    /// with `allow_remote_shutdown`).
+    pub fn shutdown_server(&mut self) -> ClientResult<()> {
+        match Response::decode(&self.roundtrip(&Request::Shutdown)?)? {
+            Response::Text(_) => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Protocol(format!(
+                "shutdown refused ({code:?}): {message}"
+            ))),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected shutdown response: {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Convenience: true when `resp` is the structured error `code`.
+pub fn is_error_code(resp: &Response, code: ErrorCode) -> bool {
+    matches!(resp, Response::Error { code: c, .. } if *c == code)
+}

@@ -13,91 +13,44 @@
 //! `ALTER TABLE … DROP <Instance>`, and
 //! `ZOOM IN ON <Instance> OF <Table> TUPLE <oid> [LABEL 'x' | REP i]`.
 
-use std::collections::HashMap;
 use std::io::{BufRead, Write};
 
+use insightnotes::demo::demo_db;
 use insightnotes::prelude::*;
 
-fn demo_db() -> (Database, HashMap<String, InstanceKind>) {
-    let mut db = Database::new();
-    let birds = db
-        .create_table(
-            "Birds",
-            Schema::of(&[
-                ("id", ColumnType::Int),
-                ("common_name", ColumnType::Text),
-                ("family", ColumnType::Text),
-            ]),
-        )
-        .expect("fresh database");
-    let mut model = NaiveBayes::new(vec!["Disease".into(), "Behavior".into(), "Other".into()]);
-    model.train(
-        "disease outbreak infection virus parasite lesion",
-        "Disease",
-    );
-    model.train("symptom mortality influenza pox", "Disease");
-    model.train(
-        "eating foraging migration song nesting stonewort",
-        "Behavior",
-    );
-    model.train("flock roosting courtship preening", "Behavior");
-    model.train("field station weather volunteer note", "Other");
-    model.train("project count season misc", "Other");
-    let mut registry: HashMap<String, InstanceKind> = HashMap::new();
-    registry.insert("ClassBird1".into(), InstanceKind::Classifier { model });
-    registry.insert(
-        "TextSummary1".into(),
-        InstanceKind::Snippet {
-            min_chars: 200,
-            max_chars: 200,
-        },
-    );
-    registry.insert(
-        "SimCluster".into(),
-        InstanceKind::Cluster {
-            params: ClusterParams::default(),
-        },
-    );
-    // Link the classifier up front so the demo data is summarized.
-    db.link_instance(birds, "ClassBird1", registry["ClassBird1"].clone(), true)
-        .expect("fresh name");
-    let names = [
-        "Swan Goose",
-        "Carrion Crow",
-        "Mute Swan",
-        "Common Gull",
-        "Great Tit",
-    ];
-    let families = ["Anatidae", "Corvidae", "Anatidae", "Laridae", "Paridae"];
-    for i in 0..10i64 {
-        let oid = db
-            .insert_tuple(
-                birds,
-                vec![
-                    Value::Int(i),
-                    Value::Text(format!("{} {}", names[i as usize % names.len()], i)),
-                    Value::Text(families[i as usize % families.len()].to_string()),
-                ],
-            )
-            .expect("matches schema");
-        for k in 0..i {
-            let text = if k % 2 == 0 {
-                "observed disease outbreak with lesions"
-            } else {
-                "seen foraging and eating stonewort"
-            };
-            db.add_annotation(
-                birds,
-                text,
-                Category::Other,
-                "demo",
-                vec![Attachment::row(oid)],
-            )
-            .expect("fits a page");
-        }
-    }
-    (db, registry)
+/// A recognized `\set` command.
+#[derive(Debug, PartialEq, Eq)]
+enum SetCmd {
+    /// `\set dop <N>` — degree of parallelism (0 = auto).
+    Dop(usize),
+    /// `\set slowlog <ms>` — slow-query capture threshold.
+    Slowlog(u64),
+    /// `\set` with an unknown key or a malformed value: print usage.
+    Usage,
 }
+
+/// Parse a `\set …` line. Returns `None` when `line` is not a `\set`
+/// command *at a word boundary* — `\setx …` is some other backslash
+/// command, not a setting. Keys are matched as whole words too, so
+/// `\set dop5` is an unknown key (usage), not `dop = 5`.
+fn parse_set(line: &str) -> Option<SetCmd> {
+    let rest = line.strip_prefix("\\set")?;
+    if !rest.is_empty() && !rest.starts_with(char::is_whitespace) {
+        return None;
+    }
+    let mut words = rest.split_whitespace();
+    let cmd = match (words.next(), words.next(), words.next()) {
+        (Some("dop"), Some(n), None) => n.parse().map(SetCmd::Dop).unwrap_or(SetCmd::Usage),
+        (Some("slowlog"), Some(ms), None) => {
+            ms.parse().map(SetCmd::Slowlog).unwrap_or(SetCmd::Usage)
+        }
+        _ => SetCmd::Usage,
+    };
+    Some(cmd)
+}
+
+const SET_USAGE: &str = "usage: \\set dop <N>       (0 = available cores)\n       \
+                         \\set slowlog <ms>  (capture queries at or above <ms>)";
 
 fn main() {
     let (db, registry) = demo_db();
@@ -146,29 +99,27 @@ fn main() {
         if line == "\\q" || line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
             break;
         }
-        if let Some(arg) = line.strip_prefix("\\set dop") {
-            match arg.trim().parse::<usize>() {
-                Ok(0) => {
-                    session.exec_config.dop = default_dop();
-                    println!("dop = {} (auto)", session.exec_config.dop);
-                }
-                Ok(n) => {
-                    session.exec_config.dop = n;
-                    println!("dop = {n}");
-                }
-                Err(_) => eprintln!("usage: \\set dop <N>   (0 = available cores)"),
+        match parse_set(line) {
+            Some(SetCmd::Dop(0)) => {
+                session.exec_config.dop = default_dop();
+                println!("dop = {} (auto)", session.exec_config.dop);
+                continue;
             }
-            continue;
-        }
-        if let Some(arg) = line.strip_prefix("\\set slowlog") {
-            match arg.trim().parse::<u64>() {
-                Ok(ms) => {
-                    shared.with_read(|db| db.metrics().slow_log().set_threshold_ms(ms));
-                    println!("slow-query log captures queries ≥ {ms} ms");
-                }
-                Err(_) => eprintln!("usage: \\set slowlog <ms>"),
+            Some(SetCmd::Dop(n)) => {
+                session.exec_config.dop = n;
+                println!("dop = {n}");
+                continue;
             }
-            continue;
+            Some(SetCmd::Slowlog(ms)) => {
+                shared.with_read(|db| db.metrics().slow_log().set_threshold_ms(ms));
+                println!("slow-query log captures queries ≥ {ms} ms");
+                continue;
+            }
+            Some(SetCmd::Usage) => {
+                eprintln!("{SET_USAGE}");
+                continue;
+            }
+            None => {} // not a \set command — fall through
         }
         if line == "\\metrics" {
             print!(
@@ -213,6 +164,15 @@ fn main() {
                 },
                 Err(e) => eprintln!("read error: {e}"),
             }
+            continue;
+        }
+        if line.starts_with('\\') {
+            // Never hand a backslash command to the SQL parser — the lex
+            // error it produces reads like the statement was attempted.
+            eprintln!("unknown command: {line}");
+            eprintln!(
+                "commands: \\set, \\metrics, \\slowlog [clear], \\save <file>, \\load <file>, \\q"
+            );
             continue;
         }
         // EXPLAIN ANALYZE runs against the session's own context so the
@@ -314,5 +274,31 @@ fn main() {
             }
             Err(e) => eprintln!("error: {e}"),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{parse_set, SetCmd};
+
+    #[test]
+    fn set_commands_parse_at_word_boundaries() {
+        assert_eq!(parse_set("\\set dop 4"), Some(SetCmd::Dop(4)));
+        assert_eq!(parse_set("\\set dop 0"), Some(SetCmd::Dop(0)));
+        assert_eq!(parse_set("\\set  slowlog   25"), Some(SetCmd::Slowlog(25)));
+        // The historical bug: `\set dop5` parsed as `dop = 5`. It is an
+        // unknown key now.
+        assert_eq!(parse_set("\\set dop5"), Some(SetCmd::Usage));
+        assert_eq!(parse_set("\\set slowlog5"), Some(SetCmd::Usage));
+        // Malformed values and unknown keys get usage, not silence.
+        assert_eq!(parse_set("\\set dop many"), Some(SetCmd::Usage));
+        assert_eq!(parse_set("\\set dop -1"), Some(SetCmd::Usage));
+        assert_eq!(parse_set("\\set dop 4 5"), Some(SetCmd::Usage));
+        assert_eq!(parse_set("\\set"), Some(SetCmd::Usage));
+        assert_eq!(parse_set("\\set verbosity 3"), Some(SetCmd::Usage));
+        // Not `\set` at all: other commands must fall through untouched.
+        assert_eq!(parse_set("\\settings"), None);
+        assert_eq!(parse_set("\\metrics"), None);
+        assert_eq!(parse_set("SELECT 1"), None);
     }
 }

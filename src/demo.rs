@@ -1,0 +1,101 @@
+//! The demo Birds database: one table, three summary-instance
+//! definitions, a trained classifier linked up front, ten tuples with a
+//! triangular annotation load (tuple `i` carries `i` annotations).
+//!
+//! Shared by the interactive shell, the network server binary, the
+//! `serve` benchmark, and the integration tests, so every entry point
+//! speaks about the same data.
+
+use std::collections::HashMap;
+
+use instn_annot::{Attachment, Category};
+use instn_core::db::Database;
+use instn_core::instance::InstanceKind;
+use instn_mining::clustream::ClusterParams;
+use instn_mining::nb::NaiveBayes;
+use instn_storage::{ColumnType, Schema, Value};
+
+/// Build the demo database plus the catalog of summary-instance
+/// definitions (`ClassBird1` classifier — already linked INDEXABLE-free,
+/// `TextSummary1` snippet, `SimCluster` cluster) that `ALTER TABLE … ADD`
+/// statements may link later.
+pub fn demo_db() -> (Database, HashMap<String, InstanceKind>) {
+    let mut db = Database::new();
+    let birds = db
+        .create_table(
+            "Birds",
+            Schema::of(&[
+                ("id", ColumnType::Int),
+                ("common_name", ColumnType::Text),
+                ("family", ColumnType::Text),
+            ]),
+        )
+        .expect("fresh database");
+    let mut model = NaiveBayes::new(vec!["Disease".into(), "Behavior".into(), "Other".into()]);
+    model.train(
+        "disease outbreak infection virus parasite lesion",
+        "Disease",
+    );
+    model.train("symptom mortality influenza pox", "Disease");
+    model.train(
+        "eating foraging migration song nesting stonewort",
+        "Behavior",
+    );
+    model.train("flock roosting courtship preening", "Behavior");
+    model.train("field station weather volunteer note", "Other");
+    model.train("project count season misc", "Other");
+    let mut registry: HashMap<String, InstanceKind> = HashMap::new();
+    registry.insert("ClassBird1".into(), InstanceKind::Classifier { model });
+    registry.insert(
+        "TextSummary1".into(),
+        InstanceKind::Snippet {
+            min_chars: 200,
+            max_chars: 200,
+        },
+    );
+    registry.insert(
+        "SimCluster".into(),
+        InstanceKind::Cluster {
+            params: ClusterParams::default(),
+        },
+    );
+    // Link the classifier up front so the demo data is summarized.
+    db.link_instance(birds, "ClassBird1", registry["ClassBird1"].clone(), true)
+        .expect("fresh name");
+    let names = [
+        "Swan Goose",
+        "Carrion Crow",
+        "Mute Swan",
+        "Common Gull",
+        "Great Tit",
+    ];
+    let families = ["Anatidae", "Corvidae", "Anatidae", "Laridae", "Paridae"];
+    for i in 0..10i64 {
+        let oid = db
+            .insert_tuple(
+                birds,
+                vec![
+                    Value::Int(i),
+                    Value::Text(format!("{} {}", names[i as usize % names.len()], i)),
+                    Value::Text(families[i as usize % families.len()].to_string()),
+                ],
+            )
+            .expect("matches schema");
+        for k in 0..i {
+            let text = if k % 2 == 0 {
+                "observed disease outbreak with lesions"
+            } else {
+                "seen foraging and eating stonewort"
+            };
+            db.add_annotation(
+                birds,
+                text,
+                Category::Other,
+                "demo",
+                vec![Attachment::row(oid)],
+            )
+            .expect("fits a page");
+        }
+    }
+    (db, registry)
+}

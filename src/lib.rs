@@ -27,6 +27,7 @@
 //! | Manipulation functions, operators `F`/`S`/`J`/`O`, executor | [`query`] |
 //! | Statistics, cost model, Rules 1–11, planner | [`opt`] |
 //! | Extended SQL front end | [`sql`] |
+//! | Network serving: wire protocol, admission control, drain | [`serve`] |
 //!
 //! ## Quickstart
 //!
@@ -69,8 +70,11 @@ pub use instn_mining as mining;
 pub use instn_obs as obs;
 pub use instn_opt as opt;
 pub use instn_query as query;
+pub use instn_serve as serve;
 pub use instn_sql as sql;
 pub use instn_storage as storage;
+
+pub mod demo;
 
 /// The most commonly used items, re-exported flat.
 pub mod prelude {
@@ -96,6 +100,7 @@ pub mod prelude {
     pub use instn_query::session::{Session, SharedDatabase};
     pub use instn_query::ColumnIndex;
     pub use instn_query::MaintenanceReport;
+    pub use instn_serve::{Client, ServeConfig, Server, ServerHandle};
     pub use instn_sql::lower::{
         execute_statement, explain_analyze_in_ctx, lower_select, ExplainAnalysis, SqlOutcome,
     };

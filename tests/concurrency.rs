@@ -3,6 +3,7 @@
 //! experiment — tallies exactly under parallel readers.
 
 use insightnotes::prelude::*;
+use insightnotes::query::QueryError;
 
 fn build(n: usize) -> (Database, TableId) {
     let mut db = Database::new();
@@ -516,4 +517,105 @@ fn parallel_index_probes_agree_with_sequential() {
     .expect("scope");
     assert_eq!(sequential, parallel);
     drop(index);
+}
+
+/// A query that panics mid-execution must not wedge the session layer:
+/// the panicking session's index registry — moved into the transient
+/// `ExecContext` for the query — is restored during unwind by the
+/// drop-guard, the read guard is released (no poisoning: only write
+/// guards poison), and concurrent sessions keep serving throughout.
+#[test]
+fn panicking_query_preserves_registry_and_concurrent_sessions() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let (db, t) = build(60);
+    let shared = SharedDatabase::new(db);
+    let index_plan = PhysicalPlan::SummaryIndexScan {
+        index: "C_idx".into(),
+        label: "Disease".into(),
+        lo: Some(2),
+        hi: None,
+        propagate: true,
+        reverse: false,
+    };
+
+    let mut victim = shared.session();
+    victim
+        .register_summary_index("C_idx", t, "C", PointerMode::Backward)
+        .unwrap();
+    assert_eq!(victim.registered_indexes(), 1);
+    let oracle = victim.execute(&index_plan).unwrap();
+    assert!(!oracle.is_empty());
+
+    let stop = std::sync::atomic::AtomicBool::new(false);
+    crossbeam::thread::scope(|scope| {
+        // Concurrent sessions hammer the engine while the victim panics.
+        let stop = &stop;
+        let mut others = Vec::new();
+        for _ in 0..3 {
+            let shared = shared.clone();
+            let (index_plan, oracle) = (&index_plan, &oracle);
+            others.push(scope.spawn(move |_| {
+                let mut sess = shared.session();
+                sess.register_summary_index("C_idx", t, "C", PointerMode::Backward)
+                    .unwrap();
+                let mut reads = 0usize;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) || reads < 5 {
+                    let rows = sess.execute(index_plan).expect("unaffected session");
+                    assert_eq!(&rows, oracle);
+                    reads += 1;
+                }
+                reads
+            }));
+        }
+
+        for _ in 0..4 {
+            let unwound = catch_unwind(AssertUnwindSafe(|| {
+                victim.with_ctx(|_| -> () { panic!("deliberate mid-query panic") })
+            }));
+            assert!(unwound.is_err(), "panic must propagate, not vanish");
+            // The drop-guard restored the registry during unwind: the same
+            // session still serves index scans without rebuilding.
+            assert_eq!(victim.registered_indexes(), 1);
+            let rows = victim.execute(&index_plan).expect("session still works");
+            assert_eq!(rows, oracle);
+        }
+
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        for h in others {
+            assert!(h.join().expect("no panic in bystander sessions") >= 5);
+        }
+    })
+    .expect("scope");
+}
+
+/// A writer that panics while holding the exclusive guard poisons the
+/// engine lock. The serving path must surface that as a fail-fast
+/// `QueryError::EnginePoisoned` from the `try_*` accessors — not abort
+/// the process.
+#[test]
+fn poisoned_engine_lock_fails_fast_on_try_paths() {
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    let (db, _t) = build(10);
+    let shared = SharedDatabase::new(db);
+    let mut session = shared.session();
+
+    let shared2 = shared.clone();
+    let _ = catch_unwind(AssertUnwindSafe(move || {
+        shared2.with_write(|_db| -> () { panic!("writer dies mid-mutation") })
+    }));
+
+    assert!(matches!(
+        shared.try_read().map(|_| ()),
+        Err(QueryError::EnginePoisoned)
+    ));
+    assert!(matches!(
+        shared.try_write().map(|_| ()),
+        Err(QueryError::EnginePoisoned)
+    ));
+    assert!(matches!(
+        session.try_with_ctx(|_| ()),
+        Err(QueryError::EnginePoisoned)
+    ));
 }

@@ -20,6 +20,7 @@ use insightnotes::mining::nb::NaiveBayes;
 use insightnotes::prelude::{
     parse_prometheus, CmpOp, ExecConfig, ExecContext, Expr, PhysicalPlan, SharedDatabase,
 };
+use insightnotes::query::QueryError;
 use insightnotes::storage::{ColumnType, Schema, TableId, Value};
 
 /// Birds(id, family); tuple i carries `counts[i]` disease annotations and
@@ -203,4 +204,83 @@ fn concurrent_sessions_never_deadlock_or_skew_counters() {
         .map(|(_, v)| *v)
         .sum();
     assert_eq!(per_session, expected);
+}
+
+/// Failed queries are observable, not invisible: `execute_observed` on an
+/// erroring plan must count the query (global, per-session, and in
+/// `queries_failed_total`), record its wall time, and — with the slow log
+/// armed — capture the statement with the error text standing in for the
+/// plan.
+#[test]
+fn failed_queries_are_counted_timed_and_slow_logged() {
+    let (db, t) = build(&[2, 0, 3]);
+    db.metrics().set_enabled(true);
+    let registry = std::sync::Arc::clone(db.metrics());
+    registry.slow_log().set_threshold_ns(0); // capture everything
+    let shared = SharedDatabase::new(db);
+    let mut session = shared.session();
+
+    // An index scan over a name never registered in this session fails at
+    // open with `UnknownIndex`.
+    let bad = PhysicalPlan::SummaryIndexScan {
+        index: "never_registered".into(),
+        label: "Disease".into(),
+        lo: Some(1),
+        hi: None,
+        propagate: true,
+        reverse: false,
+    };
+    let err = session
+        .execute_observed("SELECT via missing index", &bad)
+        .expect_err("plan must fail");
+    assert!(matches!(err, QueryError::UnknownIndex(_)), "{err:?}");
+
+    let samples = parse_prometheus(&registry.render_prometheus()).expect("dump parses");
+    let get = |n: &str| {
+        samples
+            .iter()
+            .find(|(s, _)| s == n)
+            .map(|(_, v)| *v)
+            .unwrap_or_else(|| panic!("missing sample {n}"))
+    };
+    // The failure is a query: it counts toward the totals AND the failed
+    // counters, and its wall time landed in the histogram.
+    assert_eq!(get("queries_total"), 1.0);
+    assert_eq!(get("queries_failed_total"), 1.0);
+    assert_eq!(get("query_wall_ns_count"), 1.0);
+    let failed_per_session: f64 = samples
+        .iter()
+        .filter(|(s, _)| s.starts_with("session_") && s.ends_with("_queries_failed_total"))
+        .map(|(_, v)| *v)
+        .sum();
+    assert_eq!(failed_per_session, 1.0);
+
+    // The slow log captured the errored statement, error text in place of
+    // a plan.
+    let entries = registry.slow_log().entries();
+    assert_eq!(entries.len(), 1);
+    assert_eq!(entries[0].statement, "SELECT via missing index");
+    assert!(
+        entries[0].plan.contains("unknown index"),
+        "slow-log entry should carry the error text, got {:?}",
+        entries[0].plan
+    );
+
+    // A subsequent successful query on the same session keeps both
+    // counters moving independently.
+    let ok_plan = filter_group_plan(t, 1);
+    session
+        .execute_observed("recovery query", &ok_plan)
+        .expect("engine is intact after the failure");
+    let samples = parse_prometheus(&registry.render_prometheus()).expect("dump parses");
+    let get = |n: &str| {
+        samples
+            .iter()
+            .find(|(s, _)| s == n)
+            .map(|(_, v)| *v)
+            .unwrap()
+    };
+    assert_eq!(get("queries_total"), 2.0);
+    assert_eq!(get("queries_failed_total"), 1.0, "success must not count");
+    assert_eq!(get("query_wall_ns_count"), 2.0);
 }

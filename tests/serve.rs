@@ -1,0 +1,272 @@
+//! Integration tests for the network serving layer: wire-level clients
+//! against a real `Server` over loopback TCP.
+//!
+//! Covers the serving contract end-to-end: concurrent clients receive
+//! byte-identical result payloads vs an in-process serial oracle,
+//! admission control answers `Busy` fast, a deadline-exceeding request
+//! times out while a concurrent one proceeds, a panicking statement comes
+//! back as a structured error with the server (and the session's index
+//! registry) intact, and a graceful drain answers in-flight requests.
+
+use std::time::{Duration, Instant};
+
+use insightnotes::demo::demo_db;
+use insightnotes::prelude::*;
+use insightnotes::serve::{
+    is_error_code, ClientError, ErrorCode, HandshakeStatus, Response, WireRow,
+};
+use insightnotes::sql::Statement;
+
+const SELECT_DISEASE: &str =
+    "SELECT * FROM Birds r WHERE r.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 2";
+const SELECT_ALL: &str = "SELECT id, common_name, family FROM Birds";
+
+/// Start a server over a fresh demo database. DOP is pinned to 1 so
+/// result order (and therefore the canonical payload bytes) is defined.
+fn start_server(mut config: ServeConfig) -> ServerHandle {
+    let (db, instances) = demo_db();
+    let shared = SharedDatabase::new(db);
+    shared.with_read(|db| db.metrics().set_enabled(true));
+    config.exec_config.dop = 1;
+    Server::start(shared, instances, "127.0.0.1:0", config).expect("bind loopback")
+}
+
+/// In-process serial oracle: run `stmt` through the same lowering and a
+/// DOP-1 session, then encode the response exactly as the server would.
+fn oracle_payload(stmt: &str) -> Vec<u8> {
+    oracle_payload_after(&[], stmt)
+}
+
+/// Like [`oracle_payload`], but replays `alters` (the DDL the server-side
+/// connection ran) against the oracle database first, so summaries and
+/// session indexes line up.
+fn oracle_payload_after(alters: &[&str], stmt: &str) -> Vec<u8> {
+    let (db, instances) = demo_db();
+    let shared = SharedDatabase::new(db);
+    let mut session = shared.session();
+    session.exec_config.dop = 1;
+    for alter in alters {
+        let outcome = shared
+            .with_write(|db| execute_statement(db, &instances, alter))
+            .expect("oracle DDL binds");
+        if let SqlOutcome::Altered {
+            instance: Some(_),
+            table,
+            name,
+            indexable: true,
+            ..
+        } = outcome
+        {
+            session
+                .register_summary_index(&name, table, &name, PointerMode::Backward)
+                .expect("oracle index builds");
+        }
+    }
+    let Ok(Statement::Select(sel)) = parse(stmt) else {
+        panic!("oracle statements are SELECTs")
+    };
+    let (physical, columns) = session.with_ctx(|ctx| {
+        let lowered = lower_select(ctx.db, &sel).expect("binds");
+        let physical = lower_naive(ctx.db, &lowered.plan).expect("lowers");
+        (physical, lowered.columns)
+    });
+    let rows = session.execute(&physical).expect("executes");
+    Response::Rows {
+        columns,
+        rows: rows.iter().map(WireRow::from_tuple).collect(),
+    }
+    .encode()
+}
+
+#[test]
+fn concurrent_clients_get_oracle_identical_payloads() {
+    let server = start_server(ServeConfig {
+        max_connections: 4,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    let oracles = [oracle_payload(SELECT_DISEASE), oracle_payload(SELECT_ALL)];
+    let handles: Vec<_> = (0..4)
+        .map(|_| {
+            let oracles = oracles.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("admitted");
+                for _ in 0..5 {
+                    for (stmt, oracle) in [SELECT_DISEASE, SELECT_ALL].iter().zip(&oracles) {
+                        let raw = client
+                            .query_raw(stmt, Duration::ZERO)
+                            .expect("query roundtrip");
+                        assert_eq!(&raw, oracle, "payload bytes match the serial oracle");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("client thread");
+    }
+    server.shutdown().expect("drain");
+}
+
+#[test]
+fn over_limit_connection_is_rejected_busy() {
+    let server = start_server(ServeConfig {
+        max_connections: 1,
+        accept_backlog: 0,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut first = Client::connect(addr).expect("first connection admitted");
+    first.ping().expect("served");
+    // The single worker is occupied: the next connection must be answered
+    // with a fast Busy handshake, not queued.
+    match Client::connect(addr) {
+        Err(ClientError::Rejected(HandshakeStatus::Busy)) => {}
+        other => panic!("expected Busy rejection, got {other:?}"),
+    }
+    // Freeing the slot re-admits. The worker notices the close within its
+    // poll slice; retry briefly rather than racing it.
+    drop(first);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        match Client::connect(addr) {
+            Ok(mut c) => {
+                c.ping().expect("served after slot freed");
+                break;
+            }
+            Err(ClientError::Rejected(HandshakeStatus::Busy)) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) => panic!("unexpected error while re-admitting: {e}"),
+        }
+    }
+    server.shutdown().expect("drain");
+}
+
+#[test]
+fn deadline_exceeded_while_concurrent_request_proceeds() {
+    let server = start_server(ServeConfig {
+        max_connections: 2,
+        debug_statements: true,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    let slow = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("admitted");
+        let started = Instant::now();
+        let resp = client
+            .query_deadline("\\sleep 2000", Duration::from_millis(100))
+            .expect("roundtrip");
+        (resp, started.elapsed())
+    });
+    // While the slow request burns its budget, a second connection is
+    // served normally.
+    let mut quick = Client::connect(addr).expect("admitted");
+    let oracle = oracle_payload(SELECT_ALL);
+    let raw = quick
+        .query_raw(SELECT_ALL, Duration::ZERO)
+        .expect("served concurrently");
+    assert_eq!(raw, oracle);
+    let (resp, elapsed) = slow.join().expect("slow client thread");
+    assert!(
+        is_error_code(&resp, ErrorCode::DeadlineExceeded),
+        "expected DeadlineExceeded, got {resp:?}"
+    );
+    assert!(
+        elapsed < Duration::from_millis(1500),
+        "deadline cut the request short of its 2 s sleep (took {elapsed:?})"
+    );
+    server.shutdown().expect("drain");
+}
+
+#[test]
+fn panicking_statement_is_contained_and_registry_survives() {
+    let server = start_server(ServeConfig {
+        max_connections: 2,
+        debug_statements: true,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("admitted");
+    // Register a summary index in this connection's session, so a lost
+    // registry would be observable.
+    match client
+        .query("ALTER TABLE Birds ADD INDEXABLE TextSummary1")
+        .expect("roundtrip")
+    {
+        Response::Text(t) => assert!(t.contains("summary index registered"), "{t}"),
+        other => panic!("ALTER failed: {other:?}"),
+    }
+    match client.query("\\registry").expect("roundtrip") {
+        Response::Text(t) => assert_eq!(t, "1 indexes registered"),
+        other => panic!("{other:?}"),
+    }
+    // The panic unwinds from inside the execution context (registry moved
+    // into the transient ctx) and must come back as a structured error.
+    let resp = client.query("\\panic").expect("connection survives");
+    assert!(
+        is_error_code(&resp, ErrorCode::Panicked),
+        "expected Panicked, got {resp:?}"
+    );
+    // Same connection, same session: the registry was restored mid-unwind.
+    match client.query("\\registry").expect("roundtrip") {
+        Response::Text(t) => assert_eq!(t, "1 indexes registered"),
+        other => panic!("{other:?}"),
+    }
+    // The server still executes real queries, on this and new connections.
+    let oracle = oracle_payload_after(
+        &["ALTER TABLE Birds ADD INDEXABLE TextSummary1"],
+        SELECT_DISEASE,
+    );
+    let raw = client
+        .query_raw(SELECT_DISEASE, Duration::ZERO)
+        .expect("still serving");
+    assert_eq!(raw, oracle);
+    let mut fresh = Client::connect(addr).expect("new connections admitted");
+    fresh.ping().expect("served");
+    server.shutdown().expect("drain");
+}
+
+#[test]
+fn graceful_drain_answers_in_flight_request() {
+    let server = start_server(ServeConfig {
+        max_connections: 2,
+        debug_statements: true,
+        ..ServeConfig::default()
+    });
+    let addr = server.local_addr();
+    let inflight = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).expect("admitted");
+        client.query("\\sleep 300").expect("answered during drain")
+    });
+    // Let the request land, then drain while it is still sleeping.
+    std::thread::sleep(Duration::from_millis(100));
+    server.shutdown().expect("drain + checkpoint");
+    match inflight.join().expect("client thread") {
+        Response::Text(t) => assert_eq!(t, "slept 300 ms"),
+        other => panic!("in-flight request dropped: {other:?}"),
+    }
+    // The listener is gone: new connections fail outright.
+    assert!(Client::connect(addr).is_err());
+}
+
+#[test]
+fn failed_statement_is_a_structured_error_not_a_disconnect() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("admitted");
+    match client.query("SELECT * FROM Nope").expect("roundtrip") {
+        Response::Error { code, message } => {
+            assert_eq!(code, ErrorCode::Bind);
+            assert!(message.contains("Nope"), "{message}");
+        }
+        other => panic!("{other:?}"),
+    }
+    match client.query("SELEKT 1").expect("roundtrip") {
+        Response::Error { code, .. } => assert_eq!(code, ErrorCode::Parse),
+        other => panic!("{other:?}"),
+    }
+    // The connection is still usable afterwards.
+    client.ping().expect("served");
+    server.shutdown().expect("drain");
+}
