@@ -22,6 +22,15 @@
 //! over-limit connections with a fast Busy handshake; writes
 //! `BENCH_serve.json`.
 //!
+//! `plan-cache` measures cost-based planning on the live query path
+//! (DESIGN.md §12): cold (optimizer) vs warm (cache-hit) planning wall
+//! in-process, DML invalidating exactly the cached plans touching the
+//! written table, and prepared-statement wire throughput against a
+//! plan-cache-disabled always-replan server whose payloads double as the
+//! byte-identity oracle; asserts a warm hit is ≥5× cheaper than cold
+//! planning and prepared throughput is ≥1.5× always-replan text; writes
+//! `BENCH_plancache.json`.
+//!
 //! `observability` runs the parallel-sweep workload twice — metrics
 //! registry disabled (the compiled-out baseline: one relaxed load per
 //! record site) and enabled (striped counters + histograms + span import
@@ -192,6 +201,9 @@ fn main() {
     }
     if run_all || exp == "serve" {
         serve(scale, quick);
+    }
+    if run_all || exp == "plan-cache" {
+        plancache(scale, quick);
     }
 }
 
@@ -2957,4 +2969,232 @@ fn serve(scale: usize, quick: bool) {
     }
     println!();
     let _ = metrics;
+}
+
+// ====================================================================
+// Extension — plan-cache: cost-based planning on the live query path.
+// Not in the paper; it validates the revision-keyed plan & statistics
+// cache (DESIGN.md §12) end to end. Three phases: (1) in-process cold
+// (optimizer) vs warm (cache-hit) planning wall, (2) DML invalidating
+// exactly the cached plans whose tables advanced in the delta journal,
+// (3) wire-level prepared statements against a plan-cache-disabled
+// always-replan server — its payloads double as the byte-identity
+// oracle, its throughput as the ≥1.5× baseline.
+// ====================================================================
+fn plancache(scale: usize, quick: bool) {
+    use instn_query::session::SharedDatabase;
+    use instn_serve::{Client, ServeConfig, Server};
+    use instn_sql::plan::{plan_select, PlanSource};
+    use instn_sql::{parse, Statement};
+    use instn_storage::Value;
+
+    header("Extension — plan-cache: revision-keyed plan reuse & prepared statements");
+    if !instn_query::plan_cache::plan_cache_enabled_from_env() {
+        println!("INSTN_PLAN_CACHE=0 is set; this experiment measures caching — skipping");
+        println!();
+        return;
+    }
+    // A small table keeps execution cheap relative to planning, which is
+    // the regime prepared statements exist for (short indexed queries).
+    let cfg = BenchConfig {
+        scale_down: scale.max(100),
+        annots_per_tuple: 10,
+        ..Default::default()
+    };
+    let b = bench_db(&cfg);
+    let n = b.db.table(b.birds).unwrap().len();
+    b.db.metrics().set_enabled(true);
+    let metrics = std::sync::Arc::clone(b.db.metrics());
+    let shared = SharedDatabase::new(b.db);
+
+    // ---- phase 1: cold vs warm planning, in-process -------------------
+    // A join gives the optimizer real work per cold plan (join ordering,
+    // predicate placement, summary rules) while a hit stays a fingerprint
+    // lookup.
+    let statement = "SELECT b.id, b.common_name, s.synonym FROM Birds b, Synonyms s \
+                     WHERE b.id = s.bird_id AND \
+                     b.$.getSummaryObject('ClassBird1').getLabelValue('Disease') > 1";
+    let Ok(Statement::Select(sel)) = parse(statement) else {
+        panic!("bench statement parses")
+    };
+    let mut session = shared.session();
+    session.exec_config.dop = 1;
+    session.plan_cache.set_enabled(true);
+    // One untimed plan warms the statistics: cold below measures the
+    // optimizer, not the first full ANALYZE scan.
+    plan_select(&mut session, &sel).expect("plans");
+
+    let iters = if quick { 30usize } else { 100 };
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        session.plan_cache.clear();
+        let p = plan_select(&mut session, &sel).expect("plans");
+        assert!(matches!(p.source, PlanSource::CacheMiss));
+    }
+    let cold_ns = t0.elapsed().as_nanos() as f64 / iters as f64;
+    let warm_iters = iters * 10;
+    let t0 = Instant::now();
+    for _ in 0..warm_iters {
+        let p = plan_select(&mut session, &sel).expect("plans");
+        assert!(matches!(p.source, PlanSource::CacheHit));
+    }
+    let warm_ns = t0.elapsed().as_nanos() as f64 / warm_iters as f64;
+    let plan_speedup = cold_ns / warm_ns;
+    println!(
+        "planning over {n} tuples: cold {:.1} us, warm {:.2} us — {plan_speedup:.1}x",
+        cold_ns / 1e3,
+        warm_ns / 1e3
+    );
+    assert!(
+        plan_speedup >= 5.0,
+        "a warm cache hit must be >=5x cheaper than cold planning, saw {plan_speedup:.2}x"
+    );
+
+    // ---- phase 2: DML invalidates exactly the touched table -----------
+    let syn_statement = "SELECT id, synonym FROM Synonyms";
+    let Ok(Statement::Select(syn_sel)) = parse(syn_statement) else {
+        panic!("bench statement parses")
+    };
+    plan_select(&mut session, &syn_sel).expect("plans");
+    shared.with_write(|db| {
+        let birds = db.table_id("Birds").expect("bench table");
+        db.insert_tuple(
+            birds,
+            vec![
+                Value::Int(n as i64 + 1),
+                Value::Text("Anser probator".into()),
+                Value::Text("Probe Goose".into()),
+                Value::Text("Anser".into()),
+                Value::Text("Anatidae".into()),
+                Value::Text("wetland".into()),
+                Value::Text("bench probe row".into()),
+                Value::Text("Palearctic".into()),
+                Value::Float(160.0),
+                Value::Float(2_500.0),
+                Value::Text("LC".into()),
+                Value::Text("probgo1".into()),
+            ],
+        )
+        .expect("inserts");
+    });
+    let survived = plan_select(&mut session, &syn_sel).expect("plans");
+    assert!(
+        matches!(survived.source, PlanSource::CacheHit),
+        "a cached plan over an untouched table must survive DML elsewhere, \
+         saw {:?}",
+        survived.source
+    );
+    let replanned = plan_select(&mut session, &sel).expect("plans");
+    assert!(
+        matches!(replanned.source, PlanSource::Invalidated),
+        "a cached plan over the written table must be invalidated, saw {:?}",
+        replanned.source
+    );
+    println!("invalidation: Birds DML replanned the Birds statement, Synonyms entry survived");
+
+    // ---- phase 3: prepared wire throughput vs always-replan text ------
+    let wire_stmt = "SELECT id, common_name FROM Birds r WHERE r.id = 3";
+    let mk_server = |plan_cache: bool| {
+        Server::start(
+            shared.clone(),
+            std::collections::HashMap::new(),
+            "127.0.0.1:0",
+            ServeConfig {
+                exec_config: instn_query::ExecConfig {
+                    dop: 1,
+                    ..Default::default()
+                },
+                plan_cache,
+                ..Default::default()
+            },
+        )
+        .expect("bind loopback")
+    };
+    let cached_srv = mk_server(true);
+    let replan_srv = mk_server(false);
+    let mut prep_client = Client::connect(cached_srv.local_addr()).expect("admitted");
+    let mut text_client = Client::connect(replan_srv.local_addr()).expect("admitted");
+    let (handle, _) = prep_client.prepare(wire_stmt).expect("prepares");
+    // One untimed roundtrip per connection pays the session's first
+    // statistics build off the clock; the replan server's payload is the
+    // byte-identity oracle for every cached execution.
+    let warm_prepared = prep_client
+        .execute_prepared_raw(handle, Duration::ZERO)
+        .expect("executes");
+    let oracle = text_client
+        .query_raw(wire_stmt, Duration::ZERO)
+        .expect("queries");
+    assert_eq!(
+        warm_prepared, oracle,
+        "cached execution must be byte-identical to the always-replan oracle"
+    );
+    let wire_iters = if quick { 200usize } else { 1000 };
+    let t0 = Instant::now();
+    for _ in 0..wire_iters {
+        let raw = prep_client
+            .execute_prepared_raw(handle, Duration::ZERO)
+            .expect("executes");
+        assert_eq!(raw, oracle, "cached payload diverged from the oracle");
+    }
+    let prepared_qps = wire_iters as f64 / t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    for _ in 0..wire_iters {
+        let raw = text_client
+            .query_raw(wire_stmt, Duration::ZERO)
+            .expect("queries");
+        assert_eq!(raw, oracle, "oracle server must be deterministic");
+    }
+    let text_qps = wire_iters as f64 / t0.elapsed().as_secs_f64();
+    let wire_speedup = prepared_qps / text_qps;
+    println!(
+        "wire ({wire_iters} executions): prepared {prepared_qps:.0} qps vs \
+         always-replan text {text_qps:.0} qps — {wire_speedup:.2}x"
+    );
+    assert!(
+        wire_speedup >= 1.5,
+        "prepared executions must beat always-replan text by >=1.5x on a short \
+         query, saw {wire_speedup:.2}x"
+    );
+    drop(prep_client);
+    drop(text_client);
+    replan_srv.shutdown().expect("replan server drains");
+    cached_srv
+        .shutdown()
+        .expect("cached server drains + checkpoints");
+
+    // The planner reports itself: the engine-wide counters must have seen
+    // the in-process hits and the prepared-execution hits.
+    let samples =
+        instn_obs::parse_prometheus(&metrics.render_prometheus()).expect("metrics dump parses");
+    let sample = |name: &str| {
+        samples
+            .iter()
+            .find(|(s, _)| s == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0.0)
+    };
+    let hits = sample("plan_cache_hits_total");
+    let misses = sample("plan_cache_misses_total");
+    let invalidations = sample("plan_cache_invalidations_total");
+    assert!(
+        hits >= (warm_iters + wire_iters) as f64,
+        "plan_cache_hits_total must cover the warm loop and the prepared \
+         executions, saw {hits}"
+    );
+    assert!(invalidations >= 1.0, "the DML invalidation must be counted");
+    println!("counters: {hits} hits, {misses} misses, {invalidations} invalidations");
+
+    let json = format!(
+        "{{\"experiment\": \"plan-cache\", \"scale\": {scale}, \"tuples\": {n}, \
+         \"cold_plan_ns\": {cold_ns:.0}, \"warm_plan_ns\": {warm_ns:.0}, \
+         \"plan_speedup\": {plan_speedup:.2}, \"prepared_qps\": {prepared_qps:.1}, \
+         \"text_replan_qps\": {text_qps:.1}, \"wire_speedup\": {wire_speedup:.3}, \
+         \"plan_cache_hits_total\": {hits}, \"plan_cache_misses_total\": {misses}, \
+         \"plan_cache_invalidations_total\": {invalidations}}}\n"
+    );
+    match std::fs::write("BENCH_plancache.json", &json) {
+        Ok(()) => println!("wrote BENCH_plancache.json"),
+        Err(e) => eprintln!("could not write BENCH_plancache.json: {e}"),
+    }
+    println!();
 }

@@ -24,7 +24,7 @@ use std::sync::Arc;
 use instn_annot::{AnnotId, Annotation, AnnotationStore, Attachment, Category};
 use instn_obs::MetricsRegistry;
 use instn_storage::io::IoStats;
-use instn_storage::{BufferPool, Catalog, Oid, Schema, Table, TableId, Tuple, Wal};
+use instn_storage::{BufferPool, Catalog, Oid, Schema, StorageError, Table, TableId, Tuple, Wal};
 
 use crate::instance::{InstanceKind, SummaryInstance};
 use crate::journal::{DataChange, DeltaJournal, DEFAULT_JOURNAL_RETENTION};
@@ -409,6 +409,15 @@ impl Database {
         indexable: bool,
         scope: Option<crate::instance::InstanceScope>,
     ) -> Result<(InstanceId, Vec<SummaryDelta>)> {
+        // Validate the table before allocating an instance id or touching
+        // any per-table map: an unknown table must come back as a proper
+        // `Err`, not a panic on the instances-map lookup (and without
+        // leaking an instance-id or half-linked state).
+        self.catalog.table(table)?;
+        let list = self
+            .instances
+            .get_mut(&table)
+            .ok_or_else(|| StorageError::TableNotFound(format!("#{}", table.0)))?;
         let id = InstanceId(self.next_instance);
         self.next_instance += 1;
         let inst = SummaryInstance {
@@ -418,14 +427,14 @@ impl Database {
             indexable,
             scope: scope.unwrap_or_default(),
         };
-        self.instances
-            .get_mut(&table)
-            .expect("table exists")
-            .push(inst);
+        list.push(inst);
         let inst = self.instances.get(&table).unwrap().last().unwrap().clone();
 
         // Summarize existing annotations tuple by tuple.
-        let store = self.annotations.get(&table).expect("store exists");
+        let store = self
+            .annotations
+            .get(&table)
+            .ok_or_else(|| StorageError::TableNotFound(format!("#{}", table.0)))?;
         let annotated: Vec<Oid> = {
             let mut oids: Vec<Oid> = self
                 .catalog
@@ -1061,6 +1070,24 @@ mod tests {
             panic!()
         };
         assert_eq!(c.total(), 2);
+    }
+
+    #[test]
+    fn link_instance_unknown_table_is_err_not_panic() {
+        let mut db = Database::new();
+        let t = db
+            .create_table("T", Schema::of(&[("x", ColumnType::Int)]))
+            .unwrap();
+        let bogus = TableId(t.0 + 100);
+        let err = db.link_instance(bogus, "C", classifier_kind(), true);
+        assert!(matches!(
+            err,
+            Err(CoreError::Storage(StorageError::TableNotFound(_)))
+        ));
+        // The database must stay usable: no instance-id was leaked (ids start
+        // at 1) and the real table still accepts a link afterwards.
+        let (inst, _) = db.link_instance(t, "C", classifier_kind(), true).unwrap();
+        assert_eq!(inst.0, 1);
     }
 
     #[test]

@@ -659,6 +659,26 @@ impl<'a> ExecContext<'a> {
         self.column_indexes.extend(registry.column);
     }
 
+    /// A planner-oriented snapshot of the indexes installed in this
+    /// context (names and targets only) — what seeds `PlannerConfig` when
+    /// planning inside an already-open context (EXPLAIN ANALYZE).
+    pub fn index_descriptors(&self) -> crate::session::IndexDescriptors {
+        let mut d = crate::session::IndexDescriptors::default();
+        for (name, idx) in &self.summary_indexes {
+            d.summary
+                .push((name.clone(), idx.table(), idx.instance_name().to_string()));
+        }
+        for (name, idx) in &self.baseline_indexes {
+            d.baseline
+                .push((name.clone(), idx.table(), idx.instance_name().to_string()));
+        }
+        d.column = self.column_indexes.keys().copied().collect();
+        d.summary.sort();
+        d.baseline.sort();
+        d.column.sort();
+        d
+    }
+
     /// Catch every registered index up with the database's revision.
     ///
     /// An index registration outlives the mutations that happen around it;

@@ -32,6 +32,7 @@ pub mod exec;
 pub mod expr;
 pub mod lower;
 pub mod plan;
+pub mod plan_cache;
 pub mod session;
 
 pub use dataindex::ColumnIndex;
@@ -42,7 +43,11 @@ pub use exec::{
 };
 pub use expr::{CmpOp, Expr, ObjFunc, ObjRef, ObjectPred, SummaryExpr};
 pub use plan::{JoinPredicate, LogicalPlan, SortKey};
-pub use session::{Session, SharedDatabase};
+pub use plan_cache::{
+    normalize_statement, plan_cache_enabled_from_env, CachedPlan, PlanCache, PlanCacheStats,
+    PlanLookup, PlanStamp, DEFAULT_PLAN_CACHE_CAPACITY,
+};
+pub use session::{IndexDescriptors, Session, SharedDatabase};
 
 /// Errors raised during planning or execution.
 #[derive(Debug, Clone, PartialEq)]

@@ -1,0 +1,378 @@
+//! Revision-keyed plan cache (DESIGN.md §12).
+//!
+//! Cost-based planning is worth paying once per statement shape, not once
+//! per request: on a short indexed query the optimizer's rule enumeration
+//! and costing can dwarf execution itself. This module supplies the cache
+//! a [`Session`](crate::session::Session) holds across queries:
+//!
+//! * Entries are keyed by a caller-built **fingerprint** — normalized
+//!   statement text prefixed with the planner-relevant session state (DOP,
+//!   sort budget, index-registry epoch), so a changed setting or a newly
+//!   registered index can never pick up a plan chosen under the old state.
+//! * Each entry is stamped with the planning-time database revision and
+//!   the per-table high-water marks from the engine's `DeltaJournal`. A
+//!   cached plan is reused **iff** no touched table has advanced
+//!   (`table_high_water(t) <= stamp`); otherwise the entry is dropped and
+//!   the caller replans — the fallback is always a fresh plan, never a
+//!   stale result. High-water marks survive journal truncation (they are
+//!   kept outside the ring), so the check is exact at every retention,
+//!   including a retention of zero.
+//! * The cache is a bounded LRU ([`DEFAULT_PLAN_CACHE_CAPACITY`] entries);
+//!   the least-recently-used entry is evicted on overflow.
+//!
+//! The whole cache can be disabled (`INSTN_PLAN_CACHE=0`, or
+//! [`PlanCache::set_enabled`]), in which case every lookup misses and
+//! nothing is stored: behavior is bit-identical to always replanning.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use instn_core::db::Database;
+use instn_storage::TableId;
+
+use crate::exec::PhysicalPlan;
+
+/// Default bound on cached plans per session.
+pub const DEFAULT_PLAN_CACHE_CAPACITY: usize = 64;
+
+/// Whether the plan cache should start enabled, per the `INSTN_PLAN_CACHE`
+/// environment variable (`0` disables; anything else — including unset —
+/// enables).
+pub fn plan_cache_enabled_from_env() -> bool {
+    !matches!(std::env::var("INSTN_PLAN_CACHE"), Ok(v) if v.trim() == "0")
+}
+
+/// Normalize statement text for fingerprinting: collapse every whitespace
+/// run to a single space, trim the ends, and strip a trailing `;`. Two
+/// spellings of the same statement that differ only in layout share a
+/// cache entry; anything semantic (including identifier case) keeps them
+/// distinct.
+pub fn normalize_statement(input: &str) -> String {
+    let mut out = String::with_capacity(input.len());
+    let mut pending_space = false;
+    for ch in input.trim().chars() {
+        if ch.is_whitespace() {
+            pending_space = true;
+        } else {
+            if pending_space && !out.is_empty() {
+                out.push(' ');
+            }
+            pending_space = false;
+            out.push(ch);
+        }
+    }
+    while out.ends_with(';') {
+        out.pop();
+        while out.ends_with(' ') {
+            out.pop();
+        }
+    }
+    out
+}
+
+/// The journal position a plan was chosen at: the database revision plus
+/// the high-water mark of every table the plan touches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStamp {
+    /// `Database::revision()` at planning time.
+    pub revision: u64,
+    /// `(table, table_high_water(table))` at planning time, one entry per
+    /// distinct touched table.
+    pub tables: Vec<(TableId, u64)>,
+}
+
+impl PlanStamp {
+    /// Capture the current stamp for the given touched tables.
+    pub fn capture(db: &Database, tables: impl IntoIterator<Item = TableId>) -> Self {
+        let mut seen: Vec<(TableId, u64)> = Vec::new();
+        for t in tables {
+            if !seen.iter().any(|(s, _)| *s == t) {
+                seen.push((t, db.journal().table_high_water(t)));
+            }
+        }
+        Self {
+            revision: db.revision(),
+            tables: seen,
+        }
+    }
+
+    /// Whether every touched table is still at (or before) its stamped
+    /// high-water mark — i.e. no DML or DDL has landed on any of them
+    /// since planning. Mutations to *other* tables advance the database
+    /// revision but not these marks, so they never invalidate this plan.
+    pub fn is_current(&self, db: &Database) -> bool {
+        self.tables
+            .iter()
+            .all(|(t, hw)| db.journal().table_high_water(*t) <= *hw)
+    }
+}
+
+/// A plan the cache holds: the physical plan plus everything a serving
+/// layer needs to answer without replanning (output header, EXPLAIN text,
+/// estimated cost) and the [`PlanStamp`] guarding its validity.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// The optimized (possibly parallelized) physical plan.
+    pub plan: Arc<PhysicalPlan>,
+    /// Output column names, in order.
+    pub columns: Vec<String>,
+    /// The optimizer's EXPLAIN rendering of the chosen alternative.
+    pub explain: String,
+    /// Estimated total cost of the chosen plan.
+    pub cost: f64,
+    /// Journal position at planning time.
+    pub stamp: PlanStamp,
+}
+
+/// Outcome of a [`PlanCache::lookup`].
+#[derive(Debug, Clone)]
+pub enum PlanLookup {
+    /// A stamped-current entry was found; execute it as-is.
+    Hit(Arc<CachedPlan>),
+    /// An entry existed but a touched table advanced past its stamp; the
+    /// entry has been dropped and the caller must replan.
+    Invalidated,
+    /// No entry under this fingerprint (or the cache is disabled).
+    Miss,
+}
+
+/// Monotonic event counts since the cache was created (or stats were
+/// reset). These are the session-local numbers behind the engine-wide
+/// `plan_cache_*_total` metrics, and what the zero-replan regression test
+/// pins.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served from a stamped-current entry.
+    pub hits: u64,
+    /// Lookups with no entry under the fingerprint.
+    pub misses: u64,
+    /// Entries dropped because a touched table advanced.
+    pub invalidations: u64,
+    /// Entries stored (including replacements after invalidation).
+    pub insertions: u64,
+}
+
+/// Bounded LRU of [`CachedPlan`]s, keyed by statement fingerprint.
+#[derive(Debug)]
+pub struct PlanCache {
+    enabled: bool,
+    capacity: usize,
+    tick: u64,
+    entries: HashMap<String, (u64, Arc<CachedPlan>)>,
+    stats: PlanCacheStats,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlanCache {
+    /// A cache with the default capacity, enabled per `INSTN_PLAN_CACHE`.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_PLAN_CACHE_CAPACITY)
+    }
+
+    /// A cache bounded to `capacity` entries, enabled per
+    /// `INSTN_PLAN_CACHE`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            enabled: plan_cache_enabled_from_env(),
+            capacity: capacity.max(1),
+            tick: 0,
+            entries: HashMap::new(),
+            stats: PlanCacheStats::default(),
+        }
+    }
+
+    /// Whether lookups may hit and insertions are stored.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Turn the cache on or off at runtime (the shell's `\plancache`
+    /// command, the server's `plan_cache` knob). Disabling drops every
+    /// entry so a later re-enable starts cold.
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.entries.clear();
+        }
+    }
+
+    /// Cached entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Event counts since creation (or the last
+    /// [`PlanCache::reset_stats`]).
+    pub fn stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// Zero the event counts (entries are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = PlanCacheStats::default();
+    }
+
+    /// Drop every entry (event counts are kept).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Look up `key`, revalidating the entry's [`PlanStamp`] against the
+    /// engine's journal. A current entry is a [`PlanLookup::Hit`] (and is
+    /// touched as most-recently-used); a stale one is dropped and comes
+    /// back as [`PlanLookup::Invalidated`]; an unknown key — or any lookup
+    /// on a disabled cache — is a [`PlanLookup::Miss`].
+    pub fn lookup(&mut self, key: &str, db: &Database) -> PlanLookup {
+        if !self.enabled {
+            return PlanLookup::Miss;
+        }
+        match self.entries.get_mut(key) {
+            None => {
+                self.stats.misses += 1;
+                PlanLookup::Miss
+            }
+            Some((used, entry)) => {
+                if entry.stamp.is_current(db) {
+                    self.tick += 1;
+                    *used = self.tick;
+                    self.stats.hits += 1;
+                    PlanLookup::Hit(Arc::clone(entry))
+                } else {
+                    self.entries.remove(key);
+                    self.stats.invalidations += 1;
+                    PlanLookup::Invalidated
+                }
+            }
+        }
+    }
+
+    /// Store `plan` under `key`, evicting the least-recently-used entry if
+    /// the cache is full. Returns the shared handle (also returned when
+    /// the cache is disabled, in which case nothing is stored).
+    pub fn insert(&mut self, key: &str, plan: CachedPlan) -> Arc<CachedPlan> {
+        let plan = Arc::new(plan);
+        if !self.enabled {
+            return plan;
+        }
+        if !self.entries.contains_key(key) && self.entries.len() >= self.capacity {
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (used, _))| *used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+            }
+        }
+        self.tick += 1;
+        self.entries
+            .insert(key.to_string(), (self.tick, Arc::clone(&plan)));
+        self.stats.insertions += 1;
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instn_core::db::Database;
+    use instn_storage::{ColumnType, Schema, Value};
+
+    fn entry(db: &Database, tables: &[TableId]) -> CachedPlan {
+        CachedPlan {
+            plan: Arc::new(PhysicalPlan::SeqScan {
+                table: tables.first().copied().unwrap_or(TableId(0)),
+                with_summaries: false,
+            }),
+            columns: vec!["x".into()],
+            explain: String::new(),
+            cost: 1.0,
+            stamp: PlanStamp::capture(db, tables.iter().copied()),
+        }
+    }
+
+    fn cache() -> PlanCache {
+        let mut c = PlanCache::with_capacity(4);
+        c.set_enabled(true); // independent of the test runner's env
+        c
+    }
+
+    #[test]
+    fn normalize_collapses_layout_only() {
+        assert_eq!(
+            normalize_statement("  SELECT x\n  FROM t ; "),
+            "SELECT x FROM t"
+        );
+        assert_ne!(normalize_statement("SELECT X FROM t"), "SELECT x FROM t");
+    }
+
+    #[test]
+    fn hit_then_invalidate_on_touched_table() {
+        let mut db = Database::new();
+        let t = db
+            .create_table("T", Schema::of(&[("x", ColumnType::Int)]))
+            .unwrap();
+        let mut cache = cache();
+        assert!(matches!(cache.lookup("q", &db), PlanLookup::Miss));
+        cache.insert("q", entry(&db, &[t]));
+        assert!(matches!(cache.lookup("q", &db), PlanLookup::Hit(_)));
+        db.insert_tuple(t, vec![Value::Int(1)]).unwrap();
+        assert!(matches!(cache.lookup("q", &db), PlanLookup::Invalidated));
+        // The entry is gone: the next lookup is a plain miss.
+        assert!(matches!(cache.lookup("q", &db), PlanLookup::Miss));
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.invalidations), (1, 2, 1));
+    }
+
+    #[test]
+    fn untouched_table_survives_other_dml() {
+        let mut db = Database::new();
+        let t = db
+            .create_table("T", Schema::of(&[("x", ColumnType::Int)]))
+            .unwrap();
+        let u = db
+            .create_table("U", Schema::of(&[("x", ColumnType::Int)]))
+            .unwrap();
+        let mut cache = cache();
+        cache.insert("q", entry(&db, &[t]));
+        db.insert_tuple(u, vec![Value::Int(1)]).unwrap();
+        // DML on U advanced the revision but not T's high-water mark.
+        assert!(matches!(cache.lookup("q", &db), PlanLookup::Hit(_)));
+        assert_eq!(cache.stats().invalidations, 0);
+    }
+
+    #[test]
+    fn lru_bound_holds() {
+        let db = Database::new();
+        let mut cache = cache();
+        for i in 0..6 {
+            cache.insert(&format!("q{i}"), entry(&db, &[]));
+        }
+        assert_eq!(cache.len(), 4);
+        // q0/q1 were least recently used and are gone; q5 survives.
+        assert!(matches!(cache.lookup("q0", &db), PlanLookup::Miss));
+        assert!(matches!(cache.lookup("q5", &db), PlanLookup::Hit(_)));
+    }
+
+    #[test]
+    fn disabled_cache_stores_nothing() {
+        let db = Database::new();
+        let mut cache = cache();
+        cache.set_enabled(false);
+        cache.insert("q", entry(&db, &[]));
+        assert!(matches!(cache.lookup("q", &db), PlanLookup::Miss));
+        assert_eq!(cache.len(), 0);
+        // Disabled lookups do not skew the counters either.
+        assert_eq!(cache.stats().misses, 0);
+    }
+}

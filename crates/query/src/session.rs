@@ -41,6 +41,7 @@ use crate::dataindex::ColumnIndex;
 use crate::exec::{
     ExecConfig, ExecContext, IndexRegistry, OpMetrics, PhysicalPlan, DEFAULT_SORT_MEM,
 };
+use crate::plan_cache::PlanCache;
 use crate::{QueryError, Result};
 
 /// A shareable, thread-safe handle over one [`Database`]: concurrent
@@ -69,6 +70,9 @@ impl SharedDatabase {
             id: NEXT_SESSION_ID.fetch_add(1, Ordering::Relaxed),
             query_counter: None,
             failed_counter: None,
+            plan_cache: PlanCache::new(),
+            planner_state: None,
+            registry_epoch: 0,
         }
     }
 
@@ -137,6 +141,51 @@ pub struct Session {
     query_counter: Option<Counter>,
     /// Lazily registered `session_<id>_queries_failed_total` handle.
     failed_counter: Option<Counter>,
+    /// Revision-keyed cache of optimized plans (DESIGN.md §12). Owned here
+    /// so entries survive across queries; keyed and filled by the planning
+    /// layer in `instn-sql`.
+    pub plan_cache: PlanCache,
+    /// Opaque slot for the planning layer's cross-query state (cached
+    /// optimizer statistics ride here; `instn-query` cannot name the
+    /// `instn-opt` types without a dependency cycle).
+    planner_state: Option<Box<dyn std::any::Any + Send>>,
+    /// Bumped on every index (de)registration; part of the plan-cache
+    /// fingerprint so a new index forces a replan instead of reusing a
+    /// plan chosen without it.
+    registry_epoch: u64,
+}
+
+/// A planner-oriented snapshot of a session's registered indexes: just the
+/// names and targets, no index payloads. This is what seeds
+/// `PlannerConfig` without the planning layer reaching into the registry.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IndexDescriptors {
+    /// Summary-BTrees: `(name, table, instance)`.
+    pub summary: Vec<(String, TableId, String)>,
+    /// Baseline schemes: `(name, table, instance)`.
+    pub baseline: Vec<(String, TableId, String)>,
+    /// Data-column indexes: `(table, column)`.
+    pub column: Vec<(TableId, usize)>,
+}
+
+impl IndexDescriptors {
+    pub(crate) fn from_registry(registry: &IndexRegistry) -> Self {
+        let mut d = IndexDescriptors::default();
+        for (name, idx) in &registry.summary {
+            d.summary
+                .push((name.clone(), idx.table(), idx.instance_name().to_string()));
+        }
+        for (name, idx) in &registry.baseline {
+            d.baseline
+                .push((name.clone(), idx.table(), idx.instance_name().to_string()));
+        }
+        d.column = registry.column.keys().copied().collect();
+        // Deterministic order regardless of hash-map iteration.
+        d.summary.sort();
+        d.baseline.sort();
+        d.column.sort();
+        d
+    }
 }
 
 /// Drop-guard for [`Session::with_ctx`]: holds the transient
@@ -332,6 +381,7 @@ impl Session {
     ) -> Result<()> {
         let idx = SummaryBTree::bulk_build(&self.shared.read(), table, instance, mode)?;
         self.registry.summary.insert(name.to_string(), idx);
+        self.registry_epoch += 1;
         Ok(())
     }
 
@@ -344,6 +394,7 @@ impl Session {
     ) -> Result<()> {
         let idx = BaselineIndex::bulk_build(&self.shared.read(), table, instance)?;
         self.registry.baseline.insert(name.to_string(), idx);
+        self.registry_epoch += 1;
         Ok(())
     }
 
@@ -351,12 +402,30 @@ impl Session {
     pub fn register_column_index(&mut self, table: TableId, col: usize) -> Result<()> {
         let idx = ColumnIndex::build(&self.shared.read(), table, col)?;
         self.registry.column.insert((table, col), idx);
+        self.registry_epoch += 1;
         Ok(())
     }
 
     /// Indexes currently registered in this session.
     pub fn registered_indexes(&self) -> usize {
         self.registry.len()
+    }
+
+    /// A planner-oriented snapshot of this session's registered indexes.
+    pub fn index_descriptors(&self) -> IndexDescriptors {
+        IndexDescriptors::from_registry(&self.registry)
+    }
+
+    /// Monotonic count of index (de)registrations; folded into plan-cache
+    /// fingerprints so registering an index forces fresh plans.
+    pub fn registry_epoch(&self) -> u64 {
+        self.registry_epoch
+    }
+
+    /// The planning layer's opaque cross-query state slot (cached
+    /// optimizer statistics live here; see `instn-sql`).
+    pub fn planner_state_mut(&mut self) -> &mut Option<Box<dyn std::any::Any + Send>> {
+        &mut self.planner_state
     }
 }
 

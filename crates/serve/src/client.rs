@@ -124,6 +124,60 @@ impl Client {
         })
     }
 
+    /// Prepare `statement` server-side, returning the handle and the
+    /// output column names. Later [`Client::execute_prepared`] calls skip
+    /// the server's parser (and usually its planner — the plan stays in
+    /// the session's plan cache until a touched table advances).
+    pub fn prepare(&mut self, statement: &str) -> ClientResult<(u64, Vec<String>)> {
+        let resp = Response::decode(&self.roundtrip(&Request::Prepare {
+            statement: statement.to_string(),
+        })?)?;
+        match resp {
+            Response::Prepared { handle, columns } => Ok((handle, columns)),
+            Response::Error { code, message } => Err(ClientError::Protocol(format!(
+                "prepare refused ({code:?}): {message}"
+            ))),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected prepare response: {other:?}"
+            ))),
+        }
+    }
+
+    /// Execute a prepared statement under the server's default deadline.
+    pub fn execute_prepared(&mut self, handle: u64) -> ClientResult<Response> {
+        let raw = self.execute_prepared_raw(handle, Duration::ZERO)?;
+        Ok(Response::decode(&raw)?)
+    }
+
+    /// Like [`Client::execute_prepared`] but with an explicit wall-clock
+    /// budget and returning the raw canonical payload bytes — comparable
+    /// byte-for-byte against [`Client::query_raw`] of the same statement,
+    /// which is what the plan-cache benchmark's identity assert uses.
+    pub fn execute_prepared_raw(
+        &mut self,
+        handle: u64,
+        deadline: Duration,
+    ) -> ClientResult<Vec<u8>> {
+        let ms = deadline.as_millis().min(u32::MAX as u128) as u32;
+        self.roundtrip(&Request::ExecutePrepared {
+            handle,
+            deadline_ms: ms,
+        })
+    }
+
+    /// Free a prepared-statement handle.
+    pub fn close_prepared(&mut self, handle: u64) -> ClientResult<()> {
+        match Response::decode(&self.roundtrip(&Request::ClosePrepared { handle })?)? {
+            Response::Text(_) => Ok(()),
+            Response::Error { code, message } => Err(ClientError::Protocol(format!(
+                "close refused ({code:?}): {message}"
+            ))),
+            other => Err(ClientError::Protocol(format!(
+                "unexpected close response: {other:?}"
+            ))),
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> ClientResult<()> {
         match Response::decode(&self.roundtrip(&Request::Ping)?)? {

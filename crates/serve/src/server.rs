@@ -44,10 +44,10 @@ use std::time::{Duration, Instant};
 
 use instn_core::instance::InstanceKind;
 use instn_obs::{Counter, Gauge, Histogram};
-use instn_query::exec::parallelize_plan;
 use instn_query::session::{Session, SharedDatabase};
 use instn_query::QueryError;
-use instn_sql::lower::{execute_statement, explain_analyze_in_ctx, lower_select, SqlOutcome};
+use instn_sql::lower::{execute_statement, explain_analyze_statement, SqlOutcome};
+use instn_sql::plan::{plan_select, refresh_statistics, render_explain};
 use instn_sql::{SqlError, Statement};
 
 use crate::wire::{
@@ -57,6 +57,19 @@ use crate::wire::{
 
 /// How often blocked reads and queue waits re-check the drain flag.
 const POLL_SLICE: Duration = Duration::from_millis(25);
+
+/// Most prepared statements a single connection may hold open.
+const MAX_PREPARED_PER_CONN: usize = 256;
+
+/// One prepared statement: parsed once at `Prepare` time, so every
+/// `ExecutePrepared` skips the parser and goes straight to the session's
+/// plan cache (usually a hit — then the optimizer is skipped too).
+struct PreparedEntry {
+    /// Original text, kept for slow-log tagging.
+    statement: String,
+    /// The parsed SELECT.
+    select: instn_sql::SelectStmt,
+}
 
 /// Serving knobs. The defaults favor robustness over raw capacity; every
 /// field is overridable before [`Server::start`].
@@ -85,6 +98,11 @@ pub struct ServeConfig {
     /// (benchmark calibration, mirrors the concurrency experiment's
     /// disk-bound stand-in). Zero in normal operation.
     pub query_stall: Duration,
+    /// Whether per-connection sessions keep a plan cache. `true` (the
+    /// default) still honors `INSTN_PLAN_CACHE=0`; `false` force-disables
+    /// caching so every statement replans (the always-replan oracle the
+    /// benches compare against).
+    pub plan_cache: bool,
 }
 
 impl Default for ServeConfig {
@@ -99,6 +117,7 @@ impl Default for ServeConfig {
             debug_statements: false,
             allow_remote_shutdown: false,
             query_stall: Duration::ZERO,
+            plan_cache: true,
         }
     }
 }
@@ -468,6 +487,13 @@ fn serve_connection(
     }
     let mut session = sv.shared.session();
     session.exec_config = sv.config.exec_config;
+    if !sv.config.plan_cache {
+        session.plan_cache.set_enabled(false);
+    }
+    // Per-connection prepared statements; handles are meaningless on any
+    // other connection and die with this one.
+    let mut prepared: HashMap<u64, PreparedEntry> = HashMap::new();
+    let mut next_handle: u64 = 1;
     loop {
         let payload = match read_request(&mut stream, sv) {
             ReadOutcome::Frame(p) => p,
@@ -510,6 +536,37 @@ fn serve_connection(
                 };
                 serve_query(sv, &mut session, conn_id, &statement, started + budget)
             }
+            Ok(Request::Prepare { statement }) => {
+                contained(started + sv.config.default_deadline, || {
+                    dispatch_prepare(&mut session, &mut prepared, &mut next_handle, &statement)
+                })
+            }
+            Ok(Request::ExecutePrepared {
+                handle,
+                deadline_ms,
+            }) => {
+                let budget = if deadline_ms == 0 {
+                    sv.config.default_deadline
+                } else {
+                    Duration::from_millis(deadline_ms as u64)
+                };
+                match prepared.get(&handle) {
+                    None => Response::Error {
+                        code: ErrorCode::UnknownHandle,
+                        message: format!("handle {handle} was never prepared on this connection"),
+                    },
+                    Some(entry) => contained(started + budget, || {
+                        dispatch_execute_prepared(sv, &mut session, conn_id, entry)
+                    }),
+                }
+            }
+            Ok(Request::ClosePrepared { handle }) => match prepared.remove(&handle) {
+                Some(_) => Response::Text("closed".into()),
+                None => Response::Error {
+                    code: ErrorCode::UnknownHandle,
+                    message: format!("handle {handle} was never prepared on this connection"),
+                },
+            },
         };
         let failed = matches!(response, Response::Error { .. });
         if write_frame(&mut stream, &response.encode()).is_err() {
@@ -533,16 +590,8 @@ fn serve_connection(
 /// The panic-containment boundary: everything a statement can do runs
 /// inside `catch_unwind`, so one malformed or adversarial query cannot
 /// take the worker (or the process) down.
-fn serve_query(
-    sv: &ServeShared,
-    session: &mut Session,
-    conn_id: u64,
-    statement: &str,
-    deadline: Instant,
-) -> Response {
-    let out = catch_unwind(AssertUnwindSafe(|| {
-        dispatch_statement(sv, session, conn_id, statement, deadline)
-    }));
+fn contained(deadline: Instant, f: impl FnOnce() -> Response) -> Response {
+    let out = catch_unwind(AssertUnwindSafe(f));
     let response = match out {
         Ok(r) => r,
         Err(payload) => {
@@ -566,6 +615,92 @@ fn serve_query(
         };
     }
     response
+}
+
+fn serve_query(
+    sv: &ServeShared,
+    session: &mut Session,
+    conn_id: u64,
+    statement: &str,
+    deadline: Instant,
+) -> Response {
+    contained(deadline, || {
+        dispatch_statement(sv, session, conn_id, statement, deadline)
+    })
+}
+
+/// Parse + validate + plan once, then park the parsed SELECT under a
+/// handle. Planning at prepare time both surfaces bind errors immediately
+/// and warms the plan cache, so the first `ExecutePrepared` is already a
+/// cache hit.
+fn dispatch_prepare(
+    session: &mut Session,
+    prepared: &mut HashMap<u64, PreparedEntry>,
+    next_handle: &mut u64,
+    statement: &str,
+) -> Response {
+    if prepared.len() >= MAX_PREPARED_PER_CONN {
+        return Response::Error {
+            code: ErrorCode::Unsupported,
+            message: format!(
+                "prepared-statement limit ({MAX_PREPARED_PER_CONN}) reached; close a handle first"
+            ),
+        };
+    }
+    let line = statement.trim();
+    match instn_sql::parse(line) {
+        Err(e) => sql_error(&e),
+        Ok(Statement::Select(sel)) => match plan_select(session, &sel) {
+            Err(e) => sql_error(&e),
+            Ok(planned) => {
+                let handle = *next_handle;
+                *next_handle += 1;
+                prepared.insert(
+                    handle,
+                    PreparedEntry {
+                        statement: line.to_string(),
+                        select: sel,
+                    },
+                );
+                Response::Prepared {
+                    handle,
+                    columns: planned.plan.columns.clone(),
+                }
+            }
+        },
+        Ok(_) => Response::Error {
+            code: ErrorCode::Unsupported,
+            message: "only SELECT statements can be prepared".into(),
+        },
+    }
+}
+
+/// Execute a prepared statement: no parse, and `plan_select` revalidates
+/// the cached plan's journal stamp on every call — DML since prepare
+/// forces a replan, never stale rows.
+fn dispatch_execute_prepared(
+    sv: &ServeShared,
+    session: &mut Session,
+    conn_id: u64,
+    entry: &PreparedEntry,
+) -> Response {
+    if !sv.config.query_stall.is_zero() {
+        // Benchmark calibration: stand in for a disk-bound engine.
+        std::thread::sleep(sv.config.query_stall);
+    }
+    match plan_select(session, &entry.select) {
+        Err(e) => sql_error(&e),
+        Ok(planned) => {
+            let tagged = format!("[conn {conn_id}] {}", entry.statement);
+            match session.execute_observed(&tagged, &planned.plan.plan) {
+                Ok(rows) => Response::Rows {
+                    columns: planned.plan.columns.clone(),
+                    rows: rows.iter().map(WireRow::from_tuple).collect(),
+                },
+                Err(e) => query_error(&e),
+            }
+        }
+    }
 }
 
 fn sql_error(e: &SqlError) -> Response {
@@ -655,56 +790,49 @@ fn dispatch_statement(
     }
     match stmt {
         Statement::Select(sel) => {
-            let lowered = match session.try_with_ctx(|ctx| {
-                lower_select(ctx.db, &sel).map(|lowered| {
-                    instn_query::lower::lower_naive(ctx.db, &lowered.plan)
-                        .map(|physical| (physical, lowered.columns))
-                })
-            }) {
-                Err(e) => return query_error(&e),
-                Ok(Err(e)) => return sql_error(&e),
-                Ok(Ok(Err(e))) => return query_error(&e),
-                Ok(Ok(Ok(p))) => p,
-            };
-            let (physical, columns) = lowered;
-            let physical = parallelize_plan(&physical, session.exec_config.dop);
-            // The statement enters the engine slow log tagged with its
-            // connection, so `\slowlog` attributes offenders.
-            let tagged = format!("[conn {conn_id}] {line}");
-            match session.execute_observed(&tagged, &physical) {
-                Ok(rows) => Response::Rows {
-                    columns,
-                    rows: rows.iter().map(WireRow::from_tuple).collect(),
-                },
-                Err(e) => query_error(&e),
+            // Plan through the cost-based optimizer with the session's
+            // plan cache (DESIGN.md §12): a repeat statement skips the
+            // optimizer entirely unless a touched table advanced. The DOP
+            // post-pass runs inside the optimizer, cost-gated.
+            match plan_select(session, &sel) {
+                Err(e) => sql_error(&e),
+                Ok(planned) => {
+                    // The statement enters the engine slow log tagged with
+                    // its connection, so `\slowlog` attributes offenders.
+                    let tagged = format!("[conn {conn_id}] {line}");
+                    match session.execute_observed(&tagged, &planned.plan.plan) {
+                        Ok(rows) => Response::Rows {
+                            columns: planned.plan.columns.clone(),
+                            rows: rows.iter().map(WireRow::from_tuple).collect(),
+                        },
+                        Err(e) => query_error(&e),
+                    }
+                }
             }
         }
         Statement::Explain(sel) => {
-            match session.try_with_ctx(|ctx| lower_select(ctx.db, &sel).map(|l| l.plan)) {
-                Err(e) => query_error(&e),
-                Ok(Err(e)) => sql_error(&e),
-                Ok(Ok(plan)) => Response::Text(format!("{plan}")),
+            // Render the *actual* optimized (possibly parallelized)
+            // physical plan this session would execute, plus cache
+            // status — not the naive logical plan the executor ignores.
+            match plan_select(session, &sel) {
+                Err(e) => sql_error(&e),
+                Ok(planned) => Response::Text(render_explain(&planned)),
             }
         }
-        Statement::ExplainAnalyze(_) => {
-            match session.try_with_ctx(|ctx| explain_analyze_in_ctx(ctx, line)) {
-                Err(e) => query_error(&e),
-                Ok(Err(e)) => sql_error(&e),
-                Ok(Ok(Some(analysis))) => Response::Text(format!("{analysis}")),
-                Ok(Ok(None)) => Response::Error {
-                    code: ErrorCode::Unsupported,
-                    message: "not an EXPLAIN ANALYZE statement".into(),
-                },
-            }
-        }
+        Statement::ExplainAnalyze(_) => match explain_analyze_statement(session, line) {
+            Err(e) => sql_error(&e),
+            Ok(Some(analysis)) => Response::Text(format!("{analysis}")),
+            Ok(None) => Response::Error {
+                code: ErrorCode::Unsupported,
+                message: "not an EXPLAIN ANALYZE statement".into(),
+            },
+        },
         Statement::Analyze => match sv.shared.try_read() {
             Err(e) => query_error(&e),
-            Ok(db) => match instn_opt::Statistics::analyze(&db) {
-                Ok(_) => Response::Text("statistics collected".into()),
-                Err(e) => Response::Error {
-                    code: ErrorCode::Exec,
-                    message: e.to_string(),
-                },
+            Ok(db) => match refresh_statistics(session, &db) {
+                Ok((_, true)) => Response::Text("statistics collected (full scan)".into()),
+                Ok((_, false)) => Response::Text("statistics caught up from the journal".into()),
+                Err(e) => sql_error(&e),
             },
         },
         Statement::ZoomIn { .. } | Statement::AlterTable { .. } => {

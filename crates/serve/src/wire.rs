@@ -12,9 +12,13 @@
 //!   hello and closes — the cheapest possible rejection.
 //! * **Requests** — [`Request::Query`] carries a statement plus an
 //!   optional per-request deadline; `Ping` and `Shutdown` are one-byte
-//!   admin requests.
+//!   admin requests. [`Request::Prepare`] registers a statement under a
+//!   server-side handle so [`Request::ExecutePrepared`] can skip the parse
+//!   (and usually the plan) on every subsequent execution;
+//!   [`Request::ClosePrepared`] frees the handle.
 //! * **Responses** — typed rows ([`Response::Rows`]), rendered text
-//!   (`EXPLAIN`/DDL acknowledgements), or a structured error with a
+//!   (`EXPLAIN`/DDL acknowledgements), a prepared-statement handle
+//!   ([`Response::Prepared`]), or a structured error with a
 //!   machine-readable [`ErrorCode`].
 //!
 //! Values cross the wire with a one-byte type tag (`NULL`, `i64`, `f64`
@@ -98,6 +102,9 @@ pub enum ErrorCode {
     ShuttingDown,
     /// The statement kind is not servable over the wire.
     Unsupported,
+    /// An `ExecutePrepared`/`ClosePrepared` named a handle this connection
+    /// never prepared (or already closed).
+    UnknownHandle,
 }
 
 impl ErrorCode {
@@ -112,6 +119,7 @@ impl ErrorCode {
             ErrorCode::Protocol => 7,
             ErrorCode::ShuttingDown => 8,
             ErrorCode::Unsupported => 9,
+            ErrorCode::UnknownHandle => 10,
         }
     }
 
@@ -126,6 +134,7 @@ impl ErrorCode {
             7 => ErrorCode::Protocol,
             8 => ErrorCode::ShuttingDown,
             9 => ErrorCode::Unsupported,
+            10 => ErrorCode::UnknownHandle,
             other => return Err(WireError::Malformed(format!("error code {other}"))),
         })
     }
@@ -179,6 +188,26 @@ pub enum Request {
     /// Ask the server to drain and exit (honored only when the server was
     /// started with `allow_remote_shutdown`).
     Shutdown,
+    /// Register a statement under a server-side handle. The server parses
+    /// and validates once, then answers [`Response::Prepared`]; every later
+    /// [`Request::ExecutePrepared`] skips the parse entirely.
+    Prepare {
+        /// The statement text (must be a `SELECT`).
+        statement: String,
+    },
+    /// Execute a previously prepared statement by handle.
+    ExecutePrepared {
+        /// The handle from [`Response::Prepared`].
+        handle: u64,
+        /// Per-request wall-clock budget in milliseconds (0 = server
+        /// default).
+        deadline_ms: u32,
+    },
+    /// Free a prepared-statement handle.
+    ClosePrepared {
+        /// The handle to drop.
+        handle: u64,
+    },
 }
 
 /// One response from server to client.
@@ -199,6 +228,13 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable detail.
         message: String,
+    },
+    /// Acknowledgement of [`Request::Prepare`].
+    Prepared {
+        /// The server-side handle to pass to `ExecutePrepared`.
+        handle: u64,
+        /// Output column names the statement will produce.
+        columns: Vec<String>,
     },
 }
 
@@ -429,6 +465,22 @@ impl Request {
             }
             Request::Ping => out.push(1),
             Request::Shutdown => out.push(2),
+            Request::Prepare { statement } => {
+                out.push(3);
+                put_str(&mut out, statement);
+            }
+            Request::ExecutePrepared {
+                handle,
+                deadline_ms,
+            } => {
+                out.push(4);
+                out.extend_from_slice(&handle.to_le_bytes());
+                out.extend_from_slice(&deadline_ms.to_le_bytes());
+            }
+            Request::ClosePrepared { handle } => {
+                out.push(5);
+                out.extend_from_slice(&handle.to_le_bytes());
+            }
         }
         out
     }
@@ -442,6 +494,14 @@ impl Request {
             },
             1 => Request::Ping,
             2 => Request::Shutdown,
+            3 => Request::Prepare {
+                statement: c.str()?,
+            },
+            4 => Request::ExecutePrepared {
+                handle: c.u64()?,
+                deadline_ms: c.u32()?,
+            },
+            5 => Request::ClosePrepared { handle: c.u64()? },
             other => return Err(WireError::Malformed(format!("request opcode {other}"))),
         };
         c.done()?;
@@ -488,6 +548,14 @@ impl Response {
                 out.extend_from_slice(&code.to_u16().to_le_bytes());
                 put_str(&mut out, message);
             }
+            Response::Prepared { handle, columns } => {
+                out.push(3);
+                out.extend_from_slice(&handle.to_le_bytes());
+                out.extend_from_slice(&(columns.len() as u32).to_le_bytes());
+                for col in columns {
+                    put_str(&mut out, col);
+                }
+            }
         }
         out
     }
@@ -532,6 +600,15 @@ impl Response {
                 code: ErrorCode::from_u16(c.u16()?)?,
                 message: c.str()?,
             },
+            3 => {
+                let handle = c.u64()?;
+                let ncols = c.u32()? as usize;
+                let mut columns = Vec::with_capacity(ncols.min(1024));
+                for _ in 0..ncols {
+                    columns.push(c.str()?);
+                }
+                Response::Prepared { handle, columns }
+            }
             other => return Err(WireError::Malformed(format!("response tag {other}"))),
         };
         c.done()?;
@@ -594,6 +671,14 @@ mod tests {
             },
             Request::Ping,
             Request::Shutdown,
+            Request::Prepare {
+                statement: "SELECT id FROM Birds".into(),
+            },
+            Request::ExecutePrepared {
+                handle: u64::MAX,
+                deadline_ms: 0,
+            },
+            Request::ClosePrepared { handle: 7 },
         ] {
             assert_eq!(Request::decode(&req.encode()).unwrap(), req);
         }
@@ -645,6 +730,7 @@ mod tests {
             ErrorCode::Protocol,
             ErrorCode::ShuttingDown,
             ErrorCode::Unsupported,
+            ErrorCode::UnknownHandle,
         ] {
             let r = Response::Error {
                 code,
@@ -652,5 +738,31 @@ mod tests {
             };
             assert_eq!(Response::decode(&r.encode()).unwrap(), r);
         }
+    }
+
+    #[test]
+    fn prepared_roundtrip() {
+        for resp in [
+            Response::Prepared {
+                handle: 1,
+                columns: vec!["id".into(), "name".into()],
+            },
+            Response::Prepared {
+                handle: u64::MAX,
+                columns: vec![],
+            },
+        ] {
+            let enc = resp.encode();
+            assert_eq!(Response::decode(&enc).unwrap(), resp);
+            assert_eq!(Response::decode(&enc).unwrap().encode(), enc);
+        }
+        // Trailing garbage after a prepared ack is rejected.
+        let mut enc = Response::Prepared {
+            handle: 2,
+            columns: vec![],
+        }
+        .encode();
+        enc.push(0);
+        assert!(Response::decode(&enc).is_err());
     }
 }

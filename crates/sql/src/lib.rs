@@ -32,13 +32,18 @@ pub mod ast;
 pub mod lexer;
 pub mod lower;
 pub mod parser;
+pub mod plan;
 
 pub use ast::{AstExpr, SelectStmt, Statement};
 pub use lower::{
-    execute_statement, explain_analyze_in_ctx, lower_select, ExplainAnalysis, LoweredQuery,
-    SqlOutcome,
+    execute_statement, explain_analyze_in_ctx, explain_analyze_statement, lower_select,
+    ExplainAnalysis, LoweredQuery, SqlOutcome,
 };
 pub use parser::parse;
+pub use plan::{
+    plan_select, plan_statement, refresh_statistics, render_explain, statement_fingerprint,
+    PlanSource, PlannedStatement,
+};
 
 /// Errors raised by the SQL front end.
 #[derive(Debug, Clone, PartialEq)]

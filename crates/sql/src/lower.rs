@@ -96,10 +96,16 @@ pub struct ExplainAnalysis {
     /// registered indexes caught up by journal replay or bulk rebuild
     /// (see `instn_query::MaintenanceReport`).
     pub maintenance: instn_query::MaintenanceReport,
+    /// Where the executed plan came from — the plan-cache status
+    /// (`cache hit (reused)`, `cache miss (optimized)`, …) rendered as the
+    /// `plan:` line. Paths planning outside a session report
+    /// `optimized (no plan cache)`.
+    pub plan_source: String,
 }
 
 impl std::fmt::Display for ExplainAnalysis {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "plan: {}", self.plan_source)?;
         if self.maintenance.indexes_checked > 0 {
             write!(f, "{}", self.maintenance.render())?;
         }
@@ -248,13 +254,26 @@ pub fn explain_analyze_in_ctx(
 /// Lower and execute one `EXPLAIN ANALYZE` body against `ctx`, collecting
 /// plan text, operator metrics, observed I/O, and the index-maintenance
 /// report of the refresh pass the executor ran before the plan opened.
+///
+/// Planning goes through `instn_opt::Optimizer`, seeded with the indexes
+/// installed in `ctx` and its sort/DOP settings — the plan analyzed is the
+/// plan a serving path would run, not the naive lowering. There is no
+/// session here, so no plan cache participates; session holders get cache
+/// status through [`explain_analyze_statement`].
 fn run_explain_analyze(
     ctx: &mut instn_query::ExecContext<'_>,
     sel: &SelectStmt,
 ) -> Result<ExplainAnalysis> {
     let lowered = lower_select(ctx.db, sel)?;
-    let physical = instn_query::lower::lower_naive(ctx.db, &lowered.plan)
+    let stats =
+        instn_opt::Statistics::analyze(ctx.db).map_err(|e| SqlError::Bind(e.to_string()))?;
+    let descriptors = ctx.index_descriptors();
+    let config =
+        crate::plan::planner_config(ctx.db, &descriptors, ctx.sort_mem, ctx.config.dop.max(1));
+    let optimized = instn_opt::Optimizer::with_stats(ctx.db, stats, config)
+        .optimize(&lowered.plan)
         .map_err(|e| SqlError::Bind(e.to_string()))?;
+    let physical = optimized.physical;
     let before = ctx.db.stats().snapshot();
     let start = std::time::Instant::now();
     let (rows, operators) = ctx
@@ -269,7 +288,45 @@ fn run_explain_analyze(
         elapsed,
         io,
         maintenance: ctx.maintenance_report(),
+        plan_source: "optimized (no plan cache)".to_string(),
     })
+}
+
+/// Parse `input` and, when it is an `EXPLAIN ANALYZE SELECT …`, plan it
+/// through the session's plan cache ([`crate::plan::plan_select`]) and
+/// execute it against the session's registered indexes, reporting the
+/// cache status on the `plan:` line. Any other statement comes back as
+/// `Ok(None)` — fall through to [`execute_statement`].
+pub fn explain_analyze_statement(
+    session: &mut instn_query::Session,
+    input: &str,
+) -> Result<Option<ExplainAnalysis>> {
+    let Ok(Statement::ExplainAnalyze(sel)) = crate::parser::parse(input) else {
+        return Ok(None);
+    };
+    let planned = crate::plan::plan_select(session, &sel)?;
+    let physical = std::sync::Arc::clone(&planned.plan.plan);
+    let analysis = session
+        .try_with_ctx(|ctx| -> Result<ExplainAnalysis> {
+            let before = ctx.db.stats().snapshot();
+            let start = std::time::Instant::now();
+            let (rows, operators) = ctx
+                .execute_with_metrics(&physical)
+                .map_err(|e| SqlError::Bind(e.to_string()))?;
+            let elapsed = start.elapsed();
+            let io = ctx.db.stats().snapshot().since(&before);
+            Ok(ExplainAnalysis {
+                plan: format!("{physical}"),
+                operators,
+                rows: rows.len(),
+                elapsed,
+                io,
+                maintenance: ctx.maintenance_report(),
+                plan_source: planned.source.describe().to_string(),
+            })
+        })
+        .map_err(|e| SqlError::Bind(e.to_string()))??;
+    Ok(Some(analysis))
 }
 
 /// One bound FROM item.

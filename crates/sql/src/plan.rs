@@ -1,0 +1,402 @@
+//! Cost-based planning on the live query path (DESIGN.md §12).
+//!
+//! Every interactive `SELECT` — shell, wire server, prepared statements —
+//! funnels through [`plan_statement`]: parse, fingerprint, probe the
+//! session's [`PlanCache`](instn_query::PlanCache), and only on a miss run
+//! the full `instn_opt::Optimizer` pipeline. The optimizer is seeded with
+//! the session's registered indexes, the engine's buffer-pool capacity,
+//! and the session DOP, so the plan that runs is the plan the cost model
+//! actually chose — `lower_naive` stays a bench baseline, not a serving
+//! path.
+//!
+//! Planning cost on repeat is bounded by two caches:
+//!
+//! * **Plans** — keyed by an AST-normalized statement fingerprint prefixed
+//!   with the planner-relevant session state (DOP, sort budget, registry
+//!   epoch), revalidated against per-table journal high-water marks on
+//!   every use (see `instn_query::plan_cache`).
+//! * **Statistics** — a per-session [`Statistics`] snapshot that rides
+//!   [`Statistics::catch_up`] over the journal gap instead of re-scanning
+//!   the database (`Statistics::analyze`) for every plan.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use instn_core::db::Database;
+use instn_opt::{Optimizer, PlannerConfig, Statistics};
+use instn_query::plan_cache::{normalize_statement, CachedPlan, PlanLookup, PlanStamp};
+use instn_query::session::IndexDescriptors;
+use instn_query::Session;
+use instn_storage::TableId;
+
+use crate::ast::{SelectStmt, Statement};
+use crate::lower::lower_select;
+use crate::{Result, SqlError};
+
+/// How a [`PlannedStatement`] obtained its plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanSource {
+    /// Served from the session plan cache; the optimizer did not run.
+    CacheHit,
+    /// No cached entry under this fingerprint; freshly optimized and
+    /// stored.
+    CacheMiss,
+    /// A cached entry existed but a touched table advanced past its
+    /// stamp; the entry was dropped and the statement replanned.
+    Invalidated,
+    /// The plan cache is disabled (`INSTN_PLAN_CACHE=0` or `\plancache
+    /// off`); freshly optimized, nothing stored.
+    CacheDisabled,
+}
+
+impl PlanSource {
+    /// The EXPLAIN / EXPLAIN ANALYZE `plan:` line for this outcome.
+    pub fn describe(&self) -> &'static str {
+        match self {
+            PlanSource::CacheHit => "cache hit (reused)",
+            PlanSource::CacheMiss => "cache miss (optimized)",
+            PlanSource::Invalidated => "invalidated (replanned)",
+            PlanSource::CacheDisabled => "cache disabled (optimized)",
+        }
+    }
+}
+
+/// A statement planned through the optimizer (or served from the cache),
+/// ready to execute.
+#[derive(Debug, Clone)]
+pub struct PlannedStatement {
+    /// The plan plus output header, EXPLAIN text, and validity stamp.
+    pub plan: Arc<CachedPlan>,
+    /// Where the plan came from.
+    pub source: PlanSource,
+    /// Wall-clock nanoseconds spent planning (0 on a cache hit).
+    pub plan_wall_ns: u64,
+}
+
+/// Cross-query planner state a session carries in its opaque slot:
+/// the cached optimizer statistics.
+struct PlannerState {
+    stats: Statistics,
+}
+
+fn bind<E: std::fmt::Display>(e: E) -> SqlError {
+    SqlError::Bind(e.to_string())
+}
+
+/// The plan-cache key for `sel` under this session's planner-relevant
+/// state. The statement body is the parsed AST's debug form, so layout and
+/// keyword-case differences (and an `EXPLAIN` prefix) share an entry while
+/// identifier case stays significant; the prefix folds in everything else
+/// a plan depends on — DOP, sort budget, and the index-registry epoch
+/// (registering an index must force a replan, not reuse a plan chosen
+/// without it).
+pub fn statement_fingerprint(session: &Session, sel: &SelectStmt) -> String {
+    format!(
+        "dop={};sort={};epoch={}|{:?}",
+        session.exec_config.dop,
+        session.sort_mem,
+        session.registry_epoch(),
+        sel
+    )
+}
+
+/// This session's optimizer statistics, caught up over the journal gap —
+/// the cheap replacement for the full `Statistics::analyze` rescan.
+/// Returns the statistics plus whether a full re-analyze was needed
+/// (first use, journal truncated past the gap, or a structural change).
+pub fn refresh_statistics(session: &mut Session, db: &Database) -> Result<(Statistics, bool)> {
+    let slot = session.planner_state_mut();
+    if let Some(state) = slot.as_mut().and_then(|b| b.downcast_mut::<PlannerState>()) {
+        let rescanned = state.stats.catch_up(db).map_err(bind)?;
+        return Ok((state.stats.clone(), rescanned));
+    }
+    let stats = Statistics::analyze(db).map_err(bind)?;
+    *slot = Some(Box::new(PlannerState {
+        stats: stats.clone(),
+    }));
+    Ok((stats, true))
+}
+
+/// Build a [`PlannerConfig`] mirroring the session's registered indexes
+/// (labels-`k` looked up from each instance's definition), its sort
+/// budget, and its DOP. Buffer-pool capacity is filled in by
+/// [`Optimizer::with_stats`] from the engine itself.
+pub(crate) fn planner_config(
+    db: &Database,
+    descriptors: &IndexDescriptors,
+    sort_mem: usize,
+    dop: usize,
+) -> PlannerConfig {
+    let labels_k = |table: TableId, instance: &str| {
+        db.instance_by_name(table, instance)
+            .ok()
+            .and_then(|i| i.labels())
+            .map(|l| l.len())
+            .unwrap_or(2)
+    };
+    let mut config = PlannerConfig {
+        sort_mem_tuples: sort_mem,
+        ..PlannerConfig::default()
+    };
+    for (name, table, instance) in &descriptors.summary {
+        config = config.with_summary_index(name, *table, instance, labels_k(*table, instance));
+    }
+    for (name, table, instance) in &descriptors.baseline {
+        config.baseline_indexes.insert(
+            name.clone(),
+            (*table, instance.clone(), labels_k(*table, instance)),
+        );
+    }
+    for (table, col) in &descriptors.column {
+        config = config.with_column_index(*table, *col);
+    }
+    config.with_dop(dop)
+}
+
+/// Lower + optimize `sel` into a cache-ready entry. The DOP post-pass runs
+/// inside the optimizer (cost-gated Exchange placement), so the returned
+/// physical plan is final — callers do not re-parallelize it.
+fn build_plan(
+    db: &Database,
+    descriptors: &IndexDescriptors,
+    sort_mem: usize,
+    dop: usize,
+    stats: Statistics,
+    sel: &SelectStmt,
+) -> Result<CachedPlan> {
+    let lowered = lower_select(db, sel)?;
+    let config = planner_config(db, descriptors, sort_mem, dop);
+    let optimizer = Optimizer::with_stats(db, stats, config);
+    let optimized = optimizer.optimize(&lowered.plan).map_err(bind)?;
+    let tables = sel.from.iter().filter_map(|(t, _)| db.table_id(t).ok());
+    let stamp = PlanStamp::capture(db, tables);
+    Ok(CachedPlan {
+        plan: Arc::new(optimized.physical),
+        columns: lowered.columns,
+        explain: optimized.explain,
+        cost: optimized.cost.total(),
+        stamp,
+    })
+}
+
+/// Plan one parsed `SELECT` for this session: probe the plan cache
+/// (revalidating the entry's journal stamp), and on a miss or
+/// invalidation run the optimizer — with statistics caught up over the
+/// journal gap, the session's indexes, the engine's buffer pool, and the
+/// session DOP — and store the result.
+///
+/// Cache events are mirrored into the engine's metrics registry when it
+/// is enabled (`plan_cache_{hits,misses,invalidations}_total`; fresh
+/// planning time lands in the `plan_wall_ns` histogram).
+pub fn plan_select(session: &mut Session, sel: &SelectStmt) -> Result<PlannedStatement> {
+    let fingerprint = statement_fingerprint(session, sel);
+    let shared = session.shared().clone();
+    let db = shared
+        .try_read()
+        .map_err(|_| SqlError::Bind("engine lock poisoned".into()))?;
+    let metrics = Arc::clone(db.metrics());
+    let observed = metrics.is_enabled();
+    let lookup = session.plan_cache.lookup(&fingerprint, &db);
+    if let PlanLookup::Hit(entry) = lookup {
+        if observed {
+            metrics
+                .counter(
+                    "plan_cache_hits_total",
+                    "Statements served from a cached plan (no optimizer run)",
+                )
+                .inc();
+        }
+        return Ok(PlannedStatement {
+            plan: entry,
+            source: PlanSource::CacheHit,
+            plan_wall_ns: 0,
+        });
+    }
+    let source = if !session.plan_cache.enabled() {
+        PlanSource::CacheDisabled
+    } else if matches!(lookup, PlanLookup::Invalidated) {
+        PlanSource::Invalidated
+    } else {
+        PlanSource::CacheMiss
+    };
+    let started = Instant::now();
+    // With the cache disabled the session plans like the pre-cache engine:
+    // fresh statistics (a full analyze rescan) plus a fresh optimizer pass
+    // on every statement. That is the always-replan baseline the figures
+    // harness compares against; enabled sessions instead ride
+    // `Statistics::catch_up` over the journal gap.
+    let stats = if matches!(source, PlanSource::CacheDisabled) {
+        Statistics::analyze(&db).map_err(bind)?
+    } else {
+        refresh_statistics(session, &db)?.0
+    };
+    let descriptors = session.index_descriptors();
+    let entry = build_plan(
+        &db,
+        &descriptors,
+        session.sort_mem,
+        session.exec_config.dop,
+        stats,
+        sel,
+    )?;
+    let plan_wall = instn_obs::elapsed_ns(started);
+    if observed {
+        match source {
+            PlanSource::Invalidated => metrics
+                .counter(
+                    "plan_cache_invalidations_total",
+                    "Cached plans dropped because a touched table advanced",
+                )
+                .inc(),
+            PlanSource::CacheMiss => metrics
+                .counter(
+                    "plan_cache_misses_total",
+                    "Statements planned because no cached plan existed",
+                )
+                .inc(),
+            PlanSource::CacheDisabled | PlanSource::CacheHit => {}
+        }
+        metrics
+            .histogram("plan_wall_ns", "Fresh statement-planning wall time (ns)")
+            .record(plan_wall);
+    }
+    let plan = session.plan_cache.insert(&fingerprint, entry);
+    Ok(PlannedStatement {
+        plan,
+        source,
+        plan_wall_ns: plan_wall,
+    })
+}
+
+/// Parse `input` and, when it is a `SELECT`, plan it through
+/// [`plan_select`]. Any other statement — or input that does not parse —
+/// comes back as `Ok(None)`: the caller falls through to
+/// [`crate::lower::execute_statement`], which re-parses and surfaces the
+/// real error.
+pub fn plan_statement(session: &mut Session, input: &str) -> Result<Option<PlannedStatement>> {
+    let Ok(Statement::Select(sel)) = crate::parser::parse(input) else {
+        return Ok(None);
+    };
+    plan_select(session, &sel).map(Some)
+}
+
+/// Render the `EXPLAIN` view of a planned statement: the *actual*
+/// optimized (possibly parallelized) physical plan that would execute,
+/// followed by the cache-status and cost line — not the naive logical
+/// plan the serving layer used to show.
+pub fn render_explain(planned: &PlannedStatement) -> String {
+    format!(
+        "{}plan: {}  cost={:.1}\n",
+        planned.plan.plan,
+        planned.source.describe(),
+        planned.plan.cost
+    )
+}
+
+/// Normalize a statement for display/dedup purposes (re-exported next to
+/// the planning entry points for callers that key UI state off statement
+/// text rather than the AST fingerprint).
+pub fn normalized(input: &str) -> String {
+    normalize_statement(input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use instn_query::SharedDatabase;
+    use instn_storage::{ColumnType, Schema, Value};
+
+    fn shared() -> (SharedDatabase, TableId) {
+        let mut db = Database::new();
+        let t = db
+            .create_table(
+                "T",
+                Schema::of(&[("id", ColumnType::Int), ("name", ColumnType::Text)]),
+            )
+            .unwrap();
+        for i in 0..4i64 {
+            db.insert_tuple(t, vec![Value::Int(i), Value::Text(format!("n{i}"))])
+                .unwrap();
+        }
+        (SharedDatabase::new(db), t)
+    }
+
+    #[test]
+    fn hit_miss_invalidate_roundtrip() {
+        let (shared, t) = shared();
+        let mut session = shared.session();
+        session.plan_cache.set_enabled(true);
+        let p1 = plan_statement(&mut session, "SELECT id FROM T")
+            .unwrap()
+            .unwrap();
+        assert_eq!(p1.source, PlanSource::CacheMiss);
+        assert_eq!(p1.plan.columns, vec!["id".to_string()]);
+        // Layout and keyword case differences share the entry.
+        let p2 = plan_statement(&mut session, "select  id\nfrom T ;")
+            .unwrap()
+            .unwrap();
+        assert_eq!(p2.source, PlanSource::CacheHit);
+        assert_eq!(p2.plan_wall_ns, 0);
+        // DML on T invalidates it.
+        shared
+            .with_write(|db| db.insert_tuple(t, vec![Value::Int(9), Value::Text("x".into())]))
+            .unwrap();
+        let p3 = plan_statement(&mut session, "SELECT id FROM T")
+            .unwrap()
+            .unwrap();
+        assert_eq!(p3.source, PlanSource::Invalidated);
+        // Executing the cached plan yields the fresh rows.
+        let rows = session.execute(&p3.plan.plan).unwrap();
+        assert_eq!(rows.len(), 5);
+    }
+
+    #[test]
+    fn session_state_changes_force_replans() {
+        let (shared, _t) = shared();
+        let mut session = shared.session();
+        session.plan_cache.set_enabled(true);
+        let sql = "SELECT id FROM T";
+        assert_eq!(
+            plan_statement(&mut session, sql).unwrap().unwrap().source,
+            PlanSource::CacheMiss
+        );
+        // A DOP change is part of the fingerprint: no stale-shape reuse.
+        session.exec_config.dop = 4;
+        assert_eq!(
+            plan_statement(&mut session, sql).unwrap().unwrap().source,
+            PlanSource::CacheMiss
+        );
+        // Registering an index bumps the epoch and forces a replan.
+        session.register_column_index(_t, 0).unwrap();
+        assert_eq!(
+            plan_statement(&mut session, sql).unwrap().unwrap().source,
+            PlanSource::CacheMiss
+        );
+    }
+
+    #[test]
+    fn non_select_and_unparsable_fall_through() {
+        let (shared, _t) = shared();
+        let mut session = shared.session();
+        assert!(plan_statement(&mut session, "ANALYZE").unwrap().is_none());
+        assert!(plan_statement(&mut session, "not sql").unwrap().is_none());
+    }
+
+    #[test]
+    fn statistics_ride_the_journal_gap() {
+        let (shared, t) = shared();
+        let mut session = shared.session();
+        let (s1, rescanned) = shared
+            .with_read(|db| refresh_statistics(&mut session, db))
+            .unwrap();
+        assert!(rescanned, "first use analyzes from scratch");
+        shared
+            .with_write(|db| db.insert_tuple(t, vec![Value::Int(9), Value::Text("x".into())]))
+            .unwrap();
+        let (s2, rescanned) = shared
+            .with_read(|db| refresh_statistics(&mut session, db))
+            .unwrap();
+        assert!(!rescanned, "gap replayed from the journal, no rescan");
+        assert!(s2.as_of() > s1.as_of());
+    }
+}

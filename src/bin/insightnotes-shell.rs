@@ -75,6 +75,7 @@ fn main() {
         println!("  \\set dop <N> to run eligible scans across N workers (0 = auto).");
         println!("  \\metrics to dump engine metrics (Prometheus text format).");
         println!("  \\set slowlog <ms> to capture slow queries, \\slowlog to list them.");
+        println!("  \\plancache [on|off|clear] to inspect or toggle the plan cache.");
         println!("  \\save <file> / \\load <file> to persist, \\q to quit.");
     }
     let stdin = std::io::stdin();
@@ -166,19 +167,50 @@ fn main() {
             }
             continue;
         }
+        if let Some(rest) = line.strip_prefix("\\plancache") {
+            if rest.is_empty() || rest.starts_with(char::is_whitespace) {
+                match rest.trim() {
+                    "" => {
+                        let s = session.plan_cache.stats();
+                        println!(
+                            "plan cache: {} ({} entries)\nhits={} misses={} invalidations={} insertions={}",
+                            if session.plan_cache.enabled() { "on" } else { "off" },
+                            session.plan_cache.len(),
+                            s.hits, s.misses, s.invalidations, s.insertions
+                        );
+                    }
+                    "on" => {
+                        session.plan_cache.set_enabled(true);
+                        println!("plan cache on");
+                    }
+                    "off" => {
+                        session.plan_cache.set_enabled(false);
+                        println!("plan cache off (entries dropped)");
+                    }
+                    "clear" => {
+                        session.plan_cache.clear();
+                        println!("plan cache cleared");
+                    }
+                    other => eprintln!("usage: \\plancache [on|off|clear]   (got {other:?})"),
+                }
+                continue;
+            }
+        }
         if line.starts_with('\\') {
             // Never hand a backslash command to the SQL parser — the lex
             // error it produces reads like the statement was attempted.
             eprintln!("unknown command: {line}");
             eprintln!(
-                "commands: \\set, \\metrics, \\slowlog [clear], \\save <file>, \\load <file>, \\q"
+                "commands: \\set, \\metrics, \\slowlog [clear], \\plancache [on|off|clear], \
+                 \\save <file>, \\load <file>, \\q"
             );
             continue;
         }
-        // EXPLAIN ANALYZE runs against the session's own context so the
-        // registered indexes are refreshed from the delta journal first and
-        // the work shows up in the `maintenance:` section.
-        match session.with_ctx(|ctx| explain_analyze_in_ctx(ctx, line)) {
+        // EXPLAIN ANALYZE plans through the session's plan cache and runs
+        // against the session's own registry, so the registered indexes are
+        // refreshed from the delta journal first, the work shows up in the
+        // `maintenance:` section, and the `plan:` line reports cache status.
+        match explain_analyze_statement(&mut session, line) {
             Ok(Some(analysis)) => {
                 println!("dop: {}", session.exec_config.dop);
                 print!("{analysis}");
@@ -190,23 +222,42 @@ fn main() {
                 continue;
             }
         }
-        match shared.with_write(|db| execute_statement(db, &registry, line)) {
-            Ok(SqlOutcome::Query(q)) => {
-                let dop = session.exec_config.dop;
-                // Lower under a read guard, then run through the observed
-                // path: per-session counters, `query_wall_ns`, span trace,
-                // and slow-log capture when the threshold is armed. The
-                // single-writer shell means the snapshot cannot shift
-                // between the two guards.
-                let res = session
-                    .with_ctx(|ctx| lower_naive(ctx.db, &q.plan))
-                    // Wrap eligible fragments in Exchange operators when the
-                    // session runs with DOP > 1 (\set dop N).
-                    .map(|physical| parallelize_plan(&physical, dop))
-                    .and_then(|physical| session.execute_observed(line, &physical));
+        // EXPLAIN renders the actual optimized (possibly parallelized)
+        // physical plan the session would execute, plus cache status.
+        if let Ok(Statement::Explain(sel)) = parse(line) {
+            match plan_select(&mut session, &sel) {
+                Ok(planned) => {
+                    println!("dop: {}", session.exec_config.dop);
+                    print!("{}", render_explain(&planned));
+                }
+                Err(e) => eprintln!("error: {e}"),
+            }
+            continue;
+        }
+        // ANALYZE rides the session's cached statistics over the journal
+        // gap instead of rescanning the database.
+        if let Ok(Statement::Analyze) = parse(line) {
+            let res = {
+                let engine = session.shared().clone();
+                let db = engine.read();
+                refresh_statistics(&mut session, &db)
+            };
+            match res {
+                Ok((_, true)) => println!("statistics collected (full scan)"),
+                Ok((_, false)) => println!("statistics caught up from the journal"),
+                Err(e) => eprintln!("error: {e}"),
+            }
+            continue;
+        }
+        // SELECTs plan through the cost-based optimizer with the session's
+        // plan cache (DESIGN.md §12) and never take the write lock. The
+        // DOP post-pass runs inside the optimizer, cost-gated.
+        match plan_statement(&mut session, line) {
+            Ok(Some(planned)) => {
+                let res = session.execute_observed(line, &planned.plan.plan);
                 match res {
                     Ok(rows) => {
-                        println!("{}", q.columns.join(" | "));
+                        println!("{}", planned.plan.columns.join(" | "));
                         for r in rows.iter().take(50) {
                             let vals: Vec<String> =
                                 r.values.iter().map(|v| format!("{v}")).collect();
@@ -228,6 +279,19 @@ fn main() {
                     }
                     Err(e) => eprintln!("query error: {e}"),
                 }
+                continue;
+            }
+            Ok(None) => {} // not a SELECT — fall through to DDL/zoom
+            Err(e) => {
+                eprintln!("error: {e}");
+                continue;
+            }
+        }
+        match shared.with_write(|db| execute_statement(db, &registry, line)) {
+            Ok(SqlOutcome::Query(_)) => {
+                // SELECTs are intercepted by `plan_statement` above;
+                // `execute_statement` only sees non-SELECTs here.
+                eprintln!("internal: SELECT fell through the planner");
             }
             Ok(SqlOutcome::Explain(text)) => {
                 println!("dop: {}", session.exec_config.dop);

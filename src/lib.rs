@@ -97,13 +97,22 @@ pub mod prelude {
     pub use instn_query::expr::{CmpOp, Expr, ObjFunc, ObjRef, ObjectPred, SummaryExpr};
     pub use instn_query::lower::lower_naive;
     pub use instn_query::plan::{JoinPredicate, LogicalPlan, SortKey};
-    pub use instn_query::session::{Session, SharedDatabase};
+    pub use instn_query::plan_cache::{
+        normalize_statement, CachedPlan, PlanCache, PlanCacheStats, PlanLookup, PlanStamp,
+    };
+    pub use instn_query::session::{IndexDescriptors, Session, SharedDatabase};
     pub use instn_query::ColumnIndex;
     pub use instn_query::MaintenanceReport;
     pub use instn_serve::{Client, ServeConfig, Server, ServerHandle};
     pub use instn_sql::lower::{
-        execute_statement, explain_analyze_in_ctx, lower_select, ExplainAnalysis, SqlOutcome,
+        execute_statement, explain_analyze_in_ctx, explain_analyze_statement, lower_select,
+        ExplainAnalysis, SqlOutcome,
     };
     pub use instn_sql::parse;
+    pub use instn_sql::plan::{
+        plan_select, plan_statement, refresh_statistics, render_explain, PlanSource,
+        PlannedStatement,
+    };
+    pub use instn_sql::Statement;
     pub use instn_storage::{ColumnType, IoStats, Oid, Schema, TableId, Value};
 }

@@ -18,9 +18,11 @@ use insightnotes::core::db::Database;
 use insightnotes::core::instance::InstanceKind;
 use insightnotes::mining::nb::NaiveBayes;
 use insightnotes::prelude::{
-    parse_prometheus, CmpOp, ExecConfig, ExecContext, Expr, PhysicalPlan, SharedDatabase,
+    parse_prometheus, plan_select, CmpOp, ExecConfig, ExecContext, Expr, PhysicalPlan, Session,
+    SharedDatabase,
 };
 use insightnotes::query::QueryError;
+use insightnotes::sql::{parse, Statement};
 use insightnotes::storage::{ColumnType, Schema, TableId, Value};
 
 /// Birds(id, family); tuple i carries `counts[i]` disease annotations and
@@ -135,6 +137,82 @@ proptest! {
         );
         let trace = ctx.trace.take().unwrap();
         prop_assert!(!trace.spans().is_empty(), "trace collected no spans");
+    }
+
+    /// The plan-cache counters are observers too: the same statement
+    /// stream with the registry enabled vs disabled yields identical
+    /// result rows and identical cache verdicts, and the enabled side's
+    /// `plan_cache_{hits,misses,invalidations}_total` counters (plus the
+    /// `plan_wall_ns` histogram count) mirror the session's own
+    /// `PlanCacheStats` exactly.
+    #[test]
+    fn plan_cache_metrics_are_neutral_and_exact(
+        counts in prop::collection::vec(0usize..5, 4..16),
+        reps in 1usize..4,
+    ) {
+        let statements = [
+            "SELECT id, family FROM Birds",
+            "SELECT * FROM Birds r \
+             WHERE r.$.getSummaryObject('C').getLabelValue('Disease') >= 1",
+        ];
+        let run = |session: &mut Session, stmt: &str| {
+            let Ok(Statement::Select(sel)) = parse(stmt) else {
+                panic!("statement parses: {stmt}")
+            };
+            let planned = plan_select(session, &sel).expect("plans");
+            let plan = std::sync::Arc::clone(&planned.plan);
+            (session.execute(&plan.plan).expect("executes"), planned.source)
+        };
+
+        let (db_off, t_off) = build(&counts);
+        let shared_off = SharedDatabase::new(db_off);
+        let mut s_off = shared_off.session();
+        s_off.exec_config.dop = 1;
+        s_off.plan_cache.set_enabled(true);
+
+        let (db_on, t_on) = build(&counts);
+        db_on.metrics().set_enabled(true);
+        let registry = std::sync::Arc::clone(db_on.metrics());
+        let shared_on = SharedDatabase::new(db_on);
+        let mut s_on = shared_on.session();
+        s_on.exec_config.dop = 1;
+        s_on.plan_cache.set_enabled(true);
+
+        for rep in 0..reps {
+            for stmt in statements {
+                let (rows_on, source_on) = run(&mut s_on, stmt);
+                let (rows_off, source_off) = run(&mut s_off, stmt);
+                prop_assert_eq!(rows_on, rows_off, "rows changed under metrics");
+                prop_assert_eq!(source_on, source_off, "verdict changed under metrics");
+            }
+            // DML between reps exercises the invalidation counter.
+            let row = vec![Value::Int(1000 + rep as i64), Value::Text("famX".into())];
+            shared_on.with_write(|db| db.insert_tuple(t_on, row.clone()).unwrap());
+            shared_off.with_write(|db| db.insert_tuple(t_off, row).unwrap());
+        }
+
+        let on = s_on.plan_cache.stats();
+        let off = s_off.plan_cache.stats();
+        prop_assert_eq!(on.hits, off.hits);
+        prop_assert_eq!(on.misses, off.misses);
+        prop_assert_eq!(on.invalidations, off.invalidations);
+
+        let samples = parse_prometheus(&registry.render_prometheus()).expect("dump parses");
+        let get = |n: &str| {
+            samples
+                .iter()
+                .find(|(s, _)| s == n)
+                .map(|(_, v)| *v)
+                .unwrap_or(0.0)
+        };
+        prop_assert_eq!(get("plan_cache_hits_total"), on.hits as f64);
+        prop_assert_eq!(get("plan_cache_misses_total"), on.misses as f64);
+        prop_assert_eq!(get("plan_cache_invalidations_total"), on.invalidations as f64);
+        prop_assert_eq!(
+            get("plan_wall_ns_count"),
+            (on.misses + on.invalidations) as f64,
+            "every fresh plan (and only those) lands in the histogram"
+        );
     }
 }
 

@@ -1,0 +1,272 @@
+//! The plan cache must never trade correctness for reuse (DESIGN.md §12):
+//!
+//! * **Byte-identity** — over random statement streams interleaved with
+//!   DML, every cached execution's canonically-encoded result is
+//!   byte-identical to a fresh-replan oracle's, at journal retentions
+//!   0 (every replay falls back), 3 (tiny ring), and 4096 (nothing
+//!   truncates). Per-table high-water marks survive ring truncation, so
+//!   invalidation stays exact even when the journal cannot replay.
+//! * **Exact invalidation** — the cache's verdict is fully deterministic:
+//!   first sighting is a miss, DML on a touched table since planning is an
+//!   invalidation, and an untouched-table entry is always a hit (the
+//!   zero-replan regression: unrelated DML must not cost replans).
+//! * **Session-state keying** — DOP changes and index registration force
+//!   replans instead of reusing plans chosen under different state.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+
+use insightnotes::annot::{Attachment, Category};
+use insightnotes::core::db::Database;
+use insightnotes::core::instance::InstanceKind;
+use insightnotes::mining::nb::NaiveBayes;
+use insightnotes::prelude::{plan_select, PlanSource, Session, SharedDatabase};
+use insightnotes::serve::{Response, WireRow};
+use insightnotes::sql::{parse, Statement};
+use insightnotes::storage::{ColumnType, Schema, TableId, Value};
+
+/// Birds(id, family) with classifier instance `C`, plus Food(bird_id,
+/// kind) with no instance. Deterministic: two calls build bit-identical
+/// databases.
+fn build(retention: usize) -> (Database, TableId, TableId) {
+    let mut db = Database::new();
+    db.set_journal_retention(retention);
+    let birds = db
+        .create_table(
+            "Birds",
+            Schema::of(&[("id", ColumnType::Int), ("family", ColumnType::Text)]),
+        )
+        .unwrap();
+    let food = db
+        .create_table(
+            "Food",
+            Schema::of(&[("bird_id", ColumnType::Int), ("kind", ColumnType::Text)]),
+        )
+        .unwrap();
+    let mut model = NaiveBayes::new(vec!["Disease".into(), "Behavior".into()]);
+    model.train("disease outbreak infection virus", "Disease");
+    model.train("eating foraging migration song", "Behavior");
+    db.link_instance(birds, "C", InstanceKind::Classifier { model }, true)
+        .unwrap();
+    for i in 0..8i64 {
+        let oid = db
+            .insert_tuple(
+                birds,
+                vec![Value::Int(i), Value::Text(format!("fam{}", i % 3))],
+            )
+            .unwrap();
+        for _ in 0..(i % 3) {
+            db.add_annotation(
+                birds,
+                "disease outbreak infection",
+                Category::Disease,
+                "u",
+                vec![Attachment::row(oid)],
+            )
+            .unwrap();
+        }
+        db.insert_tuple(
+            food,
+            vec![
+                Value::Int(i),
+                Value::Text(if i % 2 == 0 { "seed" } else { "fish" }.into()),
+            ],
+        )
+        .unwrap();
+    }
+    (db, birds, food)
+}
+
+/// The statement pool, each with the tables it touches. Fewer statements
+/// than the cache capacity, so LRU eviction never masks a hit.
+const STATEMENTS: &[(&str, &[&str])] = &[
+    ("SELECT id, family FROM Birds", &["Birds"]),
+    ("SELECT id FROM Birds r WHERE r.id >= 2", &["Birds"]),
+    (
+        "SELECT * FROM Birds r \
+         WHERE r.$.getSummaryObject('C').getLabelValue('Disease') >= 1",
+        &["Birds"],
+    ),
+    ("SELECT bird_id, kind FROM Food", &["Food"]),
+    ("SELECT kind FROM Food f WHERE f.kind = 'seed'", &["Food"]),
+    (
+        "SELECT b.id, f.kind FROM Birds b, Food f WHERE b.id = f.bird_id",
+        &["Birds", "Food"],
+    ),
+];
+
+/// One step of a random stream.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Run `STATEMENTS[i]` and check it against the oracle.
+    Query(usize),
+    /// Insert a row into Birds (0) or Food (1).
+    Dml(usize),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Queries outnumber DML ~3:1 so hit/invalidate paths both get
+    // exercised (the vendored proptest has no weighted prop_oneof).
+    (0..STATEMENTS.len() * 3 + 2).prop_map(|i| {
+        if i < STATEMENTS.len() * 3 {
+            Op::Query(i % STATEMENTS.len())
+        } else {
+            Op::Dml(i - STATEMENTS.len() * 3)
+        }
+    })
+}
+
+/// Plan + execute + canonically encode one statement on `session`.
+/// Returns the payload bytes and the cache verdict.
+fn run(session: &mut Session, stmt: &str) -> (Vec<u8>, PlanSource) {
+    let Ok(Statement::Select(sel)) = parse(stmt) else {
+        panic!("pool statement parses: {stmt}")
+    };
+    let planned = plan_select(session, &sel).expect("plans");
+    let plan = std::sync::Arc::clone(&planned.plan);
+    let rows = session.execute(&plan.plan).expect("executes");
+    let payload = Response::Rows {
+        columns: plan.columns.clone(),
+        rows: rows.iter().map(WireRow::from_tuple).collect(),
+    }
+    .encode();
+    (payload, planned.source)
+}
+
+fn apply_dml(shared: &SharedDatabase, table: usize, i: i64) {
+    shared.with_write(|db| {
+        if table == 0 {
+            let birds = db.table_id("Birds").unwrap();
+            db.insert_tuple(birds, vec![Value::Int(100 + i), Value::Text("famX".into())])
+                .unwrap();
+        } else {
+            let food = db.table_id("Food").unwrap();
+            db.insert_tuple(food, vec![Value::Int(100 + i), Value::Text("kelp".into())])
+                .unwrap();
+        }
+    });
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random query/DML streams: the cached session's payloads are
+    /// byte-identical to the always-replan oracle's, and every cache
+    /// verdict is exactly predicted by which tables advanced since the
+    /// statement was last planned — including at retention 0, where the
+    /// journal ring holds nothing but the per-table high-water marks
+    /// still date every entry.
+    #[test]
+    fn cached_results_match_replan_oracle_with_exact_invalidation(
+        ops in prop::collection::vec(op_strategy(), 1..40),
+        retention_pick in 0usize..3,
+    ) {
+        let retention = [0usize, 3, 4096][retention_pick];
+        let (db, ..) = build(retention);
+        let cached = SharedDatabase::new(db);
+        let mut cached_session = cached.session();
+        cached_session.exec_config.dop = 1;
+        cached_session.plan_cache.set_enabled(true);
+
+        let (db, ..) = build(retention);
+        let oracle = SharedDatabase::new(db);
+        let mut oracle_session = oracle.session();
+        oracle_session.exec_config.dop = 1;
+        oracle_session.plan_cache.set_enabled(false);
+
+        // seq stamps order DML against planning; `planned_at[stmt]` is
+        // when the statement's entry was (re)stored, `touched[table]` when
+        // the table last took DML.
+        let mut seq = 0u64;
+        let mut planned_at: HashMap<usize, u64> = HashMap::new();
+        let mut touched: HashMap<&str, u64> = HashMap::new();
+        let mut dml_rows = 0i64;
+
+        for op in ops {
+            match op {
+                Op::Dml(table) => {
+                    seq += 1;
+                    apply_dml(&cached, table, dml_rows);
+                    apply_dml(&oracle, table, dml_rows);
+                    dml_rows += 1;
+                    touched.insert(if table == 0 { "Birds" } else { "Food" }, seq);
+                }
+                Op::Query(i) => {
+                    seq += 1;
+                    let (stmt, tables) = STATEMENTS[i];
+                    let (got, source) = run(&mut cached_session, stmt);
+                    let (want, oracle_source) = run(&mut oracle_session, stmt);
+                    prop_assert_eq!(
+                        got, want,
+                        "cached payload diverged from the replan oracle for {} \
+                         at retention {}", stmt, retention
+                    );
+                    prop_assert!(matches!(oracle_source, PlanSource::CacheDisabled));
+                    let expected = match planned_at.get(&i) {
+                        None => PlanSource::CacheMiss,
+                        Some(&at) if tables
+                            .iter()
+                            .any(|t| touched.get(t).is_some_and(|&d| d > at)) =>
+                            PlanSource::Invalidated,
+                        Some(_) => PlanSource::CacheHit,
+                    };
+                    prop_assert_eq!(
+                        source, expected,
+                        "wrong cache verdict for {} at retention {}", stmt, retention
+                    );
+                    planned_at.insert(i, seq);
+                }
+            }
+        }
+
+        // The zero-replan regression in aggregate: hits + misses +
+        // invalidations account for every lookup, and nothing was ever
+        // evicted (the pool is smaller than the cache).
+        let stats = cached_session.plan_cache.stats();
+        prop_assert_eq!(
+            stats.insertions,
+            stats.misses + stats.invalidations,
+            "every fresh plan is stored"
+        );
+        prop_assert!(cached_session.plan_cache.len() <= STATEMENTS.len());
+    }
+}
+
+/// Planner-relevant session state is part of the cache key: changing DOP
+/// or registering an index must replan, and flipping back must find the
+/// old entry again (distinct keys, not invalidation).
+#[test]
+fn session_state_is_part_of_the_cache_key() {
+    let (db, ..) = build(4096);
+    let shared = SharedDatabase::new(db);
+    let mut session = shared.session();
+    session.exec_config.dop = 1;
+    session.plan_cache.set_enabled(true);
+
+    let stmt = STATEMENTS[0].0;
+    let (_, source) = run(&mut session, stmt);
+    assert!(matches!(source, PlanSource::CacheMiss));
+    let (_, source) = run(&mut session, stmt);
+    assert!(matches!(source, PlanSource::CacheHit));
+
+    session.exec_config.dop = 4;
+    let (_, source) = run(&mut session, stmt);
+    assert!(matches!(source, PlanSource::CacheMiss), "DOP is in the key");
+    session.exec_config.dop = 1;
+    let (_, source) = run(&mut session, stmt);
+    assert!(
+        matches!(source, PlanSource::CacheHit),
+        "the DOP-1 entry is still cached under its own key"
+    );
+
+    let birds = shared.with_read(|db| db.table_id("Birds").unwrap());
+    session
+        .register_column_index(birds, 0)
+        .expect("index builds");
+    let (_, source) = run(&mut session, stmt);
+    assert!(
+        matches!(source, PlanSource::CacheMiss),
+        "registering an index bumps the registry epoch"
+    );
+}

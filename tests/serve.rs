@@ -270,3 +270,75 @@ fn failed_statement_is_a_structured_error_not_a_disconnect() {
     client.ping().expect("served");
     server.shutdown().expect("drain");
 }
+
+#[test]
+fn prepared_statements_skip_parse_and_match_text_protocol() {
+    let server = start_server(ServeConfig::default());
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("admitted");
+    let (handle, columns) = client.prepare(SELECT_ALL).expect("prepares");
+    assert_eq!(columns, vec!["id", "common_name", "family"]);
+    // Every prepared execution is byte-identical to the text protocol
+    // (the encoding is canonical, so this is full result equality).
+    let text = client.query_raw(SELECT_ALL, Duration::ZERO).expect("text");
+    for _ in 0..3 {
+        let via_handle = client
+            .execute_prepared_raw(handle, Duration::ZERO)
+            .expect("executes");
+        assert_eq!(via_handle, text);
+    }
+    // Unknown and closed handles are structured errors, not disconnects.
+    let resp = client.execute_prepared(handle + 1).expect("roundtrip");
+    assert!(is_error_code(&resp, ErrorCode::UnknownHandle));
+    client.close_prepared(handle).expect("closes");
+    let resp = client.execute_prepared(handle).expect("roundtrip");
+    assert!(is_error_code(&resp, ErrorCode::UnknownHandle));
+    // Only SELECTs are preparable.
+    let err = client.prepare("ANALYZE").expect_err("refused");
+    assert!(matches!(err, ClientError::Protocol(_)));
+    // The connection is still usable afterwards.
+    client.ping().expect("served");
+    server.shutdown().expect("drain");
+}
+
+#[test]
+fn prepared_statement_replans_after_dml_never_stale_rows() {
+    let (db, instances) = demo_db();
+    let shared = SharedDatabase::new(db);
+    let mut config = ServeConfig::default();
+    config.exec_config.dop = 1;
+    let server =
+        Server::start(shared.clone(), instances, "127.0.0.1:0", config).expect("bind loopback");
+    let mut client = Client::connect(server.local_addr()).expect("admitted");
+    let (handle, _) = client.prepare(SELECT_ALL).expect("prepares");
+    let before = match client.execute_prepared(handle).expect("executes") {
+        Response::Rows { rows, .. } => rows.len(),
+        other => panic!("expected rows: {other:?}"),
+    };
+    // DML lands behind the prepared handle's back, through the shared
+    // engine the server serves from.
+    shared.with_write(|db| {
+        let birds = db.table_id("Birds").expect("demo table");
+        db.insert_tuple(
+            birds,
+            vec![
+                Value::Int(1_000),
+                Value::Text("Late Arrival".into()),
+                Value::Text("Anatidae".into()),
+            ],
+        )
+        .expect("inserts");
+    });
+    // The journal stamp is revalidated on every execute: the cached plan
+    // is invalidated, the statement replans, and the new row is visible.
+    let after = match client.execute_prepared(handle).expect("executes") {
+        Response::Rows { rows, .. } => rows.len(),
+        other => panic!("expected rows: {other:?}"),
+    };
+    assert_eq!(
+        after,
+        before + 1,
+        "prepared execution never serves stale rows"
+    );
+    server.shutdown().expect("drain");
+}
